@@ -1,0 +1,97 @@
+// ablation_thresholds -- paper Section 4 "minor optimizations" and the
+// NUMA discussion: sweep DEBRA's CHECK_THRESH (announcement-scan
+// amortization) and INCR_THRESH (epoch-increment throttling), plus
+// DEBRA+'s suspect threshold, and report throughput, announcement-check
+// counts, and signal counts. CHECK_THRESH trades remote-cache-line reads
+// against reclamation latency; INCR_THRESH stops a lone thread from
+// thrashing the epoch.
+#include "bench_common.h"
+
+using namespace smr;
+using namespace smr::bench;
+
+int main() {
+    const bench_env env = bench_env::from_env();
+    print_banner(
+        "Ablation (Section 4/5): CHECK_THRESH, INCR_THRESH, suspect "
+        "threshold\nBST 50i-50d keyrange 1e4",
+        env);
+    const int threads = env.thread_counts.back();
+
+    using mgr_t =
+        record_manager<reclaim::reclaim_debra, alloc_bump, pool_shared,
+                       ds::bst_node<bench::key_t, bench::val_t>, ds::bst_info<bench::key_t, bench::val_t>>;
+    std::printf("\n-- DEBRA: CHECK_THRESH sweep (INCR_THRESH=100, threads=%d) --\n",
+                threads);
+    std::printf("%12s %12s %16s %14s %12s\n", "check_thresh", "Mops/s",
+                "announce_checks", "epochs_adv", "limbo_recs");
+    for (int check : {1, 3, 10, 30, 100}) {
+        reclaim::epoch_config cfg_epoch;
+        cfg_epoch.check_thresh = check;
+        cfg_epoch.incr_thresh = 100;
+        mgr_t mgr(threads, cfg_epoch);
+        ds::ellen_bst<bench::key_t, bench::val_t, mgr_t> bst(mgr);
+        harness::workload_config cfg;
+        cfg.num_threads = threads;
+        cfg.key_range = 10000;
+        cfg.trial_ms = env.trial_ms;
+        const auto r = harness::run_trial(bst, mgr, cfg);
+        check_invariant(r, "check_thresh sweep");
+        std::printf("%12d %12.3f %16llu %14llu %12lld\n", check,
+                    r.mops_per_sec(),
+                    static_cast<unsigned long long>(
+                        mgr.stats().total(stat::announcement_checks)),
+                    static_cast<unsigned long long>(r.epochs_advanced),
+                    r.limbo_records);
+    }
+
+    std::printf("\n-- DEBRA: INCR_THRESH sweep (CHECK_THRESH=3, threads=1) --\n");
+    std::printf("%12s %12s %14s %12s\n", "incr_thresh", "Mops/s",
+                "epochs_adv", "rotations");
+    for (int incr : {1, 10, 100, 1000}) {
+        reclaim::epoch_config cfg_epoch;
+        cfg_epoch.check_thresh = 3;
+        cfg_epoch.incr_thresh = incr;
+        mgr_t mgr(1, cfg_epoch);
+        ds::ellen_bst<bench::key_t, bench::val_t, mgr_t> bst(mgr);
+        harness::workload_config cfg;
+        cfg.num_threads = 1;
+        cfg.key_range = 10000;
+        cfg.trial_ms = env.trial_ms;
+        const auto r = harness::run_trial(bst, mgr, cfg);
+        check_invariant(r, "incr_thresh sweep");
+        std::printf("%12d %12.3f %14llu %12llu\n", incr, r.mops_per_sec(),
+                    static_cast<unsigned long long>(r.epochs_advanced),
+                    static_cast<unsigned long long>(
+                        mgr.stats().total(stat::rotations)));
+    }
+
+    using mgrp_t = record_manager<reclaim::reclaim_debra_plus, alloc_bump,
+                                  pool_shared, ds::bst_node<bench::key_t, bench::val_t>,
+                                  ds::bst_info<bench::key_t, bench::val_t>>;
+    std::printf(
+        "\n-- DEBRA+: suspect threshold sweep (one stalling straggler, "
+        "threads=%d) --\n",
+        threads < 2 ? 2 : threads);
+    std::printf("%16s %12s %12s %12s\n", "suspect_blocks", "Mops/s",
+                "signals", "limbo_recs");
+    for (int suspect : {1, 2, 8, 32, 1 << 20}) {
+        reclaim::debra_plus_config pc;
+        pc.suspect_threshold_blocks = suspect;
+        const int t = threads < 2 ? 2 : threads;
+        mgrp_t mgr(t, pc);
+        ds::ellen_bst<bench::key_t, bench::val_t, mgrp_t> bst(mgr);
+        harness::workload_config cfg;
+        cfg.num_threads = t;
+        cfg.key_range = 10000;
+        cfg.trial_ms = env.trial_ms;
+        cfg.stall_tid = t - 1;
+        cfg.stall_ms = 5;
+        const auto r = harness::run_trial(bst, mgr, cfg);
+        check_invariant(r, "suspect sweep");
+        std::printf("%16d %12.3f %12llu %12lld\n", suspect, r.mops_per_sec(),
+                    static_cast<unsigned long long>(r.neutralize_sent),
+                    r.limbo_records);
+    }
+    return 0;
+}

@@ -1,0 +1,185 @@
+// bench_common.h -- shared scaffolding for the paper-reproduction
+// benchmark binaries (one binary per table/figure; see DESIGN.md Section 4).
+//
+// Every experiment sweeps {reclamation scheme} x {thread count} over a
+// prefilled data structure and prints one table row per point, mirroring
+// the curves of the paper's Figures 8-10. Environment knobs rescale the
+// defaults to paper-length runs:
+//
+//   SMR_TRIAL_MS   per-trial duration (default 100; paper used 2000)
+//   SMR_TRIALS     trials per point, averaged (default 1; paper used 8)
+//   SMR_THREADS    comma-separated thread counts (default "1,2,4,8")
+//   SMR_KEYRANGE_LARGE  the large BST key range (default 1000000 as in the
+//                       paper; reduce for quick runs)
+//
+// Every trial also checks the harness size invariant; a reclamation bug
+// aborts the benchmark rather than printing corrupt numbers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ds/ellen_bst.h"
+#include "ds/harris_list.h"
+#include "ds/lazy_skiplist.h"
+#include "harness/workload.h"
+#include "recordmgr/record_manager.h"
+#include "reclaim/reclaimer_debra.h"
+#include "reclaim/reclaimer_debra_plus.h"
+#include "reclaim/reclaimer_hp.h"
+#include "reclaim/reclaimer_none.h"
+
+namespace smr::bench {
+
+using key_t = long long;
+using val_t = long long;
+
+struct bench_env {
+    int trial_ms;
+    int trials;
+    std::vector<int> thread_counts;
+    long long keyrange_large;
+
+    static bench_env from_env() {
+        bench_env e;
+        e.trial_ms = harness::env_int("SMR_TRIAL_MS", 100);
+        e.trials = harness::env_int("SMR_TRIALS", 1);
+        e.keyrange_large = harness::env_int("SMR_KEYRANGE_LARGE", 1000000);
+        const char* ts = std::getenv("SMR_THREADS");
+        std::string spec = ts != nullptr ? ts : "1,2,4,8";
+        std::size_t pos = 0;
+        while (pos < spec.size()) {
+            std::size_t comma = spec.find(',', pos);
+            if (comma == std::string::npos) comma = spec.size();
+            e.thread_counts.push_back(std::atoi(spec.substr(pos, comma - pos).c_str()));
+            pos = comma + 1;
+        }
+        return e;
+    }
+};
+
+struct op_mix {
+    const char* name;
+    int insert_pct;
+    int delete_pct;
+};
+
+/// The paper's two operation mixes (Section 7, Experiment 1).
+inline constexpr op_mix MIX_50_50 = {"50i-50d", 50, 50};
+inline constexpr op_mix MIX_25_25_50 = {"25i-25d-50s", 25, 25};
+
+// ---- per-structure trial runners -------------------------------------------
+//
+// Each runner constructs a fresh manager + structure, prefills, runs the
+// timed trial `env.trials` times, and returns the averaged result. The
+// scheme/allocator/pool combination is entirely in the template arguments:
+// the one-line-change claim of paper Section 6, exercised for real.
+
+inline void check_invariant(const harness::trial_result& r, const char* what) {
+    if (!r.size_invariant_holds()) {
+        std::fprintf(stderr,
+                     "FATAL: size invariant violated in %s: final=%lld "
+                     "expected=%lld\n",
+                     what, r.final_size, r.expected_final_size);
+        std::abort();
+    }
+}
+
+template <class Scheme, class AllocTag, class PoolTag>
+harness::trial_result run_bst_point(const bench_env& env, const op_mix& mix,
+                                    long long key_range, int threads,
+                                    int stall_tid = -1, int stall_ms = 10) {
+    using mgr_t = record_manager<Scheme, AllocTag, PoolTag,
+                                 ds::bst_node<key_t, val_t>,
+                                 ds::bst_info<key_t, val_t>>;
+    harness::trial_result acc;
+    for (int trial = 0; trial < env.trials; ++trial) {
+        mgr_t mgr(threads);
+        ds::ellen_bst<key_t, val_t, mgr_t> bst(mgr);
+        harness::workload_config cfg;
+        cfg.num_threads = threads;
+        cfg.key_range = key_range;
+        cfg.insert_pct = mix.insert_pct;
+        cfg.delete_pct = mix.delete_pct;
+        cfg.trial_ms = env.trial_ms;
+        cfg.seed = 1 + static_cast<std::uint64_t>(trial);
+        cfg.stall_tid = stall_tid;
+        cfg.stall_ms = stall_ms;
+        auto r = harness::run_trial(bst, mgr, cfg);
+        check_invariant(r, "bst");
+        if (trial == 0) {
+            acc = r;
+        } else {
+            acc.total_ops += r.total_ops;
+            acc.seconds += r.seconds;
+            acc.neutralize_sent += r.neutralize_sent;
+            if (r.allocated_bytes > 0) acc.allocated_bytes += r.allocated_bytes;
+            acc.limbo_records += r.limbo_records;
+        }
+    }
+    return acc;
+}
+
+template <class Scheme, class AllocTag, class PoolTag>
+harness::trial_result run_skiplist_point(const bench_env& env,
+                                         const op_mix& mix,
+                                         long long key_range, int threads) {
+    using mgr_t = record_manager<Scheme, AllocTag, PoolTag,
+                                 ds::skiplist_node<key_t, val_t>>;
+    harness::trial_result acc;
+    for (int trial = 0; trial < env.trials; ++trial) {
+        mgr_t mgr(threads);
+        ds::lazy_skiplist<key_t, val_t, mgr_t> skip(mgr);
+        harness::workload_config cfg;
+        cfg.num_threads = threads;
+        cfg.key_range = key_range;
+        cfg.insert_pct = mix.insert_pct;
+        cfg.delete_pct = mix.delete_pct;
+        cfg.trial_ms = env.trial_ms;
+        cfg.seed = 1 + static_cast<std::uint64_t>(trial);
+        auto r = harness::run_trial(skip, mgr, cfg);
+        check_invariant(r, "skiplist");
+        if (trial == 0) {
+            acc = r;
+        } else {
+            acc.total_ops += r.total_ops;
+            acc.seconds += r.seconds;
+        }
+    }
+    return acc;
+}
+
+// ---- table printing -----------------------------------------------------------
+
+inline void print_table_header(const std::vector<const char*>& schemes) {
+    std::printf("%8s", "threads");
+    for (const char* s : schemes) std::printf("%10s", s);
+    std::printf("  |");
+    for (std::size_t i = 1; i < schemes.size(); ++i) {
+        std::printf("  %s/%s", schemes[i], schemes[0]);
+    }
+    std::printf("\n");
+}
+
+inline void print_table_row(int threads, const std::vector<double>& mops) {
+    std::printf("%8d", threads);
+    for (double m : mops) std::printf("%10.3f", m);
+    std::printf("  |");
+    for (std::size_t i = 1; i < mops.size(); ++i) {
+        std::printf("  %8.2f", mops[0] > 0 ? mops[i] / mops[0] : 0.0);
+    }
+    std::printf("\n");
+}
+
+inline void print_banner(const char* title, const bench_env& env) {
+    std::printf("==========================================================\n");
+    std::printf("%s\n", title);
+    std::printf("trial_ms=%d trials=%d (env: SMR_TRIAL_MS SMR_TRIALS "
+                "SMR_THREADS SMR_KEYRANGE_LARGE)\n",
+                env.trial_ms, env.trials);
+    std::printf("==========================================================\n");
+}
+
+}  // namespace smr::bench

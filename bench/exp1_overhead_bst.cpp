@@ -1,0 +1,48 @@
+// exp1_overhead_bst -- paper Experiment 1, Figure 8 (left), BST rows.
+//
+// Measures the *overhead* of each reclamation scheme: every scheme does its
+// full bookkeeping, but reclaimed records are discarded instead of reused
+// (pool_discarding) and allocation is a per-thread bump pointer -- so the
+// data structure pays reclamation's cost without enjoying its cache
+// benefits. Workloads: {50i-50d, 25i-25d-50s} x key ranges {10^4, 10^6},
+// schemes {None, DEBRA, DEBRA+, HP}, sweeping thread counts.
+//
+// Paper-shape expectations: DEBRA within ~5-22% of None, DEBRA+ within
+// ~7-28%, HP roughly half of None's throughput (DEBRA ~94% more ops).
+#include "bench_common.h"
+
+using namespace smr;
+using namespace smr::bench;
+
+template <class Scheme>
+double point(const bench_env& env, const op_mix& mix, long long range,
+             int threads) {
+    return run_bst_point<Scheme, alloc_bump, pool_discarding>(env, mix, range,
+                                                              threads)
+        .mops_per_sec();
+}
+
+int main() {
+    const bench_env env = bench_env::from_env();
+    print_banner(
+        "Experiment 1 (Fig. 8 left, BST): reclamation overhead only\n"
+        "bump allocator, discard pool (no reuse), lock-free external BST",
+        env);
+    for (const op_mix& mix : {MIX_50_50, MIX_25_25_50}) {
+        for (long long range : {10000LL, env.keyrange_large}) {
+            std::printf("\nBST keyrange [0,%lld) workload %s  (Mops/s)\n",
+                        range, mix.name);
+            print_table_header({"none", "debra", "debra+", "hp"});
+            for (int t : env.thread_counts) {
+                std::vector<double> mops;
+                mops.push_back(point<reclaim::reclaim_none>(env, mix, range, t));
+                mops.push_back(point<reclaim::reclaim_debra>(env, mix, range, t));
+                mops.push_back(
+                    point<reclaim::reclaim_debra_plus>(env, mix, range, t));
+                mops.push_back(point<reclaim::reclaim_hp>(env, mix, range, t));
+                print_table_row(t, mops);
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,41 @@
+// exp1_overhead_skiplist -- paper Experiment 1, Figure 8 (left), skip list
+// row: reclamation overhead on the lock-based skip list with lock-free
+// searches, key range [0, 2*10^5).
+//
+// The paper's comparator set here was {None, DEBRA, HP, ThreadScan}; ST/TS
+// require HTM / are substituted per DESIGN.md, so classic EBR stands in as
+// the extra epoch-based comparator. DEBRA+ is excluded: the structure
+// holds locks (paper Section 5).
+#include "bench_common.h"
+
+using namespace smr;
+using namespace smr::bench;
+
+template <class Scheme>
+double point(const bench_env& env, const op_mix& mix, int threads) {
+    return run_skiplist_point<Scheme, alloc_bump, pool_discarding>(
+               env, mix, 200000, threads)
+        .mops_per_sec();
+}
+
+int main() {
+    const bench_env env = bench_env::from_env();
+    print_banner(
+        "Experiment 1 (Fig. 8 left, skip list): reclamation overhead only\n"
+        "bump allocator, discard pool, lock-based skip list, range 2e5",
+        env);
+    for (const op_mix& mix : {MIX_50_50, MIX_25_25_50}) {
+        std::printf("\nSkip list keyrange [0,200000) workload %s  (Mops/s)\n",
+                    mix.name);
+        print_table_header({"none", "debra", "ebr", "hp"});
+        for (int t : env.thread_counts) {
+            std::vector<double> mops;
+            mops.push_back(point<reclaim::reclaim_none>(env, mix, t));
+            mops.push_back(point<reclaim::reclaim_debra>(env, mix, t));
+            mops.push_back(point<reclaim::reclaim_ebr>(env, mix, t));
+            mops.push_back(point<reclaim::reclaim_hp>(env, mix, t));
+            print_table_row(t, mops);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,51 @@
+// exp2_oversubscribe -- paper Figure 9 (left): Experiment 2 on a machine
+// with many more software threads than hardware contexts (the paper's
+// 64-context Oracle T4-1; here, any host -- we sweep far past the core
+// count). In this regime some threads are always context-switched out, and
+// DEBRA's epoch frequently stalls on preempted non-quiescent threads;
+// DEBRA+ neutralizes them.
+#include <thread>
+
+#include "bench_common.h"
+
+using namespace smr;
+using namespace smr::bench;
+
+template <class Scheme>
+harness::trial_result point(const bench_env& env, int threads) {
+    return run_bst_point<Scheme, alloc_bump, pool_shared>(
+        env, MIX_50_50, env.keyrange_large, threads);
+}
+
+int main() {
+    const bench_env env = bench_env::from_env();
+    const int cores = static_cast<int>(std::thread::hardware_concurrency());
+    print_banner(
+        "Figure 9 (left): Experiment 2 under oversubscription\n"
+        "BST large keyrange, 50i-50d, threads sweep past the core count",
+        env);
+    std::printf("host hardware threads: %d\n", cores);
+    std::vector<int> sweep;
+    for (int t : {1, 2, 4, 8, 16}) sweep.push_back(t);
+    if (const char* ts = std::getenv("SMR_THREADS"); ts != nullptr) {
+        sweep = env.thread_counts;
+    }
+    std::printf("\nBST keyrange [0,%lld) workload 50i-50d  (Mops/s)\n",
+                env.keyrange_large);
+    print_table_header({"none", "debra", "debra+", "hp"});
+    for (int t : sweep) {
+        std::vector<double> mops;
+        mops.push_back(point<reclaim::reclaim_none>(env, t).mops_per_sec());
+        mops.push_back(point<reclaim::reclaim_debra>(env, t).mops_per_sec());
+        const auto dp = point<reclaim::reclaim_debra_plus>(env, t);
+        mops.push_back(dp.mops_per_sec());
+        mops.push_back(point<reclaim::reclaim_hp>(env, t).mops_per_sec());
+        print_table_row(t, mops);
+        if (t > cores && dp.neutralize_sent > 0) {
+            std::printf("         (debra+ neutralizations at %d threads: "
+                        "%llu)\n",
+                        t, static_cast<unsigned long long>(dp.neutralize_sent));
+        }
+    }
+    return 0;
+}

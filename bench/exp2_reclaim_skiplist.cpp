@@ -1,0 +1,36 @@
+// exp2_reclaim_skiplist -- paper Experiment 2, Figure 8 (right), skip list
+// row: actual reclamation through the object pool on the lock-based skip
+// list (DEBRA performs "as well as None" in the paper).
+#include "bench_common.h"
+
+using namespace smr;
+using namespace smr::bench;
+
+template <class Scheme>
+double point(const bench_env& env, const op_mix& mix, int threads) {
+    return run_skiplist_point<Scheme, alloc_bump, pool_shared>(env, mix,
+                                                               200000, threads)
+        .mops_per_sec();
+}
+
+int main() {
+    const bench_env env = bench_env::from_env();
+    print_banner(
+        "Experiment 2 (Fig. 8 right, skip list): actual reclamation via "
+        "object pool\nbump allocator, per-thread + shared pool, range 2e5",
+        env);
+    for (const op_mix& mix : {MIX_50_50, MIX_25_25_50}) {
+        std::printf("\nSkip list keyrange [0,200000) workload %s  (Mops/s)\n",
+                    mix.name);
+        print_table_header({"none", "debra", "ebr", "hp"});
+        for (int t : env.thread_counts) {
+            std::vector<double> mops;
+            mops.push_back(point<reclaim::reclaim_none>(env, mix, t));
+            mops.push_back(point<reclaim::reclaim_debra>(env, mix, t));
+            mops.push_back(point<reclaim::reclaim_ebr>(env, mix, t));
+            mops.push_back(point<reclaim::reclaim_hp>(env, mix, t));
+            print_table_row(t, mops);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+// exp3_malloc_bst -- paper Experiment 3 (Figure 10), BST rows: like
+// Experiment 2, but the Allocator is plain malloc/free instead of
+// preallocated bump storage. Absolute throughput drops for everyone, and
+// -- the paper's methodological point -- the uniform malloc overhead
+// compresses the *relative* gaps between schemes, flattering the
+// high-overhead ones.
+#include "bench_common.h"
+
+using namespace smr;
+using namespace smr::bench;
+
+template <class Scheme>
+double point(const bench_env& env, const op_mix& mix, long long range,
+             int threads) {
+    return run_bst_point<Scheme, alloc_malloc, pool_shared>(env, mix, range,
+                                                            threads)
+        .mops_per_sec();
+}
+
+int main() {
+    const bench_env env = bench_env::from_env();
+    print_banner(
+        "Experiment 3 (Fig. 10, BST): malloc allocator + object pool\n"
+        "(system malloc stands in for the paper's tcmalloc; see DESIGN.md)",
+        env);
+    for (const op_mix& mix : {MIX_50_50, MIX_25_25_50}) {
+        for (long long range : {10000LL, env.keyrange_large}) {
+            std::printf("\nBST keyrange [0,%lld) workload %s  (Mops/s)\n",
+                        range, mix.name);
+            print_table_header({"none", "debra", "debra+", "hp"});
+            for (int t : env.thread_counts) {
+                std::vector<double> mops;
+                mops.push_back(point<reclaim::reclaim_none>(env, mix, range, t));
+                mops.push_back(point<reclaim::reclaim_debra>(env, mix, range, t));
+                mops.push_back(
+                    point<reclaim::reclaim_debra_plus>(env, mix, range, t));
+                mops.push_back(point<reclaim::reclaim_hp>(env, mix, range, t));
+                print_table_row(t, mops);
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,166 @@
+// micro_components -- google-benchmark microbenchmarks for the substrate
+// components: the O(1) costs the paper's complexity claims rest on
+// (retire, leaveQstate/enterQstate, blockbag ops, hash-set scans, shared
+// bag push/pop).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mem/block_pool.h"
+#include "mem/blockbag.h"
+#include "mem/ptr_hashset.h"
+#include "mem/shared_blockbag.h"
+#include "recordmgr/record_manager.h"
+#include "reclaim/reclaimer_debra.h"
+#include "reclaim/reclaimer_debra_plus.h"
+#include "reclaim/reclaimer_hp.h"
+#include "util/prng.h"
+
+namespace {
+
+struct rec {
+    long v;
+};
+
+void BM_BlockbagAddRemove(benchmark::State& state) {
+    smr::mem::block_pool<rec> pool(16, nullptr, 0);
+    smr::mem::blockbag<rec> bag(pool);
+    rec r{1};
+    for (auto _ : state) {
+        bag.add(&r);
+        benchmark::DoNotOptimize(bag.remove());
+    }
+}
+BENCHMARK(BM_BlockbagAddRemove);
+
+void BM_BlockbagTakeFullBlocks(benchmark::State& state) {
+    const int records = static_cast<int>(state.range(0));
+    smr::mem::block_pool<rec> pool(64, nullptr, 0);
+    std::vector<rec> storage(static_cast<std::size_t>(records));
+    for (auto _ : state) {
+        state.PauseTiming();
+        smr::mem::blockbag<rec> bag(pool);
+        for (auto& r : storage) bag.add(&r);
+        state.ResumeTiming();
+        auto chain = bag.take_full_blocks();
+        benchmark::DoNotOptimize(chain.count);
+        state.PauseTiming();
+        for (auto* b = chain.head; b != nullptr;) {
+            auto* n = b->next;
+            b->size = 0;
+            pool.release(b);
+            b = n;
+        }
+        state.ResumeTiming();
+    }
+}
+BENCHMARK(BM_BlockbagTakeFullBlocks)->Arg(256)->Arg(2560)->Arg(25600);
+
+void BM_PtrHashsetInsertContains(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    smr::mem::ptr_hashset set(n);
+    std::vector<long> storage(n);
+    for (auto _ : state) {
+        set.clear();
+        for (auto& x : storage) set.insert(&x);
+        bool all = true;
+        for (auto& x : storage) all &= set.contains(&x);
+        benchmark::DoNotOptimize(all);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n) * 2);
+}
+BENCHMARK(BM_PtrHashsetInsertContains)->Arg(64)->Arg(1024);
+
+void BM_SharedBlockbagPushPop(benchmark::State& state) {
+    smr::mem::shared_blockbag<rec> bag;
+    auto* blk = new smr::mem::block<rec>();
+    rec r{0};
+    while (!blk->full()) blk->push(&r);
+    for (auto _ : state) {
+        bag.push(blk);
+        benchmark::DoNotOptimize(bag.pop());
+    }
+    delete blk;
+}
+BENCHMARK(BM_SharedBlockbagPushPop);
+
+// ---- the paper's O(1) operation costs ------------------------------------
+
+void BM_DebraLeaveEnterQstate(benchmark::State& state) {
+    using mgr_t = smr::record_manager<smr::reclaim::reclaim_debra,
+                                      smr::alloc_malloc, smr::pool_shared, rec>;
+    mgr_t mgr(1);
+    mgr.init_thread(0);
+    for (auto _ : state) {
+        mgr.leave_qstate(0);
+        mgr.enter_qstate(0);
+    }
+    mgr.deinit_thread(0);
+}
+BENCHMARK(BM_DebraLeaveEnterQstate);
+
+void BM_DebraPlusLeaveEnterQstate(benchmark::State& state) {
+    using mgr_t =
+        smr::record_manager<smr::reclaim::reclaim_debra_plus,
+                            smr::alloc_malloc, smr::pool_shared, rec>;
+    mgr_t mgr(1);
+    mgr.init_thread(0);
+    for (auto _ : state) {
+        mgr.leave_qstate(0);
+        mgr.enter_qstate(0);
+    }
+    mgr.deinit_thread(0);
+}
+BENCHMARK(BM_DebraPlusLeaveEnterQstate);
+
+void BM_DebraRetire(benchmark::State& state) {
+    using mgr_t = smr::record_manager<smr::reclaim::reclaim_debra,
+                                      smr::alloc_malloc, smr::pool_shared, rec>;
+    mgr_t mgr(1);
+    mgr.init_thread(0);
+    mgr.leave_qstate(0);
+    for (auto _ : state) {
+        rec* r = mgr.new_record<rec>(0);
+        mgr.retire<rec>(0, r);
+    }
+    mgr.enter_qstate(0);
+    mgr.deinit_thread(0);
+}
+BENCHMARK(BM_DebraRetire);
+
+void BM_HpProtectUnprotect(benchmark::State& state) {
+    using mgr_t = smr::record_manager<smr::reclaim::reclaim_hp,
+                                      smr::alloc_malloc, smr::pool_shared, rec>;
+    mgr_t mgr(1);
+    mgr.init_thread(0);
+    rec* r = mgr.new_record<rec>(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mgr.protect(0, r));
+        mgr.unprotect(0, r);
+    }
+    mgr.deallocate<rec>(0, r);
+    mgr.deinit_thread(0);
+}
+BENCHMARK(BM_HpProtectUnprotect);
+
+void BM_HpRetireWithScans(benchmark::State& state) {
+    using mgr_t = smr::record_manager<smr::reclaim::reclaim_hp,
+                                      smr::alloc_malloc, smr::pool_shared, rec>;
+    mgr_t mgr(1);
+    mgr.init_thread(0);
+    for (auto _ : state) {
+        rec* r = mgr.new_record<rec>(0);
+        mgr.retire<rec>(0, r);
+    }
+    mgr.deinit_thread(0);
+}
+BENCHMARK(BM_HpRetireWithScans);
+
+void BM_PrngNext(benchmark::State& state) {
+    smr::prng rng(42);
+    for (auto _ : state) benchmark::DoNotOptimize(rng.next(1000000));
+}
+BENCHMARK(BM_PrngNext);
+
+}  // namespace

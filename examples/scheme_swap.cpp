@@ -1,0 +1,94 @@
+// scheme_swap -- the paper's Section-6 modularity claim as a runnable
+// demo: the same data structure code, templated over the Record Manager,
+// is executed under five different reclamation schemes by changing one
+// template argument. The example prints a mini-benchmark per scheme plus
+// the compile-time traits that drive the conditional code paths.
+//
+//   $ ./scheme_swap
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "ds/ellen_bst.h"
+#include "recordmgr/record_manager.h"
+#include "reclaim/reclaimer_debra.h"
+#include "reclaim/reclaimer_debra_plus.h"
+#include "reclaim/reclaimer_hp.h"
+#include "reclaim/reclaimer_none.h"
+#include "util/prng.h"
+#include "util/timing.h"
+
+using key_type = long long;
+using val_type = long long;
+
+/// The "application": written once, against the record-manager interface.
+/// It has no idea which reclamation scheme is underneath.
+template <class Manager>
+void churn_app(int threads, int ms) {
+    Manager mgr(threads);
+    smr::ds::ellen_bst<key_type, val_type, Manager> tree(mgr);
+
+    std::vector<std::thread> workers;
+    std::atomic<bool> stop{false};
+    std::atomic<long long> ops{0};
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            mgr.init_thread(t);
+            smr::prng rng(static_cast<std::uint64_t>(t) + 7);
+            long long mine = 0;
+            while (!stop.load(std::memory_order_acquire)) {
+                const key_type k = static_cast<key_type>(rng.next(512));
+                if (rng.chance_percent(50)) {
+                    tree.insert(t, k, k);
+                } else {
+                    tree.erase(t, k);
+                }
+                ++mine;
+            }
+            ops.fetch_add(mine);
+            mgr.deinit_thread(t);
+        });
+    }
+    smr::stopwatch timer;
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    stop.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+
+    std::printf(
+        "%-8s  crash-recovery=%-5s per-access=%-5s  %7.3f Mops/s  "
+        "retired=%-8llu reclaimed=%-8llu limbo=%lld\n",
+        Manager::scheme_name,
+        Manager::supports_crash_recovery ? "yes" : "no",
+        Manager::per_access_protection ? "yes" : "no",
+        ops.load() / timer.elapsed_seconds() / 1e6,
+        static_cast<unsigned long long>(
+            mgr.stats().total(smr::stat::records_retired)),
+        static_cast<unsigned long long>(
+            mgr.stats().total(smr::stat::records_pooled)),
+        mgr.total_limbo_all_types());
+}
+
+template <class Scheme>
+using mgr_for = smr::record_manager<Scheme, smr::alloc_malloc,
+                                    smr::pool_shared,
+                                    smr::ds::bst_node<key_type, val_type>,
+                                    smr::ds::bst_info<key_type, val_type>>;
+
+int main() {
+    constexpr int THREADS = 3;
+    constexpr int MS = 300;
+    std::printf("one data structure, five reclamation schemes "
+                "(%d threads, %d ms each):\n\n",
+                THREADS, MS);
+    churn_app<mgr_for<smr::reclaim::reclaim_none>>(THREADS, MS);
+    churn_app<mgr_for<smr::reclaim::reclaim_ebr>>(THREADS, MS);
+    churn_app<mgr_for<smr::reclaim::reclaim_debra>>(THREADS, MS);
+    churn_app<mgr_for<smr::reclaim::reclaim_debra_plus>>(THREADS, MS);
+    churn_app<mgr_for<smr::reclaim::reclaim_hp>>(THREADS, MS);
+    std::printf(
+        "\nNote: 'none' leaks every retired record; the others recycle "
+        "them.\nThe churn_app function is byte-for-byte identical in all "
+        "five runs.\n");
+    return 0;
+}

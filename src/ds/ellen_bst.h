@@ -1,0 +1,766 @@
+// ellen_bst.h -- lock-free external binary search tree (Ellen, Fatourou,
+// Ruppert, van Breugel, PODC 2010), written in the paper's Figure-5 form so
+// that every reclamation scheme in this library -- including DEBRA+'s
+// signal-based neutralization -- applies to it.
+//
+// Why this tree is the DEBRA+ showcase (paper Sections 3 and 7):
+//   * nodes are *marked* before they are retired, and searches traverse
+//     child pointers out of marked -- possibly retired -- nodes. Hazard
+//     pointers therefore cannot be applied soundly: an operation can never
+//     be sure a node it wants to protect is still in the tree. We reproduce
+//     the paper's practical HP workaround ("simply restart any operation
+//     that suspects a node is retired"), which costs HP its lock-freedom;
+//   * updates publish a *descriptor* (info record) and are completed by
+//     helpers, so an operation interrupted by a neutralization signal can
+//     always be finished or safely restarted by its own recovery code.
+//
+// Structure: leaf-oriented. Internal nodes route; leaves carry the set
+// members. Two sentinel keys inf1 < inf2 sit above all real keys; the
+// initial tree is root(inf2) with children leaf(inf1), leaf(inf2), so every
+// search finds a grandparent/parent/leaf triple.
+//
+// Update protocol (EFRB):
+//   * each internal node has an `update` word = (info*, state) where state
+//     is CLEAN / IFLAG / DFLAG / MARK;
+//   * Insert: flag parent IFLAG(op), then helpInsert: swing the child
+//     pointer from the old leaf to a freshly built subtree, commit, unflag;
+//   * Delete: flag grandparent DFLAG(op), then helpDelete: mark parent
+//     (freezing it forever), helpMarked: swing grandparent's child from the
+//     parent to the leaf's sibling, commit, unflag. If the mark loses, the
+//     operation aborts and backtracks the flag.
+//
+// Reclamation protocol (this work):
+//   * only the operation's *owner* retires records, in its quiescent
+//     postamble (paper Figure 5): the replaced leaf (insert) or the parent
+//     + leaf (delete), plus the info records its flag/mark CASes overwrote;
+//   * a node's own info record is retired by whichever later operation
+//     overwrites the node's update word (or dies with the node's subtree);
+//   * descriptor fields that survive in CLEAN words are only ever compared,
+//     never dereferenced, so a retired info is safe to free after its grace
+//     period. (See DESIGN.md "Known theoretical limits" for the recycled-
+//     address ABA this shares with published implementations.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "../util/debug_stats.h"
+#include "../util/tagged_ptr.h"
+
+namespace smr::ds {
+
+/// Update-word states (bits 0..1 of the packed word).
+enum bst_state : unsigned {
+    BST_CLEAN = 0,
+    BST_IFLAG = 1,
+    BST_DFLAG = 2,
+    BST_MARK = 3,
+};
+
+/// Info-record lifecycle, used by neutralization recovery to decide whether
+/// a flag CAS it may or may not have executed ended up taking effect.
+enum bst_outcome : int {
+    BST_PENDING = 0,
+    BST_COMMITTED = 1,
+    BST_ABORTED = 2,
+};
+
+template <class K, class V>
+struct bst_info;
+
+/// Tree node. Leaf iff left == nullptr. `inf` lifts the key order: 0 for
+/// real keys, 1 and 2 for the sentinels (inf2 > inf1 > every real key).
+template <class K, class V>
+struct bst_node {
+    K key;
+    V value;
+    int inf;
+    std::atomic<std::uintptr_t> update;
+    std::atomic<bst_node*> left;
+    std::atomic<bst_node*> right;
+
+    bool is_leaf() const noexcept {
+        return left.load(std::memory_order_acquire) == nullptr;
+    }
+};
+
+/// Operation descriptor. One record type covers insert (type 0) and delete
+/// (type 1); helpers read only the fields their type uses.
+template <class K, class V>
+struct bst_info {
+    using node_t = bst_node<K, V>;
+
+    std::atomic<int> state;    // bst_outcome
+    int type;                  // 0 = insert, 1 = delete
+    node_t* p;                 // flagged parent (insert) / marked parent (delete)
+    node_t* l;                 // the leaf the operation targets
+    node_t* new_internal;      // insert: replacement subtree root
+    node_t* gp;                // delete: flagged grandparent
+    std::uintptr_t pupdate;    // delete: expected value for the mark CAS
+};
+
+/// Lock-free set/map with insert-if-absent, erase, and wait-free-ish find.
+/// `RecordMgr` must manage both `bst_node<K,V>` and `bst_info<K,V>`.
+template <class K, class V, class RecordMgr>
+class ellen_bst {
+  public:
+    using node_t = bst_node<K, V>;
+    using info_t = bst_info<K, V>;
+    using sp = stated_ptr<info_t>;
+
+    explicit ellen_bst(RecordMgr& mgr) : mgr_(mgr) {
+        node_t* l1 = make_leaf(0, K{}, V{}, 1);
+        node_t* l2 = make_leaf(0, K{}, V{}, 2);
+        root_ = mgr_.template new_record<node_t>(0);
+        init_internal(root_, K{}, 2, l1, l2);
+    }
+
+    ellen_bst(const ellen_bst&) = delete;
+    ellen_bst& operator=(const ellen_bst&) = delete;
+
+    ~ellen_bst() { free_subtree(root_); }
+
+    // ---- queries -----------------------------------------------------------
+
+    /// Returns the value stored for `key`, if present. Never helps, never
+    /// writes shared memory (paper Figure 3 search shape).
+    ///
+    /// Like every operation, the non-quiescent traversal runs inside
+    /// run_op: under DEBRA+ a neutralization signal may interrupt *any*
+    /// non-quiescent code, and the siglongjmp must land in a live
+    /// sigsetjmp environment. Recovery simply restarts the read-only body
+    /// (for schemes without crash recovery this compiles to a plain loop).
+    std::optional<V> find(int tid, const K& key) {
+        std::optional<V> result;
+        mgr_.run_op(
+            tid,
+            [&](int t) {
+                mgr_.leave_qstate(t);
+                for (;;) {
+                    search_result s;
+                    if (!search(t, key, s)) {
+                        mgr_.stats().add(t, stat::op_restarts);
+                        continue;
+                    }
+                    result = is_key(s.l, key)
+                                 ? std::optional<V>(s.l->value)
+                                 : std::nullopt;
+                    break;
+                }
+                mgr_.clear_protections(t);
+                mgr_.enter_qstate(t);
+                return true;
+            },
+            [&](int t) {
+                mgr_.stats().add(t, stat::op_restarts);
+                return false;  // restart the read-only body
+            });
+        return result;
+    }
+
+    bool contains(int tid, const K& key) { return find(tid, key).has_value(); }
+
+    // ---- insert --------------------------------------------------------------
+
+    /// Inserts (key, value) if absent; returns false when the key is present.
+    bool insert(int tid, const K& key, const V& value) {
+        // -- quiescent preamble: allocation is non-reentrant (Figure 5) --
+        attempt_ctx ctx;
+        ctx.new_leaf = make_leaf(tid, key, value, 0);
+        ctx.new_sibling = mgr_.template new_record<node_t>(tid);
+        ctx.new_internal = mgr_.template new_record<node_t>(tid);
+        ctx.info = mgr_.template new_record<info_t>(tid);
+
+        for (;;) {
+            ctx.outcome = attempt::RETRY;
+            mgr_.run_op(
+                tid,
+                [&](int t) { return insert_body(t, key, value, ctx); },
+                [&](int t) { return insert_recovery(t, ctx); });
+
+            switch (ctx.outcome) {
+                case attempt::SUCCESS: {
+                    // -- quiescent postamble: retire what this op removed --
+                    mgr_.template retire<node_t>(
+                        tid, ctx.old_leaf.load(std::memory_order_relaxed));
+                    retire_info(
+                        tid, ctx.overwritten.load(std::memory_order_relaxed));
+                    return true;
+                }
+                case attempt::ALREADY_DONE:
+                    mgr_.template deallocate<node_t>(tid, ctx.new_leaf);
+                    mgr_.template deallocate<node_t>(tid, ctx.new_sibling);
+                    mgr_.template deallocate<node_t>(tid, ctx.new_internal);
+                    mgr_.template deallocate<info_t>(tid, ctx.info);
+                    return false;
+                case attempt::RETRY:
+                    // Flag CAS never took effect: every preallocated record
+                    // is still private and reusable.
+                    break;
+                case attempt::RETRY_FRESH_INFO:
+                    // The info record was published (it sits in a CLEAN
+                    // word); its storage is no longer ours.
+                    ctx.info = mgr_.template new_record<info_t>(tid);
+                    break;
+            }
+            mgr_.stats().add(tid, stat::op_restarts);
+        }
+    }
+
+    // ---- erase ---------------------------------------------------------------
+
+    /// Removes `key`; returns its value if it was present.
+    std::optional<V> erase(int tid, const K& key) {
+        attempt_ctx ctx;
+        ctx.info = mgr_.template new_record<info_t>(tid);
+
+        for (;;) {
+            ctx.outcome = attempt::RETRY;
+            mgr_.run_op(
+                tid,
+                [&](int t) { return erase_body(t, key, ctx); },
+                [&](int t) { return erase_recovery(t, ctx); });
+
+            switch (ctx.outcome) {
+                case attempt::SUCCESS: {
+                    node_t* leaf = ctx.old_leaf.load(std::memory_order_relaxed);
+                    const V removed_value = leaf->value;  // before retiring
+                    mgr_.template retire<node_t>(
+                        tid,
+                        ctx.removed_parent.load(std::memory_order_relaxed));
+                    mgr_.template retire<node_t>(tid, leaf);
+                    retire_info(tid, ctx.overwritten.load(
+                                         std::memory_order_relaxed));
+                    retire_info(tid, ctx.overwritten_mark.load(
+                                         std::memory_order_relaxed));
+                    return removed_value;
+                }
+                case attempt::ALREADY_DONE:
+                    mgr_.template deallocate<info_t>(tid, ctx.info);
+                    return std::nullopt;
+                case attempt::RETRY:
+                    break;
+                case attempt::RETRY_FRESH_INFO:
+                    // Aborted delete: our info is pinned in gp's CLEAN word.
+                    // The dflag still overwrote gp's previous info, which is
+                    // ours to retire.
+                    retire_info(tid, ctx.overwritten.load(
+                                         std::memory_order_relaxed));
+                    ctx.overwritten.store(nullptr, std::memory_order_relaxed);
+                    ctx.info = mgr_.template new_record<info_t>(tid);
+                    break;
+            }
+            mgr_.stats().add(tid, stat::op_restarts);
+        }
+    }
+
+    // ---- inspection (single-threaded; tests and examples) ---------------------
+
+    /// Number of real keys, by exhaustive traversal.
+    long long size_slow() const { return count_leaves(root_); }
+
+    /// Checks the BST ordering + leaf-orientation invariants.
+    bool validate_structure() const {
+        return validate_rec(root_, nullptr, false, nullptr, false);
+    }
+
+    node_t* root() noexcept { return root_; }
+
+  private:
+    // ---- attempt bookkeeping -------------------------------------------------
+
+    enum class attempt { SUCCESS, ALREADY_DONE, RETRY, RETRY_FRESH_INFO };
+
+    /// Everything one operation attempt shares between its body, its
+    /// recovery code, and its quiescent postamble. Lives in the owner's
+    /// stack frame; never visible to other threads.
+    ///
+    /// Fields the *body* writes and the *recovery code* (which runs after a
+    /// siglongjmp out of an arbitrary instruction) reads are lock-free
+    /// atomics: a neutralization signal can interrupt the body anywhere,
+    /// and plain stores pending in registers are rolled back by the
+    /// longjmp. Lock-free atomic stores are emitted at their program point
+    /// and are async-signal-visible on the same thread ([support.signal]),
+    /// so recovery always sees them in program order. Fields written only
+    /// in the quiescent preamble / outer loop (where no longjmp can occur)
+    /// stay plain.
+    struct attempt_ctx {
+        // preallocated records (insert); written outside run_op only
+        node_t* new_leaf = nullptr;
+        node_t* new_sibling = nullptr;
+        node_t* new_internal = nullptr;
+        info_t* info = nullptr;
+        // discovered by the body, consumed by recovery / postamble
+        std::atomic<node_t*> flag_target{nullptr};  // p (insert) / gp (delete)
+        std::atomic<node_t*> old_leaf{nullptr};  // leaf this op removes
+        std::atomic<node_t*> removed_parent{nullptr};
+        std::atomic<info_t*> overwritten{nullptr};   // displaced by flag CAS
+        std::atomic<info_t*> overwritten_mark{nullptr};  // displaced by mark
+        attempt outcome = attempt::RETRY;  // always rewritten by recovery
+
+        static_assert(std::atomic<node_t*>::is_always_lock_free,
+                      "neutralization recovery requires lock-free atomics");
+    };
+
+    // ---- key order -------------------------------------------------------------
+
+    /// true iff `key` routes left of `n` ((inf, key) lexicographic order).
+    static bool key_less(const K& key, const node_t* n) noexcept {
+        return n->inf != 0 || key < n->key;
+    }
+    static bool is_key(const node_t* leaf, const K& key) noexcept {
+        return leaf->inf == 0 && leaf->key == key;
+    }
+
+    // ---- node construction -------------------------------------------------------
+
+    node_t* make_leaf(int tid, const K& key, const V& value, int inf) {
+        node_t* n = mgr_.template new_record<node_t>(tid);
+        n->key = key;
+        n->value = value;
+        n->inf = inf;
+        n->update.store(sp::pack(nullptr, BST_CLEAN), std::memory_order_relaxed);
+        n->left.store(nullptr, std::memory_order_relaxed);
+        n->right.store(nullptr, std::memory_order_relaxed);
+        return n;
+    }
+
+    static void init_internal(node_t* n, const K& key, int inf, node_t* l,
+                              node_t* r) noexcept {
+        n->key = key;
+        n->value = V{};
+        n->inf = inf;
+        n->update.store(sp::pack(nullptr, BST_CLEAN), std::memory_order_relaxed);
+        n->left.store(l, std::memory_order_relaxed);
+        n->right.store(r, std::memory_order_release);
+    }
+
+    // ---- search -----------------------------------------------------------------
+
+    struct search_result {
+        node_t* gp = nullptr;
+        node_t* p = nullptr;
+        node_t* l = nullptr;
+        std::uintptr_t gpupdate = 0;
+        std::uintptr_t pupdate = 0;
+    };
+
+    /// EFRB search. Returns false when a hazard protection failed and the
+    /// caller must restart (epoch schemes always return true). On success,
+    /// gp/p/l are protected for per-access schemes.
+    bool search(int tid, const K& key, search_result& s) {
+        mgr_.clear_protections(tid);
+        s.gp = nullptr;
+        s.p = nullptr;
+        s.gpupdate = sp::pack(nullptr, BST_CLEAN);
+        s.pupdate = sp::pack(nullptr, BST_CLEAN);
+        node_t* l = root_;
+        // The root is never retired; protect unconditionally.
+        mgr_.protect(tid, l);
+        while (!l->is_leaf()) {
+            if (s.gp != nullptr) mgr_.unprotect(tid, s.gp);
+            s.gp = s.p;
+            s.p = l;
+            s.gpupdate = s.pupdate;
+            s.pupdate = s.p->update.load(std::memory_order_acquire);
+            std::atomic<node_t*>* link =
+                key_less(key, l) ? &l->left : &l->right;
+            node_t* child = link->load(std::memory_order_acquire);
+            // Hand-over-hand protection: child is safe iff the parent is
+            // still unmarked (hence unretired, hence in the tree) and still
+            // links to it. For epoch schemes this compiles to nothing.
+            node_t* parent = l;
+            if (!mgr_.protect(tid, child, [&] {
+                    const std::uintptr_t u =
+                        parent->update.load(std::memory_order_seq_cst);
+                    return sp::state(u) != BST_MARK &&
+                           link->load(std::memory_order_seq_cst) == child;
+                })) {
+                return false;  // suspect: restart the whole operation
+            }
+            l = child;
+        }
+        s.l = l;
+        return true;
+    }
+
+    // ---- helping (EFRB helpInsert / helpDelete / helpMarked) -----------------------
+
+    /// Swings whichever child pointer of `parent` equals `old` to `next`.
+    static void cas_child(node_t* parent, node_t* old, node_t* next) noexcept {
+        node_t* expected = old;
+        if (parent->left.load(std::memory_order_acquire) == old) {
+            parent->left.compare_exchange_strong(expected, next,
+                                                 std::memory_order_seq_cst);
+        } else if (parent->right.load(std::memory_order_acquire) == old) {
+            expected = old;
+            parent->right.compare_exchange_strong(expected, next,
+                                                  std::memory_order_seq_cst);
+        }
+    }
+
+    /// Completes a published insert. Idempotent and reentrant: any thread,
+    /// any number of times, including from neutralization recovery.
+    void help_insert(info_t* op) noexcept {
+        cas_child(op->p, op->l, op->new_internal);
+        op->state.store(BST_COMMITTED, std::memory_order_seq_cst);
+        std::uintptr_t expected = sp::pack(op, BST_IFLAG);
+        op->p->update.compare_exchange_strong(expected,
+                                              sp::pack(op, BST_CLEAN),
+                                              std::memory_order_seq_cst);
+    }
+
+    /// Completes a delete whose parent is already marked. Idempotent.
+    void help_marked(info_t* op) noexcept {
+        // p is frozen (marked), so its children cannot change under us.
+        node_t* l = op->l;
+        node_t* other =
+            op->p->right.load(std::memory_order_acquire) == l
+                ? op->p->left.load(std::memory_order_acquire)
+                : op->p->right.load(std::memory_order_acquire);
+        cas_child(op->gp, op->p, other);
+        op->state.store(BST_COMMITTED, std::memory_order_seq_cst);
+        std::uintptr_t expected = sp::pack(op, BST_DFLAG);
+        op->gp->update.compare_exchange_strong(expected,
+                                               sp::pack(op, BST_CLEAN),
+                                               std::memory_order_seq_cst);
+    }
+
+    /// Attempts to complete a published delete: marks the parent, then
+    /// finishes via help_marked; on mark failure, aborts and backtracks.
+    /// Returns true iff the delete committed.
+    bool help_delete(info_t* op) noexcept {
+        std::uintptr_t expected = op->pupdate;
+        op->p->update.compare_exchange_strong(expected, sp::pack(op, BST_MARK),
+                                              std::memory_order_seq_cst);
+        // `expected` now holds the current value on failure; a marked word
+        // is frozen forever, so this test is stable across helpers.
+        const std::uintptr_t cur =
+            op->p->update.load(std::memory_order_seq_cst);
+        if (cur == sp::pack(op, BST_MARK)) {
+            help_marked(op);
+            return true;
+        }
+        // Mark lost: no helper can ever mark (the expected value is gone).
+        op->state.store(BST_ABORTED, std::memory_order_seq_cst);
+        expected = sp::pack(op, BST_DFLAG);
+        op->gp->update.compare_exchange_strong(expected,
+                                               sp::pack(op, BST_CLEAN),
+                                               std::memory_order_seq_cst);
+        return false;
+    }
+
+    /// Helps whatever operation the update word `u` (read from node `n`)
+    /// describes. For hazard-pointer schemes, the info record and the
+    /// out-of-band nodes it references are protected first, anchored to the
+    /// still-flagged word; a frozen MARK word gives no such anchor, so HP
+    /// callers must treat MARK as "suspect and restart" (return false).
+    /// Epoch schemes always help and return true.
+    bool help(int tid, node_t* n, std::uintptr_t u) {
+        const unsigned st = sp::state(u);
+        info_t* op = sp::ptr(u);
+        if (st == BST_CLEAN || op == nullptr) return true;
+
+        if constexpr (RecordMgr::per_access_protection) {
+            if (st == BST_MARK) return false;  // frozen word: cannot anchor
+            // Anchor: while n->update still equals u, the operation is
+            // pending, so nothing it references has been retired by its
+            // owner yet.
+            auto anchored = [&] {
+                return n->update.load(std::memory_order_seq_cst) == u;
+            };
+            if (!mgr_.protect(tid, op, anchored)) return false;
+            bool ok = true;
+            if (st == BST_DFLAG) ok = mgr_.protect(tid, op->p, anchored);
+            if (ok) {
+                if (st == BST_IFLAG) {
+                    help_insert(op);
+                } else {
+                    help_delete(op);
+                }
+            }
+            if (st == BST_DFLAG) mgr_.unprotect(tid, op->p);
+            mgr_.unprotect(tid, op);
+            return ok;
+        } else {
+            (void)n;
+            switch (st) {
+                case BST_IFLAG: help_insert(op); break;
+                case BST_DFLAG: help_delete(op); break;
+                case BST_MARK: help_marked(op); break;
+                default: break;
+            }
+            return true;
+        }
+    }
+
+    // ---- insert body / recovery ---------------------------------------------------
+
+    /// One insert attempt (Figure 5 body). Returns true when the attempt
+    /// reached a decision (ctx.outcome says which); false never happens --
+    /// retries are decided by the outer loop.
+    bool insert_body(int tid, const K& key, const V& value, attempt_ctx& ctx) {
+        mgr_.leave_qstate(tid);
+        search_result s;
+        if (!search(tid, key, s)) {
+            ctx.outcome = attempt::RETRY;
+            finish_body(tid);
+            return true;
+        }
+        if (is_key(s.l, key)) {
+            ctx.outcome = attempt::ALREADY_DONE;
+            finish_body(tid);
+            return true;
+        }
+        if (sp::state(s.pupdate) != BST_CLEAN) {
+            help(tid, s.p, s.pupdate);
+            ctx.outcome = attempt::RETRY;
+            finish_body(tid);
+            return true;
+        }
+
+        // Build the replacement subtree: new_internal routes between the
+        // old leaf (copied into new_sibling) and the new leaf.
+        node_t* l = s.l;
+        ctx.new_sibling->key = l->key;
+        ctx.new_sibling->value = l->value;
+        ctx.new_sibling->inf = l->inf;
+        ctx.new_sibling->update.store(sp::pack(nullptr, BST_CLEAN),
+                                      std::memory_order_relaxed);
+        ctx.new_sibling->left.store(nullptr, std::memory_order_relaxed);
+        ctx.new_sibling->right.store(nullptr, std::memory_order_relaxed);
+        const bool new_goes_left =
+            l->inf != 0 || (l->inf == 0 && key < l->key);
+        if (new_goes_left) {
+            // new_internal carries the *larger* key (the old leaf's).
+            init_internal(ctx.new_internal, l->key, l->inf, ctx.new_leaf,
+                          ctx.new_sibling);
+        } else {
+            init_internal(ctx.new_internal, key, 0, ctx.new_sibling,
+                          ctx.new_leaf);
+        }
+
+        info_t* op = ctx.info;
+        op->state.store(BST_PENDING, std::memory_order_relaxed);
+        op->type = 0;
+        op->p = s.p;
+        op->l = l;
+        op->new_internal = ctx.new_internal;
+        op->gp = nullptr;
+        op->pupdate = 0;
+
+        ctx.flag_target.store(s.p, std::memory_order_relaxed);
+        ctx.old_leaf.store(l, std::memory_order_relaxed);
+        ctx.overwritten.store(sp::ptr(s.pupdate), std::memory_order_relaxed);
+
+        // Records the recovery help procedure may access or CAS-expect,
+        // then the descriptor last (paper Figure 5 ordering).
+        mgr_.rprotect(tid, s.p);
+        mgr_.rprotect(tid, l);
+        mgr_.rprotect(tid, ctx.new_internal);
+        mgr_.rprotect(tid, op);
+        // Pin our own descriptor for hazard schemes: once published it can
+        // be helped to completion, its CLEAN word overwritten, and the
+        // record retired+freed by another thread's postamble while we are
+        // still dereferencing it inside help_insert. Epoch schemes compile
+        // this away. Released by finish_body's clear_protections.
+        mgr_.protect(tid, op);
+
+        std::uintptr_t expected = s.pupdate;
+        if (s.p->update.compare_exchange_strong(expected,
+                                                sp::pack(op, BST_IFLAG),
+                                                std::memory_order_seq_cst)) {
+            help_insert(op);
+            ctx.outcome = attempt::SUCCESS;
+        } else {
+            // Our flag never took effect; help whoever beat us and retry
+            // with the same (still private) records.
+            help(tid, s.p, expected);
+            ctx.outcome = attempt::RETRY;
+        }
+        finish_body(tid);
+        return true;
+    }
+
+    /// Insert recovery (runs quiescent, after a neutralization longjmp).
+    /// Decides whether the interrupted attempt's flag CAS took effect, and
+    /// if so drives the operation to completion (paper Figure 5).
+    bool insert_recovery(int tid, attempt_ctx& ctx) {
+        info_t* op = ctx.info;
+        if (op != nullptr && mgr_.is_rprotected(tid, op)) {
+            // The descriptor was announced, so the flag CAS may have run.
+            const int st = op->state.load(std::memory_order_seq_cst);
+            node_t* target = ctx.flag_target.load(std::memory_order_relaxed);
+            const std::uintptr_t u =
+                target->update.load(std::memory_order_seq_cst);
+            if (st == BST_COMMITTED) {
+                ctx.outcome = attempt::SUCCESS;
+            } else if (sp::ptr(u) == op) {
+                help_insert(op);  // our flag is (or was) in place: finish it
+                ctx.outcome = attempt::SUCCESS;
+            } else {
+                // Flag CAS executed-and-failed or never executed: the
+                // descriptor was never visible to anyone else.
+                ctx.outcome = attempt::RETRY;
+            }
+        } else {
+            ctx.outcome = attempt::RETRY;
+        }
+        mgr_.runprotect_all(tid);
+        return true;
+    }
+
+    // ---- erase body / recovery ------------------------------------------------------
+
+    bool erase_body(int tid, const K& key, attempt_ctx& ctx) {
+        mgr_.leave_qstate(tid);
+        search_result s;
+        if (!search(tid, key, s)) {
+            ctx.outcome = attempt::RETRY;
+            finish_body(tid);
+            return true;
+        }
+        if (!is_key(s.l, key)) {
+            ctx.outcome = attempt::ALREADY_DONE;
+            finish_body(tid);
+            return true;
+        }
+        if (sp::state(s.gpupdate) != BST_CLEAN) {
+            help(tid, s.gp, s.gpupdate);
+            ctx.outcome = attempt::RETRY;
+            finish_body(tid);
+            return true;
+        }
+        if (sp::state(s.pupdate) != BST_CLEAN) {
+            help(tid, s.p, s.pupdate);
+            ctx.outcome = attempt::RETRY;
+            finish_body(tid);
+            return true;
+        }
+
+        info_t* op = ctx.info;
+        op->state.store(BST_PENDING, std::memory_order_relaxed);
+        op->type = 1;
+        op->gp = s.gp;
+        op->p = s.p;
+        op->l = s.l;
+        op->pupdate = s.pupdate;
+        op->new_internal = nullptr;
+
+        ctx.flag_target.store(s.gp, std::memory_order_relaxed);
+        ctx.old_leaf.store(s.l, std::memory_order_relaxed);
+        ctx.removed_parent.store(s.p, std::memory_order_relaxed);
+        ctx.overwritten.store(sp::ptr(s.gpupdate), std::memory_order_relaxed);
+        ctx.overwritten_mark.store(sp::ptr(s.pupdate),
+                                   std::memory_order_relaxed);
+
+        mgr_.rprotect(tid, s.gp);
+        mgr_.rprotect(tid, s.p);
+        mgr_.rprotect(tid, s.l);
+        mgr_.rprotect(tid, op);
+        mgr_.protect(tid, op);  // see insert_body: pin our descriptor (HP)
+
+        std::uintptr_t expected = s.gpupdate;
+        if (s.gp->update.compare_exchange_strong(expected,
+                                                 sp::pack(op, BST_DFLAG),
+                                                 std::memory_order_seq_cst)) {
+            ctx.outcome = help_delete(op) ? attempt::SUCCESS
+                                          : attempt::RETRY_FRESH_INFO;
+        } else {
+            help(tid, s.gp, expected);
+            ctx.outcome = attempt::RETRY;
+        }
+        finish_body(tid);
+        return true;
+    }
+
+    bool erase_recovery(int tid, attempt_ctx& ctx) {
+        info_t* op = ctx.info;
+        if (op != nullptr && mgr_.is_rprotected(tid, op)) {
+            const int st = op->state.load(std::memory_order_seq_cst);
+            if (st == BST_COMMITTED) {
+                ctx.outcome = attempt::SUCCESS;
+            } else if (st == BST_ABORTED) {
+                ctx.outcome = attempt::RETRY_FRESH_INFO;
+            } else {
+                node_t* target =
+                    ctx.flag_target.load(std::memory_order_relaxed);
+                const std::uintptr_t u =
+                    target->update.load(std::memory_order_seq_cst);
+                if (sp::ptr(u) == op) {
+                    // Our dflag landed; finish the delete either way.
+                    ctx.outcome = help_delete(op) ? attempt::SUCCESS
+                                                  : attempt::RETRY_FRESH_INFO;
+                } else {
+                    ctx.outcome = attempt::RETRY;
+                }
+            }
+        } else {
+            ctx.outcome = attempt::RETRY;
+        }
+        mgr_.runprotect_all(tid);
+        return true;
+    }
+
+    // ---- shared tails -----------------------------------------------------------------
+
+    /// End of a body: matches Figure 5's enterQstate(); RUnprotectAll().
+    void finish_body(int tid) {
+        mgr_.clear_protections(tid);
+        mgr_.enter_qstate(tid);
+        mgr_.runprotect_all(tid);
+    }
+
+    void retire_info(int tid, info_t* op) {
+        if (op != nullptr) mgr_.template retire<info_t>(tid, op);
+    }
+
+    // ---- single-threaded helpers ------------------------------------------------------
+
+    long long count_leaves(const node_t* n) const {
+        if (n == nullptr) return 0;
+        if (n->left.load(std::memory_order_relaxed) == nullptr)
+            return n->inf == 0 ? 1 : 0;
+        return count_leaves(n->left.load(std::memory_order_relaxed)) +
+               count_leaves(n->right.load(std::memory_order_relaxed));
+    }
+
+    bool validate_rec(const node_t* n, const K* lo, bool lo_set, const K* hi,
+                      bool hi_set) const {
+        if (n == nullptr) return false;
+        const node_t* l = n->left.load(std::memory_order_relaxed);
+        const node_t* r = n->right.load(std::memory_order_relaxed);
+        if ((l == nullptr) != (r == nullptr)) return false;  // leaf-oriented
+        if (n->inf == 0) {
+            if (lo_set && !(*lo <= n->key)) return false;
+            if (hi_set && !(n->key < *hi)) return false;
+        }
+        if (l == nullptr) return true;
+        // Children routed by (inf, key): left subtree strictly below n.
+        if (n->inf == 0) {
+            return validate_rec(l, lo, lo_set, &n->key, true) &&
+                   validate_rec(r, &n->key, true, hi, hi_set);
+        }
+        // Sentinel internals: no finite bound from this node.
+        return validate_rec(l, lo, lo_set, hi, hi_set) &&
+               validate_rec(r, nullptr, false, nullptr, false);
+    }
+
+    void free_subtree(node_t* n) {
+        if (n == nullptr) return;
+        free_subtree(n->left.load(std::memory_order_relaxed));
+        free_subtree(n->right.load(std::memory_order_relaxed));
+        // A completed operation leaves its info record referenced by the
+        // CLEAN word of exactly one live node until a later operation
+        // overwrites (and retires) it; reclaim the survivors here.
+        info_t* op = sp::ptr(n->update.load(std::memory_order_relaxed));
+        if (op != nullptr) mgr_.template deallocate<info_t>(0, op);
+        mgr_.template deallocate<node_t>(0, n);
+    }
+
+    RecordMgr& mgr_;
+    node_t* root_;
+};
+
+}  // namespace smr::ds

@@ -1,0 +1,248 @@
+// harris_list.h -- lock-free sorted linked-list set (Michael's variant of
+// the Harris list).
+//
+// This is the hazard-pointer-compatible list from Michael's HP paper
+// [Michael 2004]: traversals never step over a marked node -- they unlink it
+// (helping the deleter) or restart from the head. That property is exactly
+// what makes plain HPs sufficient here, in contrast to the BST in
+// ellen_bst.h where searches traverse pointers out of retired nodes and HPs
+// break (paper Section 3).
+//
+// Reclamation integration (paper Section 6 vocabulary):
+//   * leave_qstate / enter_qstate bracket every operation;
+//   * protect(node, validate) precedes every dereference -- for epoch
+//     schemes it compiles to `true`, for HPs it announces a hazard slot and
+//     validates that `*prev` still points to the unmarked node;
+//   * retire(node) after the successful unlink CAS.
+//
+// The operation mix is the classic three-pointer traversal (prev, cur,
+// next); at most three protections are live at once, well under the
+// reclaimer's hazard-slot budget.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "../util/debug_stats.h"
+#include "../util/tagged_ptr.h"
+
+namespace smr::ds {
+
+/// List node. `next` packs the successor pointer with the mark bit that
+/// logically deletes this node. Trivially destructible, as the record
+/// manager requires.
+template <class K, class V>
+struct list_node {
+    K key;
+    V value;
+    std::atomic<std::uintptr_t> next;
+};
+
+/// Sorted set/map from K to V with lock-free insert / erase / contains.
+///
+/// `RecordMgr` must manage `list_node<K, V>`. Thread ids passed to every
+/// operation must have been registered with the manager (init_thread).
+template <class K, class V, class RecordMgr>
+class harris_list {
+    // Operations here are not wrapped in run_op/sigsetjmp, so a neutralizing
+    // scheme (DEBRA+) would siglongjmp into an unset environment. Use the
+    // BST for DEBRA+; the list supports none/EBR/DEBRA/HP.
+    static_assert(!RecordMgr::supports_crash_recovery,
+                  "harris_list has no neutralization recovery code; "
+                  "use DEBRA, EBR, HP or none");
+
+  public:
+    using node_t = list_node<K, V>;
+    using mp = marked_ptr<node_t>;
+
+    /// `mgr` must outlive the list. The head sentinel is allocated from it.
+    explicit harris_list(RecordMgr& mgr) : mgr_(mgr) {
+        head_ = mgr_.template new_record<node_t>(0);
+        head_->key = K{};
+        head_->value = V{};
+        head_->next.store(mp::pack(nullptr, false), std::memory_order_relaxed);
+    }
+
+    harris_list(const harris_list&) = delete;
+    harris_list& operator=(const harris_list&) = delete;
+
+    /// Teardown is single-threaded: every node goes back to the pool.
+    ~harris_list() {
+        node_t* cur = mp::ptr(head_->next.load(std::memory_order_relaxed));
+        while (cur != nullptr) {
+            node_t* next = mp::ptr(cur->next.load(std::memory_order_relaxed));
+            mgr_.template deallocate<node_t>(0, cur);
+            cur = next;
+        }
+        mgr_.template deallocate<node_t>(0, head_);
+    }
+
+    /// Inserts (key, value); returns false if the key was already present.
+    bool insert(int tid, const K& key, const V& value) {
+        // Quiescent preamble: allocation is non-reentrant.
+        node_t* node = mgr_.template new_record<node_t>(tid);
+        node->key = key;
+        node->value = value;
+
+        mgr_.leave_qstate(tid);
+        bool inserted = false;
+        for (;;) {
+            window w;
+            if (!search(tid, key, w)) continue;  // protection failed; retry
+            if (w.cur != nullptr && w.cur->key == key) break;  // present
+            node->next.store(mp::pack(w.cur, false), std::memory_order_relaxed);
+            std::uintptr_t expected = mp::pack(w.cur, false);
+            if (w.prev_link(head_)->compare_exchange_strong(
+                    expected, mp::pack(node, false),
+                    std::memory_order_seq_cst)) {
+                inserted = true;
+                break;
+            }
+            // Lost a race; re-search from the head.
+        }
+        release_window(tid);
+        mgr_.enter_qstate(tid);
+        if (!inserted) mgr_.template deallocate<node_t>(tid, node);
+        return inserted;
+    }
+
+    /// Removes key; returns its value if it was present.
+    std::optional<V> erase(int tid, const K& key) {
+        mgr_.leave_qstate(tid);
+        std::optional<V> result;
+        node_t* victim = nullptr;
+        for (;;) {
+            window w;
+            if (!search(tid, key, w)) continue;
+            if (w.cur == nullptr || w.cur->key != key) break;  // absent
+            const std::uintptr_t succ = w.cur->next.load(std::memory_order_acquire);
+            if (mp::is_marked(succ)) continue;  // someone else is deleting it
+            // Logical delete: mark cur's next.
+            std::uintptr_t expected = succ;
+            if (!w.cur->next.compare_exchange_strong(
+                    expected, mp::pack(mp::ptr(succ), true),
+                    std::memory_order_seq_cst)) {
+                continue;
+            }
+            result = w.cur->value;
+            // Physical delete: unlink. On failure a helper already did it
+            // (and that helper retires the node -- see search()).
+            expected = mp::pack(w.cur, false);
+            if (w.prev_link(head_)->compare_exchange_strong(
+                    expected, mp::pack(mp::ptr(succ), false),
+                    std::memory_order_seq_cst)) {
+                victim = w.cur;
+            }
+            break;
+        }
+        release_window(tid);
+        mgr_.enter_qstate(tid);
+        // Quiescent postamble: retire the node we unlinked ourselves.
+        if (victim != nullptr) mgr_.template retire<node_t>(tid, victim);
+        return result;
+    }
+
+    /// Returns the value mapped to key, if present.
+    std::optional<V> find(int tid, const K& key) {
+        mgr_.leave_qstate(tid);
+        std::optional<V> result;
+        for (;;) {
+            window w;
+            if (!search(tid, key, w)) continue;
+            if (w.cur != nullptr && w.cur->key == key) result = w.cur->value;
+            break;
+        }
+        release_window(tid);
+        mgr_.enter_qstate(tid);
+        return result;
+    }
+
+    bool contains(int tid, const K& key) { return find(tid, key).has_value(); }
+
+    /// Single-threaded size scan (tests / examples only).
+    long long size_slow() const {
+        long long n = 0;
+        node_t* cur = mp::ptr(head_->next.load(std::memory_order_acquire));
+        while (cur != nullptr) {
+            if (!mp::is_marked(cur->next.load(std::memory_order_acquire))) ++n;
+            cur = mp::ptr(cur->next.load(std::memory_order_acquire));
+        }
+        return n;
+    }
+
+  private:
+    /// Search result: prev is the last node with key < `key` (or null for
+    /// the head sentinel), cur the first node with key >= `key` (or null).
+    struct window {
+        node_t* prev = nullptr;
+        node_t* cur = nullptr;
+
+        std::atomic<std::uintptr_t>* prev_link(node_t* head) const noexcept {
+            return prev != nullptr ? &prev->next : &head->next;
+        }
+    };
+
+    /// Michael-style find: physically unlinks marked nodes encountered on
+    /// the way; never traverses from a marked node. Returns false when a
+    /// hazard protection failed and the caller must retry (epoch schemes
+    /// never fail). On true, w.cur (if non-null) and w.prev are protected.
+    bool search(int tid, const K& key, window& w) {
+        release_window(tid);
+        retry:
+        w.prev = nullptr;
+        w.cur = nullptr;
+        std::atomic<std::uintptr_t>* prev_link = &head_->next;
+        std::uintptr_t cur_word = prev_link->load(std::memory_order_acquire);
+        for (;;) {
+            node_t* cur = mp::ptr(cur_word);
+            if (cur == nullptr) { w.cur = nullptr; return true; }
+            // Protect cur, validating that prev still links to it unmarked.
+            if (!mgr_.protect(tid, cur, [&] {
+                    return prev_link->load(std::memory_order_seq_cst) ==
+                           mp::pack(cur, false);
+                })) {
+                mgr_.stats().add(tid, stat::op_restarts);
+                release_window(tid);
+                goto retry;
+            }
+            const std::uintptr_t next_word =
+                cur->next.load(std::memory_order_acquire);
+            if (mp::is_marked(next_word)) {
+                // cur is logically deleted: help unlink it, then retire it
+                // on the deleter's behalf (exactly one thread wins this CAS).
+                std::uintptr_t expected = mp::pack(cur, false);
+                if (prev_link->compare_exchange_strong(
+                        expected, mp::pack(mp::ptr(next_word), false),
+                        std::memory_order_seq_cst)) {
+                    mgr_.template retire<node_t>(tid, cur);
+                } else {
+                    mgr_.unprotect(tid, cur);
+                    release_window(tid);
+                    goto retry;
+                }
+                mgr_.unprotect(tid, cur);
+                cur_word = prev_link->load(std::memory_order_acquire);
+                continue;
+            }
+            if (cur->key >= key) {
+                w.cur = cur;
+                return true;
+            }
+            // Advance: cur becomes prev; drop the old prev's protection.
+            if (w.prev != nullptr) mgr_.unprotect(tid, w.prev);
+            w.prev = cur;
+            prev_link = &cur->next;
+            cur_word = next_word;
+        }
+    }
+
+    /// Drops protections acquired by the last search. For epoch schemes the
+    /// whole call inlines away.
+    void release_window(int tid) { mgr_.clear_protections(tid); }
+
+    RecordMgr& mgr_;
+    node_t* head_;
+};
+
+}  // namespace smr::ds

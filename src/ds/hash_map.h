@@ -1,0 +1,81 @@
+// hash_map.h -- fixed-capacity lock-free hash map: an array of Harris/
+// Michael list buckets sharing one Record Manager (Michael's lock-free
+// hash table, the static variant).
+//
+// This is deliberately thin: all synchronization and reclamation live in
+// harris_list; the map adds hashing and bucket routing. It demonstrates
+// the Record Manager's composition story -- many structure instances, one
+// manager, one set of limbo bags and pools -- and gives the benchmark /
+// example code an unordered workload.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "../util/prng.h"
+#include "harris_list.h"
+
+namespace smr::ds {
+
+/// Lock-free unordered map from K to V. `RecordMgr` must manage
+/// `list_node<K, V>`. The bucket count is fixed at construction; size it
+/// for the expected load (the buckets are unsorted-by-hash sorted lists,
+/// so overload degrades to O(n/buckets) scans, never breaks).
+template <class K, class V, class RecordMgr>
+class hash_map {
+  public:
+    using bucket_t = harris_list<K, V, RecordMgr>;
+
+    hash_map(RecordMgr& mgr, std::size_t num_buckets)
+        : mgr_(mgr), mask_(round_up_pow2(num_buckets) - 1) {
+        buckets_.reserve(mask_ + 1);
+        for (std::size_t i = 0; i <= mask_; ++i) {
+            buckets_.push_back(std::make_unique<bucket_t>(mgr_));
+        }
+    }
+
+    hash_map(const hash_map&) = delete;
+    hash_map& operator=(const hash_map&) = delete;
+
+    bool insert(int tid, const K& key, const V& value) {
+        return bucket(key).insert(tid, key, value);
+    }
+    std::optional<V> erase(int tid, const K& key) {
+        return bucket(key).erase(tid, key);
+    }
+    std::optional<V> find(int tid, const K& key) {
+        return bucket(key).find(tid, key);
+    }
+    bool contains(int tid, const K& key) {
+        return bucket(key).contains(tid, key);
+    }
+
+    std::size_t bucket_count() const noexcept { return mask_ + 1; }
+
+    /// Single-threaded size scan (tests / examples only).
+    long long size_slow() const {
+        long long n = 0;
+        for (const auto& b : buckets_) n += b->size_slow();
+        return n;
+    }
+
+  private:
+    static std::size_t round_up_pow2(std::size_t n) {
+        std::size_t p = 1;
+        while (p < n) p <<= 1;
+        return p;
+    }
+
+    bucket_t& bucket(const K& key) {
+        const auto h = prng::splitmix64(static_cast<std::uint64_t>(
+            std::hash<K>{}(key)));
+        return *buckets_[static_cast<std::size_t>(h) & mask_];
+    }
+
+    RecordMgr& mgr_;
+    const std::size_t mask_;
+    std::vector<std::unique_ptr<bucket_t>> buckets_;
+};
+
+}  // namespace smr::ds

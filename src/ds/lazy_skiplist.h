@@ -1,0 +1,409 @@
+// lazy_skiplist.h -- optimistic lock-based skip list with lock-free
+// contains (Herlihy, Lev, Luchangco, Shavit).
+//
+// This is the second workload of the paper's evaluation: a *lock-based*
+// structure whose searches run without locks. As the paper notes in its
+// introduction, such structures have exactly the same reclamation problem
+// as lock-free ones -- a search can hold a pointer to a node that a locked
+// updater has just unlinked -- and the epoch schemes apply unchanged.
+// Because updaters hold locks, DEBRA+ cannot be used (neutralizing a lock
+// holder would deadlock the structure; paper Section 5), so this structure
+// accepts none / EBR / DEBRA / HP, matching the paper's skip-list rows.
+//
+// Algorithm summary:
+//   * add: optimistic findNode, then lock the predecessor at every level,
+//     validate (preds unmarked, still linked to succs), link bottom-up, set
+//     fully_linked;
+//   * remove: find the victim, lock it, set marked (logical delete), lock
+//     the predecessors, unlink every level, unlock, retire;
+//   * contains / find: lock-free traversal; present iff found at its level,
+//     fully linked, and not marked.
+//
+// Reclamation hooks follow the Record Manager vocabulary: operations are
+// bracketed by leave_qstate/enter_qstate, every traversal dereference is
+// guarded by protect() (free for epoch schemes), and retire() runs in the
+// quiescent postamble of the remover.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <new>
+#include <optional>
+#include <thread>
+
+#include "../util/debug_stats.h"
+#include "../util/padded.h"
+#include "../util/prng.h"
+
+namespace smr::ds {
+
+/// Tower height. 2^16 = 65,536 expected elements at p = 1/2 before the top
+/// level saturates; adequate for the paper's key range of 2*10^5.
+inline constexpr int SKIPLIST_MAX_LEVEL = 16;
+
+/// Test-and-test-and-set spin lock with yield (single-core friendly).
+class ttas_lock {
+  public:
+    void lock() noexcept {
+        for (;;) {
+            if (!locked_.exchange(true, std::memory_order_acquire)) return;
+            while (locked_.load(std::memory_order_relaxed)) {
+                std::this_thread::yield();
+            }
+        }
+    }
+    void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+    bool is_locked() const noexcept {
+        return locked_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> locked_{false};
+};
+
+template <class K, class V>
+struct skiplist_node {
+    K key;
+    V value;
+    int top_level;       // levels [0, top_level] are linked
+    int sentinel;        // 0 = real key, -1 = head (-inf), +1 = tail (+inf)
+    ttas_lock lock;
+    std::atomic<bool> marked;
+    std::atomic<bool> fully_linked;
+    std::atomic<skiplist_node*> next[SKIPLIST_MAX_LEVEL + 1];
+};
+
+template <class K, class V, class RecordMgr>
+class lazy_skiplist {
+    static_assert(!RecordMgr::supports_crash_recovery,
+                  "lazy_skiplist holds locks; a neutralization signal would "
+                  "longjmp out of a critical section. Use DEBRA, EBR, HP or "
+                  "none (paper Section 5).");
+
+  public:
+    using node_t = skiplist_node<K, V>;
+    static constexpr int MAX_LEVEL = SKIPLIST_MAX_LEVEL;
+
+    explicit lazy_skiplist(RecordMgr& mgr, std::uint64_t level_seed = 0x5eed)
+        : mgr_(mgr), level_seed_(level_seed) {
+        head_ = make_node(0, K{}, V{}, MAX_LEVEL, -1);
+        tail_ = make_node(0, K{}, V{}, MAX_LEVEL, +1);
+        for (int i = 0; i <= MAX_LEVEL; ++i)
+            head_->next[i].store(tail_, std::memory_order_relaxed);
+        head_->fully_linked.store(true, std::memory_order_relaxed);
+        tail_->fully_linked.store(true, std::memory_order_release);
+    }
+
+    lazy_skiplist(const lazy_skiplist&) = delete;
+    lazy_skiplist& operator=(const lazy_skiplist&) = delete;
+
+    ~lazy_skiplist() {
+        node_t* cur = head_;
+        while (cur != nullptr) {
+            node_t* next = cur->next[0].load(std::memory_order_relaxed);
+            mgr_.template deallocate<node_t>(0, cur);
+            cur = next;
+        }
+    }
+
+    /// Inserts (key, value); returns false if the key is already present.
+    bool insert(int tid, const K& key, const V& value) {
+        // Quiescent preamble: pick the tower height and allocate.
+        const int top = random_level(tid);
+        node_t* node = make_node(tid, key, value, top, 0);
+
+        mgr_.leave_qstate(tid);
+        bool inserted = false;
+        for (;;) {
+            window w;
+            if (!find_node(tid, key, w)) {
+                mgr_.stats().add(tid, stat::op_restarts);
+                continue;
+            }
+            if (w.found_level != -1) {
+                node_t* existing = w.succs[w.found_level];
+                if (!existing->marked.load(std::memory_order_acquire)) {
+                    // Wait for a concurrent inserter to finish linking, so
+                    // a successful "already present" answer is stable.
+                    while (!existing->fully_linked.load(
+                        std::memory_order_acquire)) {
+                        std::this_thread::yield();
+                    }
+                    break;  // present
+                }
+                continue;  // marked: deleter in progress; retry
+            }
+            // Lock preds bottom-up and validate the window.
+            int highest_locked = -1;
+            node_t* prev_pred = nullptr;
+            bool valid = true;
+            for (int lvl = 0; valid && lvl <= top; ++lvl) {
+                node_t* pred = w.preds[lvl];
+                if (pred != prev_pred) {
+                    pred->lock.lock();
+                    highest_locked = lvl;
+                    prev_pred = pred;
+                }
+                valid = !pred->marked.load(std::memory_order_acquire) &&
+                        !w.succs[lvl]->marked.load(std::memory_order_acquire) &&
+                        pred->next[lvl].load(std::memory_order_acquire) ==
+                            w.succs[lvl];
+            }
+            if (!valid) {
+                unlock_preds(w, highest_locked);
+                mgr_.stats().add(tid, stat::op_restarts);
+                continue;
+            }
+            for (int lvl = 0; lvl <= top; ++lvl)
+                node->next[lvl].store(w.succs[lvl], std::memory_order_relaxed);
+            for (int lvl = 0; lvl <= top; ++lvl)
+                w.preds[lvl]->next[lvl].store(node, std::memory_order_release);
+            node->fully_linked.store(true, std::memory_order_release);
+            unlock_preds(w, highest_locked);
+            inserted = true;
+            break;
+        }
+        mgr_.clear_protections(tid);
+        mgr_.enter_qstate(tid);
+        if (!inserted) mgr_.template deallocate<node_t>(tid, node);
+        return inserted;
+    }
+
+    /// Removes key; returns its value if it was present.
+    std::optional<V> erase(int tid, const K& key) {
+        mgr_.leave_qstate(tid);
+        std::optional<V> result;
+        node_t* victim = nullptr;
+        bool is_marked = false;  // we already logically deleted the victim
+        int top = -1;
+        for (;;) {
+            window w;
+            if (!find_node(tid, key, w)) {
+                mgr_.stats().add(tid, stat::op_restarts);
+                continue;
+            }
+            if (!is_marked) {
+                if (w.found_level == -1) break;  // absent
+                victim = w.succs[w.found_level];
+                if (victim->top_level != w.found_level ||
+                    !victim->fully_linked.load(std::memory_order_acquire) ||
+                    victim->marked.load(std::memory_order_acquire)) {
+                    break;  // not a stable member (mid insert/delete)
+                }
+                top = victim->top_level;
+                victim->lock.lock();
+                if (victim->marked.load(std::memory_order_acquire)) {
+                    victim->lock.unlock();
+                    break;  // lost the race to another deleter
+                }
+                victim->marked.store(true, std::memory_order_release);
+                is_marked = true;
+            }
+            // Lock preds and validate; victim stays locked throughout.
+            int highest_locked = -1;
+            node_t* prev_pred = nullptr;
+            bool valid = true;
+            for (int lvl = 0; valid && lvl <= top; ++lvl) {
+                node_t* pred = w.preds[lvl];
+                if (pred != prev_pred) {
+                    pred->lock.lock();
+                    highest_locked = lvl;
+                    prev_pred = pred;
+                }
+                valid = !pred->marked.load(std::memory_order_acquire) &&
+                        pred->next[lvl].load(std::memory_order_acquire) ==
+                            victim;
+            }
+            if (!valid) {
+                unlock_preds(w, highest_locked);
+                mgr_.stats().add(tid, stat::op_restarts);
+                continue;  // re-find; we still hold the victim's mark
+            }
+            for (int lvl = top; lvl >= 0; --lvl) {
+                w.preds[lvl]->next[lvl].store(
+                    victim->next[lvl].load(std::memory_order_acquire),
+                    std::memory_order_release);
+            }
+            result = victim->value;
+            victim->lock.unlock();
+            unlock_preds(w, highest_locked);
+            break;
+        }
+        mgr_.clear_protections(tid);
+        mgr_.enter_qstate(tid);
+        // Quiescent postamble.
+        if (result.has_value()) mgr_.template retire<node_t>(tid, victim);
+        return result;
+    }
+
+    /// Lock-free membership query.
+    bool contains(int tid, const K& key) {
+        return find(tid, key).has_value();
+    }
+
+    /// Lock-free lookup; returns the value if the key is a stable member.
+    std::optional<V> find(int tid, const K& key) {
+        mgr_.leave_qstate(tid);
+        std::optional<V> result;
+        for (;;) {
+            window w;
+            if (!find_node(tid, key, w)) {
+                mgr_.stats().add(tid, stat::op_restarts);
+                continue;
+            }
+            if (w.found_level != -1) {
+                node_t* n = w.succs[w.found_level];
+                if (n->fully_linked.load(std::memory_order_acquire) &&
+                    !n->marked.load(std::memory_order_acquire)) {
+                    result = n->value;
+                }
+            }
+            break;
+        }
+        mgr_.clear_protections(tid);
+        mgr_.enter_qstate(tid);
+        return result;
+    }
+
+    /// Single-threaded size scan (tests / examples only).
+    long long size_slow() const {
+        long long n = 0;
+        node_t* cur = head_->next[0].load(std::memory_order_acquire);
+        while (cur != tail_) {
+            if (cur->fully_linked.load(std::memory_order_acquire) &&
+                !cur->marked.load(std::memory_order_acquire)) {
+                ++n;
+            }
+            cur = cur->next[0].load(std::memory_order_acquire);
+        }
+        return n;
+    }
+
+    /// Checks per-level ordering and that towers are sub-chains of level 0.
+    bool validate_structure() const {
+        for (int lvl = 0; lvl <= MAX_LEVEL; ++lvl) {
+            const node_t* cur = head_->next[lvl].load(std::memory_order_acquire);
+            const node_t* prev = nullptr;
+            while (cur != tail_) {
+                if (cur->sentinel != 0) return false;
+                if (prev != nullptr && !(prev->key < cur->key)) return false;
+                if (cur->top_level < lvl) return false;
+                prev = cur;
+                cur = cur->next[lvl].load(std::memory_order_acquire);
+            }
+            if (cur == nullptr) return false;
+        }
+        return true;
+    }
+
+  private:
+    struct window {
+        node_t* preds[MAX_LEVEL + 1];
+        node_t* succs[MAX_LEVEL + 1];
+        int found_level = -1;
+    };
+
+    /// true iff n orders strictly before `key` ((sentinel, key) order).
+    static bool node_less(const node_t* n, const K& key) noexcept {
+        if (n->sentinel != 0) return n->sentinel < 0;
+        return n->key < key;
+    }
+    static bool node_equal(const node_t* n, const K& key) noexcept {
+        return n->sentinel == 0 && n->key == key;
+    }
+
+    /// HLLS findNode with per-dereference protection. Returns false when a
+    /// hazard protection failed (epoch schemes never fail); on success all
+    /// preds/succs are protected until the next find_node/clear.
+    bool find_node(int tid, const K& key, window& w) {
+        mgr_.clear_protections(tid);
+        w.found_level = -1;
+        node_t* pred = head_;
+        mgr_.protect(tid, pred);  // head is never retired
+        for (int lvl = MAX_LEVEL; lvl >= 0; --lvl) {
+            node_t* cur = pred->next[lvl].load(std::memory_order_acquire);
+            for (;;) {
+                // Hand-over-hand: cur is safe while the unmarked pred still
+                // links to it at this level. Compiles away for epoch schemes.
+                node_t* anchor = pred;
+                std::atomic<node_t*>* link = &pred->next[lvl];
+                if (!mgr_.protect(tid, cur, [&] {
+                        return !anchor->marked.load(std::memory_order_seq_cst) &&
+                               link->load(std::memory_order_seq_cst) == cur;
+                    })) {
+                    return false;
+                }
+                if (!node_less(cur, key)) break;
+                // pred advances; drop one protection of the node we leave
+                // behind unless a lower level still records it.
+                if (pred != head_ && !recorded_above(w, lvl, pred))
+                    mgr_.unprotect(tid, pred);
+                pred = cur;
+                cur = pred->next[lvl].load(std::memory_order_acquire);
+            }
+            if (w.found_level == -1 && node_equal(cur, key))
+                w.found_level = lvl;
+            w.preds[lvl] = pred;
+            w.succs[lvl] = cur;
+        }
+        return true;
+    }
+
+    /// Whether `n` is already recorded as a pred/succ at a level above
+    /// `lvl` (those protections must be kept). Levels run top-down, so only
+    /// already-filled slots (> lvl) are consulted.
+    static bool recorded_above(const window& w, int lvl, const node_t* n)
+        noexcept {
+        for (int i = lvl + 1; i <= MAX_LEVEL; ++i)
+            if (w.preds[i] == n || w.succs[i] == n) return true;
+        return false;
+    }
+
+    void unlock_preds(window& w, int highest_locked) noexcept {
+        node_t* prev = nullptr;
+        for (int lvl = 0; lvl <= highest_locked; ++lvl) {
+            if (w.preds[lvl] != prev) w.preds[lvl]->lock.unlock();
+            prev = w.preds[lvl];
+        }
+    }
+
+    node_t* make_node(int tid, const K& key, const V& value, int top,
+                      int sentinel) {
+        node_t* n = mgr_.template new_record<node_t>(tid);
+        n->key = key;
+        n->value = value;
+        n->top_level = top;
+        n->sentinel = sentinel;
+        n->marked.store(false, std::memory_order_relaxed);
+        n->fully_linked.store(false, std::memory_order_relaxed);
+        for (int i = 0; i <= MAX_LEVEL; ++i)
+            n->next[i].store(nullptr, std::memory_order_relaxed);
+        return n;
+    }
+
+    /// Geometric(1/2) tower height from a per-thread stream.
+    int random_level(int tid) noexcept {
+        // splitmix a per-thread counter: stateless, reentrant, and distinct
+        // across threads without shared state.
+        const std::uint64_t x = prng::splitmix64(
+            level_seed_ ^ (static_cast<std::uint64_t>(tid) << 32 |
+                           ++level_counter_[tid].value));
+        int lvl = 0;
+        std::uint64_t bits = x;
+        while ((bits & 1) && lvl < MAX_LEVEL) {
+            ++lvl;
+            bits >>= 1;
+        }
+        return lvl;
+    }
+
+    RecordMgr& mgr_;
+    const std::uint64_t level_seed_;
+    node_t* head_;
+    node_t* tail_;
+    std::array<padded<std::uint64_t>, MAX_THREADS> level_counter_{};
+};
+
+}  // namespace smr::ds

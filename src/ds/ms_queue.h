@@ -1,0 +1,177 @@
+// ms_queue.h -- lock-free FIFO queue (Michael & Scott) with safe memory
+// reclamation through the Record Manager.
+//
+// The MS queue is the original motivating structure of Michael's hazard-
+// pointer paper: dequeue reads head->next and head->value after fetching
+// head, so the head node must not be reclaimed in between. Hazard
+// pointers work here because the queue never traverses a pointer out of a
+// retired node without validation; epoch schemes work trivially.
+//
+// Reclamation notes:
+//   * the dummy/sentinel discipline means the node retired by a dequeue
+//     is the *old head* (whose value slot belonged to the dequeued item
+//     moved into next's value) -- standard MS;
+//   * under HP, the value is read from `next` while `head` is protected
+//     and `Q->head == head` has been re-validated, which pins `next` as
+//     well (it cannot be retired before its predecessor is dequeued).
+#pragma once
+
+#include <atomic>
+#include <optional>
+
+#include "../util/debug_stats.h"
+#include "../util/padded.h"
+
+namespace smr::ds {
+
+template <class T>
+struct queue_node {
+    T value;
+    std::atomic<queue_node*> next;
+};
+
+/// Lock-free FIFO queue of T. `RecordMgr` must manage `queue_node<T>`.
+template <class T, class RecordMgr>
+class ms_queue {
+    static_assert(!RecordMgr::supports_crash_recovery,
+                  "ms_queue has no neutralization recovery code; "
+                  "use DEBRA, EBR, HP or none");
+
+  public:
+    using node_t = queue_node<T>;
+
+    explicit ms_queue(RecordMgr& mgr) : mgr_(mgr) {
+        node_t* dummy = mgr_.template new_record<node_t>(0);
+        dummy->next.store(nullptr, std::memory_order_relaxed);
+        head_.store(dummy, std::memory_order_relaxed);
+        tail_.store(dummy, std::memory_order_release);
+    }
+
+    ms_queue(const ms_queue&) = delete;
+    ms_queue& operator=(const ms_queue&) = delete;
+
+    ~ms_queue() {
+        node_t* n = head_.load(std::memory_order_relaxed);
+        while (n != nullptr) {
+            node_t* next = n->next.load(std::memory_order_relaxed);
+            mgr_.template deallocate<node_t>(0, n);
+            n = next;
+        }
+    }
+
+    /// Appends a value. Lock-free.
+    void enqueue(int tid, const T& value) {
+        node_t* n = mgr_.template new_record<node_t>(tid);  // preamble
+        n->value = value;
+        n->next.store(nullptr, std::memory_order_relaxed);
+        mgr_.leave_qstate(tid);
+        for (;;) {
+            node_t* tail = tail_.load(std::memory_order_acquire);
+            if (!mgr_.protect(tid, tail, [&] {
+                    return tail_.load(std::memory_order_seq_cst) == tail;
+                })) {
+                mgr_.stats().add(tid, stat::op_restarts);
+                continue;
+            }
+            node_t* next = tail->next.load(std::memory_order_acquire);
+            if (next != nullptr) {
+                // Tail is lagging: help swing it, then retry.
+                node_t* expected = tail;
+                tail_.compare_exchange_strong(expected, next,
+                                              std::memory_order_seq_cst);
+                mgr_.unprotect(tid, tail);
+                continue;
+            }
+            node_t* expected_next = nullptr;
+            if (tail->next.compare_exchange_strong(
+                    expected_next, n, std::memory_order_seq_cst)) {
+                node_t* expected = tail;
+                tail_.compare_exchange_strong(expected, n,
+                                              std::memory_order_seq_cst);
+                mgr_.unprotect(tid, tail);
+                break;
+            }
+            mgr_.unprotect(tid, tail);
+        }
+        mgr_.enter_qstate(tid);
+    }
+
+    /// Removes the oldest value, or nullopt when (momentarily) empty.
+    std::optional<T> dequeue(int tid) {
+        mgr_.leave_qstate(tid);
+        std::optional<T> result;
+        node_t* victim = nullptr;
+        for (;;) {
+            node_t* head = head_.load(std::memory_order_acquire);
+            if (!mgr_.protect(tid, head, [&] {
+                    return head_.load(std::memory_order_seq_cst) == head;
+                })) {
+                mgr_.stats().add(tid, stat::op_restarts);
+                continue;
+            }
+            node_t* tail = tail_.load(std::memory_order_acquire);
+            node_t* next = head->next.load(std::memory_order_acquire);
+            if (next == nullptr) {
+                mgr_.unprotect(tid, head);
+                break;  // empty
+            }
+            // Protect next: safe while head is still the head (next cannot
+            // be retired before head is dequeued).
+            if (!mgr_.protect(tid, next, [&] {
+                    return head_.load(std::memory_order_seq_cst) == head;
+                })) {
+                mgr_.unprotect(tid, head);
+                mgr_.stats().add(tid, stat::op_restarts);
+                continue;
+            }
+            if (head == tail) {
+                // Tail lagging behind a non-empty queue: help it.
+                node_t* expected = tail;
+                tail_.compare_exchange_strong(expected, next,
+                                              std::memory_order_seq_cst);
+                mgr_.unprotect(tid, head);
+                mgr_.unprotect(tid, next);
+                continue;
+            }
+            const T value = next->value;  // read before the head swings
+            node_t* expected = head;
+            if (head_.compare_exchange_strong(expected, next,
+                                              std::memory_order_seq_cst)) {
+                result = value;
+                victim = head;  // old dummy retires; next is the new dummy
+                mgr_.unprotect(tid, head);
+                mgr_.unprotect(tid, next);
+                break;
+            }
+            mgr_.unprotect(tid, head);
+            mgr_.unprotect(tid, next);
+        }
+        mgr_.enter_qstate(tid);
+        if (victim != nullptr) mgr_.template retire<node_t>(tid, victim);
+        return result;
+    }
+
+    bool empty() const noexcept {
+        return head_.load(std::memory_order_acquire)
+                   ->next.load(std::memory_order_acquire) == nullptr;
+    }
+
+    /// Single-threaded size scan (tests / examples only).
+    long long size_slow() const {
+        long long n = 0;
+        node_t* cur = head_.load(std::memory_order_acquire)
+                          ->next.load(std::memory_order_acquire);
+        while (cur != nullptr) {
+            ++n;
+            cur = cur->next.load(std::memory_order_acquire);
+        }
+        return n;
+    }
+
+  private:
+    RecordMgr& mgr_;
+    alignas(PREFETCH_LINE) std::atomic<node_t*> head_;
+    alignas(PREFETCH_LINE) std::atomic<node_t*> tail_;
+};
+
+}  // namespace smr::ds

@@ -1,0 +1,126 @@
+// treiber_stack.h -- lock-free LIFO stack (Treiber) with safe memory
+// reclamation through the Record Manager.
+//
+// The stack is the canonical "why SMR matters" example: pop reads
+// top->next after fetching top, so a node freed between the two reads is
+// a use-after-free, and the classic CAS-on-top is ABA-prone the moment
+// nodes are recycled. With the Record Manager both problems disappear for
+// the price of the scheme's usual hooks:
+//
+//   * epoch schemes (EBR/DEBRA/..): the whole pop runs between
+//     leave_qstate/enter_qstate; top cannot be reclaimed while we hold it,
+//     and the grace period also rules out the ABA (a node can only be
+//     recycled after every thread that saw it on top has quiesced);
+//   * hazard pointers: protect(top, validate top unchanged) before the
+//     dereference, exactly Michael's treatment of this structure.
+//
+// Pops traverse no retired->retired pointers, so every scheme (except
+// neutralizing DEBRA+, which needs run_op-style recovery code) applies.
+#pragma once
+
+#include <atomic>
+#include <optional>
+
+#include "../util/debug_stats.h"
+#include "../util/padded.h"
+
+namespace smr::ds {
+
+template <class T>
+struct stack_node {
+    T value;
+    stack_node* next;
+};
+
+/// Lock-free stack of T. `RecordMgr` must manage `stack_node<T>`.
+template <class T, class RecordMgr>
+class treiber_stack {
+    static_assert(!RecordMgr::supports_crash_recovery,
+                  "treiber_stack has no neutralization recovery code; "
+                  "use DEBRA, EBR, HP or none");
+
+  public:
+    using node_t = stack_node<T>;
+
+    explicit treiber_stack(RecordMgr& mgr) : mgr_(mgr) {
+        top_.store(nullptr, std::memory_order_relaxed);
+    }
+
+    treiber_stack(const treiber_stack&) = delete;
+    treiber_stack& operator=(const treiber_stack&) = delete;
+
+    ~treiber_stack() {
+        node_t* n = top_.load(std::memory_order_relaxed);
+        while (n != nullptr) {
+            node_t* next = n->next;
+            mgr_.template deallocate<node_t>(0, n);
+            n = next;
+        }
+    }
+
+    /// Pushes a value. Lock-free; never fails.
+    void push(int tid, const T& value) {
+        node_t* n = mgr_.template new_record<node_t>(tid);  // preamble
+        n->value = value;
+        mgr_.leave_qstate(tid);
+        node_t* expected = top_.load(std::memory_order_acquire);
+        do {
+            n->next = expected;
+        } while (!top_.compare_exchange_weak(expected, n,
+                                             std::memory_order_seq_cst,
+                                             std::memory_order_acquire));
+        mgr_.enter_qstate(tid);
+    }
+
+    /// Pops the most recent value, or nullopt when (momentarily) empty.
+    std::optional<T> pop(int tid) {
+        mgr_.leave_qstate(tid);
+        std::optional<T> result;
+        node_t* victim = nullptr;
+        for (;;) {
+            node_t* top = top_.load(std::memory_order_acquire);
+            if (top == nullptr) break;
+            // For HPs: announce top and verify it is still the top -- top
+            // is in the structure iff the head still points at it.
+            if (!mgr_.protect(tid, top, [&] {
+                    return top_.load(std::memory_order_seq_cst) == top;
+                })) {
+                mgr_.stats().add(tid, stat::op_restarts);
+                continue;
+            }
+            node_t* next = top->next;
+            node_t* expected = top;
+            if (top_.compare_exchange_strong(expected, next,
+                                             std::memory_order_seq_cst)) {
+                result = top->value;
+                victim = top;
+                mgr_.unprotect(tid, top);
+                break;
+            }
+            mgr_.unprotect(tid, top);
+        }
+        mgr_.enter_qstate(tid);
+        if (victim != nullptr) mgr_.template retire<node_t>(tid, victim);
+        return result;
+    }
+
+    bool empty() const noexcept {
+        return top_.load(std::memory_order_acquire) == nullptr;
+    }
+
+    /// Single-threaded size scan (tests / examples only).
+    long long size_slow() const {
+        long long n = 0;
+        for (node_t* cur = top_.load(std::memory_order_acquire);
+             cur != nullptr; cur = cur->next) {
+            ++n;
+        }
+        return n;
+    }
+
+  private:
+    RecordMgr& mgr_;
+    alignas(PREFETCH_LINE) std::atomic<node_t*> top_;
+};
+
+}  // namespace smr::ds

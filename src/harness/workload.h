@@ -1,0 +1,233 @@
+// workload.h -- the paper's experimental harness (Section 7).
+//
+// Every experiment in the paper follows the same shape: prefill a set data
+// structure to half its key range, then have T threads perform a random
+// operation mix (x% insert / y% delete / rest search) on uniform keys for a
+// fixed wall-clock interval, and report throughput plus memory metrics.
+// This header implements that harness once, for any data structure exposing
+//     bool insert(tid, key, value) / optional<V> erase(tid, key) /
+//     bool contains(tid, key)
+// and any record_manager instantiation.
+//
+// Correctness guard: each thread tracks the net number of keys it added
+// (successful inserts minus successful erases); after the trial the data
+// structure's size must equal the prefill size plus the summed deltas. A
+// reclamation bug that frees a reachable node reliably breaks this (or
+// crashes), so every benchmark run doubles as a large randomized test.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../util/barrier.h"
+#include "../util/debug_stats.h"
+#include "../util/prng.h"
+#include "../util/timing.h"
+
+namespace smr::harness {
+
+struct workload_config {
+    int num_threads = 2;
+    long long key_range = 10000;
+    int insert_pct = 50;
+    int delete_pct = 50;
+    int trial_ms = 200;
+    std::uint64_t seed = 1;
+    bool prefill = true;
+    /// When >= 0, thread `stall_tid` does not run the operation mix;
+    /// instead it repeatedly leaves a quiescent state and sleeps for
+    /// `stall_ms`, blocking the epoch exactly like the paper's preempted
+    /// processes (Figure 9 discussion). Requires the data structure's
+    /// manager; neutralizable schemes recover via run_op.
+    int stall_tid = -1;
+    int stall_ms = 10;
+};
+
+struct trial_result {
+    double seconds = 0;
+    long long total_ops = 0;
+    long long finds = 0;
+    long long inserts_attempted = 0;
+    long long deletes_attempted = 0;
+    long long inserts_succeeded = 0;
+    long long deletes_succeeded = 0;
+    long long prefill_size = 0;
+    long long final_size = 0;
+    long long expected_final_size = 0;
+
+    // Reclamation metrics harvested from debug_stats after the trial.
+    std::uint64_t records_retired = 0;
+    std::uint64_t records_pooled = 0;
+    std::uint64_t records_allocated = 0;
+    std::uint64_t records_reused = 0;
+    std::uint64_t epochs_advanced = 0;
+    std::uint64_t neutralize_sent = 0;
+    std::uint64_t neutralize_received = 0;
+    std::uint64_t hp_scans = 0;
+    std::uint64_t op_restarts = 0;
+    long long limbo_records = 0;     // still waiting to be freed at the end
+    long long allocated_bytes = -1;  // bump allocators only (Figure 9 right)
+
+    double mops_per_sec() const {
+        return seconds > 0 ? total_ops / seconds / 1e6 : 0.0;
+    }
+    bool size_invariant_holds() const {
+        return final_size == expected_final_size;
+    }
+};
+
+/// Environment-variable knobs so the same binaries serve both quick CI runs
+/// and paper-length experiments (see DESIGN.md Substitutions).
+inline int env_int(const char* name, int fallback) {
+    const char* v = std::getenv(name);
+    return v != nullptr ? std::atoi(v) : fallback;
+}
+
+/// Fills `ds` with uniformly random keys until it holds `target` keys.
+/// Runs on the calling thread with tid 0; the manager must already have
+/// init_thread(0) applied.
+template <class DS>
+long long prefill_to(DS& ds, long long key_range, long long target,
+                     std::uint64_t seed) {
+    prng rng(seed ^ 0xabcdef12345ULL);
+    long long size = 0;
+    while (size < target) {
+        const long long key = static_cast<long long>(
+            rng.next(static_cast<std::uint64_t>(key_range)));
+        if (ds.insert(0, key, key)) ++size;
+    }
+    return size;
+}
+
+/// Runs one timed trial of the paper's workload on `ds`, whose records are
+/// managed by `mgr`. Returns throughput and reclamation metrics.
+template <class DS, class Mgr>
+trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
+    trial_result res;
+    mgr.stats().clear();
+
+    mgr.init_thread(0);
+    if (cfg.prefill) {
+        res.prefill_size =
+            prefill_to(ds, cfg.key_range, cfg.key_range / 2, cfg.seed);
+    } else {
+        // Baseline for the size invariant when the structure is reused
+        // across trials (or deliberately started non-empty).
+        res.prefill_size = ds.size_slow();
+    }
+
+    std::atomic<bool> start{false};
+    std::atomic<bool> stop{false};
+    spin_barrier ready(static_cast<std::uint32_t>(cfg.num_threads) + 1);
+    spin_barrier done(static_cast<std::uint32_t>(cfg.num_threads) + 1);
+
+    struct per_thread {
+        long long ops = 0;
+        long long finds = 0;
+        long long ins_att = 0, ins_ok = 0;
+        long long del_att = 0, del_ok = 0;
+        long long net_keys = 0;
+    };
+    std::vector<per_thread> stats(static_cast<std::size_t>(cfg.num_threads));
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(cfg.num_threads));
+    for (int t = 0; t < cfg.num_threads; ++t) {
+        threads.emplace_back([&, t] {
+            mgr.init_thread(t);
+            prng rng(cfg.seed * 1000003ULL + static_cast<std::uint64_t>(t));
+            per_thread& mine = stats[static_cast<std::size_t>(t)];
+            ready.arrive_and_wait();
+            while (!start.load(std::memory_order_acquire)) {
+                std::this_thread::yield();
+            }
+            if (t == cfg.stall_tid) {
+                // Epoch-blocking straggler (see workload_config::stall_tid).
+                while (!stop.load(std::memory_order_acquire)) {
+                    mgr.run_op(
+                        t,
+                        [&](int tt) {
+                            mgr.leave_qstate(tt);
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(cfg.stall_ms));
+                            mgr.enter_qstate(tt);
+                            return true;
+                        },
+                        [&](int) { return true; });
+                    ++mine.ops;
+                }
+            } else {
+                while (!stop.load(std::memory_order_acquire)) {
+                    const long long key = static_cast<long long>(rng.next(
+                        static_cast<std::uint64_t>(cfg.key_range)));
+                    const std::uint64_t dice = rng.next(100);
+                    if (dice < static_cast<std::uint64_t>(cfg.insert_pct)) {
+                        ++mine.ins_att;
+                        if (ds.insert(t, key, key)) {
+                            ++mine.ins_ok;
+                            ++mine.net_keys;
+                        }
+                    } else if (dice < static_cast<std::uint64_t>(
+                                          cfg.insert_pct + cfg.delete_pct)) {
+                        ++mine.del_att;
+                        if (ds.erase(t, key).has_value()) {
+                            ++mine.del_ok;
+                            --mine.net_keys;
+                        }
+                    } else {
+                        ++mine.finds;
+                        (void)ds.contains(t, key);
+                    }
+                    ++mine.ops;
+                }
+            }
+            done.arrive_and_wait();
+            // Threads may still be signaled by laggard scanners until every
+            // worker has passed the barrier above; only then deregister.
+            mgr.deinit_thread(t);
+        });
+    }
+
+    ready.arrive_and_wait();
+    stopwatch timer;
+    start.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(cfg.trial_ms));
+    stop.store(true, std::memory_order_release);
+    done.arrive_and_wait();
+    res.seconds = timer.elapsed_seconds();
+    for (auto& th : threads) th.join();
+
+    long long net = 0;
+    for (const auto& s : stats) {
+        res.total_ops += s.ops;
+        res.finds += s.finds;
+        res.inserts_attempted += s.ins_att;
+        res.inserts_succeeded += s.ins_ok;
+        res.deletes_attempted += s.del_att;
+        res.deletes_succeeded += s.del_ok;
+        net += s.net_keys;
+    }
+    res.expected_final_size = res.prefill_size + net;
+    res.final_size = ds.size_slow();
+
+    const debug_stats& d = mgr.stats();
+    res.records_retired = d.total(stat::records_retired);
+    res.records_pooled = d.total(stat::records_pooled);
+    res.records_allocated = d.total(stat::records_allocated);
+    res.records_reused = d.total(stat::records_reused);
+    res.epochs_advanced = d.total(stat::epochs_advanced);
+    res.neutralize_sent = d.total(stat::neutralize_signals_sent);
+    res.neutralize_received = d.total(stat::neutralize_signals_received);
+    res.hp_scans = d.total(stat::hp_scans);
+    res.op_restarts = d.total(stat::op_restarts);
+    res.limbo_records = mgr.total_limbo_all_types();
+    res.allocated_bytes = mgr.total_allocated_bytes();
+    return res;
+}
+
+}  // namespace smr::harness

@@ -1,0 +1,85 @@
+// arraystack.h -- single-writer multi-reader announcement stack.
+//
+// DEBRA+ publishes the set of records an operation's recovery code may touch
+// through RProtect (paper Figure 6: `arraystack RProtected[n]`). The owning
+// thread pushes and clears; any thread performing a rotate scan reads. Two
+// properties matter:
+//
+//  * Reentrancy/idempotence: the owner can be neutralized mid-push, jump to
+//    recovery, clear, and push again. A push is a single slot store followed
+//    by a count bump, and clear() rewrites every slot to null, so a torn
+//    push can only leave a pointer that the next clear erases.
+//  * Conservative visibility: scanners ignore the count and read every slot
+//    (null-checked), so a scanner can only over-protect, never miss a slot
+//    that was published before the owner was neutralized.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+
+#include "../util/padded.h"
+
+namespace smr::mem {
+
+/// Capacity bounds the records one operation's recovery can reference: the
+/// descriptor plus every record the help procedure follows or CASes. 32 is
+/// generous for trees/lists (the paper's m is a small constant).
+inline constexpr int RPROTECT_CAPACITY = 32;
+
+template <class T = void, int CAP = RPROTECT_CAPACITY>
+class arraystack {
+  public:
+    static constexpr int capacity = CAP;
+
+    arraystack() noexcept {
+        for (auto& s : slots_) s.store(nullptr, std::memory_order_relaxed);
+        count_.store(0, std::memory_order_relaxed);
+    }
+
+    /// Owner only. Idempotent w.r.t. neutralization (see header comment).
+    void push(T* p) noexcept {
+        const int c = count_.load(std::memory_order_relaxed);
+        assert(c < CAP && "RProtect capacity exceeded; raise RPROTECT_CAPACITY");
+        // The slot store is seq_cst: it doubles as the announcement fence a
+        // concurrent rotate scan needs. The count is owner-private.
+        slots_[c].store(p, std::memory_order_seq_cst);
+        count_.store(c + 1, std::memory_order_relaxed);
+    }
+
+    /// Owner only. Clears the used prefix plus one slot: a neutralization
+    /// between a push's slot store and its count bump leaves exactly one
+    /// published slot beyond the count, which must not survive the clear.
+    /// Touching count+1 slots instead of all CAP keeps this O(live
+    /// protections) -- it runs on every operation's postamble.
+    void clear() noexcept {
+        const int c = count_.load(std::memory_order_relaxed);
+        const int upto = c < CAP ? c + 1 : CAP;
+        for (int i = 0; i < upto; ++i) {
+            slots_[i].store(nullptr, std::memory_order_seq_cst);
+        }
+        count_.store(0, std::memory_order_relaxed);
+    }
+
+    /// Owner only (recovery code asks about its own announcements).
+    bool contains(const T* p) const noexcept {
+        for (const auto& s : slots_)
+            if (s.load(std::memory_order_seq_cst) == p) return p != nullptr;
+        return false;
+    }
+
+    /// Any thread. Index ranges over [0, capacity); unset slots read null.
+    T* read_slot(int i) const noexcept {
+        return slots_[i].load(std::memory_order_seq_cst);
+    }
+
+    int count_hint() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<T*> slots_[CAP];
+    std::atomic<int> count_;
+};
+
+}  // namespace smr::mem

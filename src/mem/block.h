@@ -1,0 +1,56 @@
+// block.h -- fixed-capacity record blocks, the unit of bulk movement.
+//
+// DEBRA's efficiency comes from operating on blocks of records instead of
+// individual records (paper Section 4, "Block bags"): rotating a limbo bag,
+// donating memory to the shared pool, and stealing memory from it all move
+// whole blocks in O(1). A block holds up to B pointers to records plus an
+// intrusive next pointer; bags are singly-linked lists of blocks.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace smr::mem {
+
+/// Default records per block, matching the paper's experimental B = 256.
+inline constexpr int DEFAULT_BLOCK_SIZE = 256;
+
+template <class T, int B = DEFAULT_BLOCK_SIZE>
+struct block {
+    static_assert(B >= 2, "blocks must hold at least two records");
+    static constexpr int capacity = B;
+
+    block* next = nullptr;
+    int size = 0;
+    T* entries[B];
+
+    bool full() const noexcept { return size == B; }
+    bool empty() const noexcept { return size == 0; }
+
+    /// Precondition: !full().
+    void push(T* p) noexcept {
+        assert(!full());
+        entries[size++] = p;
+    }
+
+    /// Precondition: !empty().
+    T* pop() noexcept {
+        assert(!empty());
+        return entries[--size];
+    }
+};
+
+/// A detached singly-linked chain of blocks, produced when a bag hands a run
+/// of full blocks to a pool. `head..tail` are linked via block::next and
+/// tail->next is meaningless to the recipient (the producer has already
+/// unhooked the chain).
+template <class T, int B = DEFAULT_BLOCK_SIZE>
+struct block_chain {
+    block<T, B>* head = nullptr;
+    block<T, B>* tail = nullptr;
+    int count = 0;
+
+    bool empty() const noexcept { return head == nullptr; }
+};
+
+}  // namespace smr::mem

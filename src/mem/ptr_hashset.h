@@ -1,0 +1,76 @@
+// ptr_hashset.h -- open-addressing pointer set for reclamation scans.
+//
+// Both hazard-pointer reclamation and DEBRA+'s rotate use the same pattern:
+// hash every announced pointer into a set, then test each retired record for
+// membership in expected O(1). The set is rebuilt per scan by a single
+// thread, so it needs no synchronization -- just fast insert/contains and a
+// cheap clear.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "../util/prng.h"
+
+namespace smr::mem {
+
+class ptr_hashset {
+  public:
+    /// `max_elements` is the most pointers a scan can insert (e.g. n*k
+    /// hazard pointers). Table is sized to keep load factor <= 0.5.
+    explicit ptr_hashset(std::size_t max_elements) {
+        std::size_t cap = 16;
+        while (cap < 2 * (max_elements + 1)) cap <<= 1;
+        slots_.assign(cap, 0);
+        mask_ = cap - 1;
+    }
+
+    void clear() noexcept {
+        if (count_ != 0) {
+            std::memset(slots_.data(), 0, slots_.size() * sizeof(slots_[0]));
+            count_ = 0;
+        }
+    }
+
+    /// Inserting nullptr is a no-op (unset hazard slots scan as null).
+    void insert(const void* p) noexcept {
+        if (p == nullptr) return;
+        assert(2 * (count_ + 1) <= slots_.size() && "scan exceeded sizing bound");
+        const std::uintptr_t key = reinterpret_cast<std::uintptr_t>(p);
+        std::size_t i = hash(key) & mask_;
+        while (slots_[i] != 0) {
+            if (slots_[i] == key) return;  // duplicate announcement
+            i = (i + 1) & mask_;
+        }
+        slots_[i] = key;
+        ++count_;
+    }
+
+    bool contains(const void* p) const noexcept {
+        if (p == nullptr) return false;
+        const std::uintptr_t key = reinterpret_cast<std::uintptr_t>(p);
+        std::size_t i = hash(key) & mask_;
+        while (slots_[i] != 0) {
+            if (slots_[i] == key) return true;
+            i = (i + 1) & mask_;
+        }
+        return false;
+    }
+
+    std::size_t size() const noexcept { return count_; }
+
+  private:
+    static std::size_t hash(std::uintptr_t key) noexcept {
+        // Records are at least 8-byte aligned; shift out the dead bits
+        // before mixing so consecutive records spread across the table.
+        return static_cast<std::size_t>(prng::splitmix64(key >> 3));
+    }
+
+    std::vector<std::uintptr_t> slots_;
+    std::size_t mask_ = 0;
+    std::size_t count_ = 0;
+};
+
+}  // namespace smr::mem

@@ -1,0 +1,105 @@
+// shared_blockbag.h -- lock-free shared bag of full blocks.
+//
+// The object pool's global tier (paper Section 4, "Object pool"): threads
+// whose local pool bags overflow push full blocks here; threads whose pool
+// bags run dry pop blocks from here before falling back to the allocator.
+// Moving B=256 records per push/pop amortizes the synchronization to a
+// fraction of a CAS per record.
+//
+// The structure is a Treiber stack over the blocks' intrusive next pointers.
+// Because blocks are recycled, a bare pointer head would suffer ABA; the
+// head therefore carries a monotonically increasing tag and is updated with
+// a double-width CAS. On x86-64 this compiles to cmpxchg16b (-mcx16); where
+// the platform cannot provide a lock-free 16-byte CAS, libatomic supplies a
+// locked fallback that is still linearizable (just slower).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "../util/padded.h"
+#include "block.h"
+
+namespace smr::mem {
+
+template <class T, int B = DEFAULT_BLOCK_SIZE>
+class shared_blockbag {
+  public:
+    using block_t = block<T, B>;
+
+    shared_blockbag() noexcept { head_.store(pack(nullptr, 0)); }
+
+    shared_blockbag(const shared_blockbag&) = delete;
+    shared_blockbag& operator=(const shared_blockbag&) = delete;
+
+    /// Blocks left in the shared bag at destruction are heap blocks whose
+    /// records the owner (the pool) frees before tearing the bag down; here
+    /// we only release block storage.
+    ~shared_blockbag() {
+        block_t* b = unpack_ptr(head_.load(std::memory_order_relaxed));
+        while (b != nullptr) {
+            block_t* next = b->next;
+            delete b;
+            b = next;
+        }
+    }
+
+    /// Pushes a full block. Lock-free.
+    void push(block_t* b) noexcept {
+        u128 h = head_.load(std::memory_order_acquire);
+        for (;;) {
+            b->next = unpack_ptr(h);
+            const u128 desired = pack(b, unpack_tag(h) + 1);
+            if (head_.compare_exchange_weak(h, desired,
+                                            std::memory_order_release,
+                                            std::memory_order_acquire)) {
+                approx_blocks_.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+        }
+    }
+
+    /// Pops a block, or nullptr when (momentarily) empty. Lock-free.
+    block_t* pop() noexcept {
+        u128 h = head_.load(std::memory_order_acquire);
+        for (;;) {
+            block_t* top = unpack_ptr(h);
+            if (top == nullptr) return nullptr;
+            // The tag makes this safe even though `top` may be concurrently
+            // popped, refilled, and pushed again: the tag would differ.
+            const u128 desired = pack(top->next, unpack_tag(h) + 1);
+            if (head_.compare_exchange_weak(h, desired,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+                approx_blocks_.fetch_sub(1, std::memory_order_relaxed);
+                top->next = nullptr;
+                return top;
+            }
+        }
+    }
+
+    /// Approximate occupancy (monitoring/tests only).
+    long long approx_blocks() const noexcept {
+        return approx_blocks_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    using u128 = unsigned __int128;
+
+    static u128 pack(block_t* p, std::uint64_t tag) noexcept {
+        return (static_cast<u128>(tag) << 64) |
+               static_cast<u128>(reinterpret_cast<std::uintptr_t>(p));
+    }
+    static block_t* unpack_ptr(u128 v) noexcept {
+        // Truncation keeps the low 64 bits: the pointer.
+        return reinterpret_cast<block_t*>(static_cast<std::uintptr_t>(v));
+    }
+    static std::uint64_t unpack_tag(u128 v) noexcept {
+        return static_cast<std::uint64_t>(v >> 64);
+    }
+
+    alignas(PREFETCH_LINE) std::atomic<u128> head_;
+    alignas(PREFETCH_LINE) std::atomic<long long> approx_blocks_{0};
+};
+
+}  // namespace smr::mem

@@ -1,0 +1,59 @@
+// pool_discard.h -- Experiment-1 pool: do all the reclamation bookkeeping,
+// then throw the records away.
+//
+// Paper Experiment 1 isolates the *overhead* of each reclamation scheme:
+// "each Reclaimer performed all the work necessary to reclaim nodes, but
+// nodes were not actually reclaimed (and, hence, were not reused)". The
+// reclaimers run their full epoch / hazard-pointer machinery; when a record
+// is finally proven safe, this pool simply abandons it (the bump allocator's
+// arenas release everything at teardown) and recycles only the block
+// storage. Allocation always comes fresh from the allocator, so the data
+// structure pays reclamation's cost without enjoying its cache benefits.
+#pragma once
+
+#include "../mem/block_pool.h"
+#include "../mem/blockbag.h"
+#include "../util/debug_stats.h"
+
+namespace smr::pool {
+
+template <class T, class Alloc, int B = mem::DEFAULT_BLOCK_SIZE>
+class pool_discard {
+  public:
+    using block_t = mem::block<T, B>;
+    using chain_t = mem::block_chain<T, B>;
+
+    pool_discard(int /*num_threads*/, Alloc& alloc,
+                 mem::block_pool_array<T, B>& block_pools, debug_stats* stats)
+        : alloc_(alloc), block_pools_(block_pools), stats_(stats) {}
+
+    pool_discard(const pool_discard&) = delete;
+    pool_discard& operator=(const pool_discard&) = delete;
+
+    T* allocate(int tid) { return alloc_.allocate(tid); }
+
+    void deallocate(int tid, T* p) { alloc_.deallocate(tid, p); }
+
+    void release(int tid, T* /*p*/) {
+        if (stats_) stats_->add(tid, stat::records_pooled);
+        // Intentionally dropped; see header comment.
+    }
+
+    void accept_chain(int tid, chain_t chain) {
+        block_t* b = chain.head;
+        while (b != nullptr) {
+            block_t* next = b->next;
+            if (stats_) stats_->add(tid, stat::records_pooled, b->size);
+            b->size = 0;
+            block_pools_[tid].release(b);
+            b = next;
+        }
+    }
+
+  private:
+    Alloc& alloc_;
+    mem::block_pool_array<T, B>& block_pools_;
+    debug_stats* stats_;
+};
+
+}  // namespace smr::pool

@@ -1,0 +1,57 @@
+// pool_none.h -- pass-through pool: reclaimed records go straight back to
+// the allocator, allocations come straight from it.
+//
+// This is the degenerate Pool for configurations that want no object reuse
+// (e.g. leak detectors, or pairing DEBRA with a malloc that already pools
+// internally). Records a reclaimer proves safe are freed immediately.
+#pragma once
+
+#include "../mem/block_pool.h"
+#include "../mem/blockbag.h"
+#include "../util/debug_stats.h"
+
+namespace smr::pool {
+
+template <class T, class Alloc, int B = mem::DEFAULT_BLOCK_SIZE>
+class pool_none {
+  public:
+    using block_t = mem::block<T, B>;
+    using chain_t = mem::block_chain<T, B>;
+
+    pool_none(int /*num_threads*/, Alloc& alloc,
+              mem::block_pool_array<T, B>& block_pools, debug_stats* stats)
+        : alloc_(alloc), block_pools_(block_pools), stats_(stats) {}
+
+    pool_none(const pool_none&) = delete;
+    pool_none& operator=(const pool_none&) = delete;
+
+    T* allocate(int tid) { return alloc_.allocate(tid); }
+
+    void deallocate(int tid, T* p) { alloc_.deallocate(tid, p); }
+
+    /// A single record proven safe by the reclaimer: free it.
+    void release(int tid, T* p) {
+        if (stats_) stats_->add(tid, stat::records_pooled);
+        alloc_.deallocate(tid, p);
+    }
+
+    /// Full blocks of safe records: free the records, recycle the blocks.
+    void accept_chain(int tid, chain_t chain) {
+        block_t* b = chain.head;
+        while (b != nullptr) {
+            block_t* next = b->next;
+            if (stats_) stats_->add(tid, stat::records_pooled, b->size);
+            for (int i = 0; i < b->size; ++i) alloc_.deallocate(tid, b->entries[i]);
+            b->size = 0;
+            block_pools_[tid].release(b);
+            b = next;
+        }
+    }
+
+  private:
+    Alloc& alloc_;
+    mem::block_pool_array<T, B>& block_pools_;
+    debug_stats* stats_;
+};
+
+}  // namespace smr::pool

@@ -1,0 +1,122 @@
+// pool_perthread_shared.h -- the paper's object pool (Section 4):
+// per-thread pool bags backed by one shared bag of full blocks.
+//
+//   * release / accept_chain put safe records into the calling thread's
+//     local pool bag; when the local bag exceeds its block budget, whole
+//     full blocks overflow to the lock-free shared bag.
+//   * allocate takes from the local bag first, then steals a full block
+//     from the shared bag, and only then falls back to the Allocator.
+//
+// Records and blocks thereby circulate between threads without malloc/free
+// on the steady-state path, and cross-thread synchronization is one CAS per
+// B records.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "../mem/block_pool.h"
+#include "../mem/blockbag.h"
+#include "../mem/shared_blockbag.h"
+#include "../util/debug_stats.h"
+#include "../util/padded.h"
+
+namespace smr::pool {
+
+template <class T, class Alloc, int B = mem::DEFAULT_BLOCK_SIZE>
+class pool_perthread_shared {
+  public:
+    using block_t = mem::block<T, B>;
+    using chain_t = mem::block_chain<T, B>;
+
+    /// Local pool bags overflow to the shared bag beyond this many blocks.
+    static constexpr int LOCAL_MAX_BLOCKS = 32;
+
+    pool_perthread_shared(int num_threads, Alloc& alloc,
+                          mem::block_pool_array<T, B>& block_pools,
+                          debug_stats* stats)
+        : alloc_(alloc), block_pools_(block_pools), stats_(stats) {
+        bags_.reserve(static_cast<std::size_t>(num_threads));
+        for (int t = 0; t < num_threads; ++t) {
+            bags_.emplace_back(
+                std::make_unique<mem::blockbag<T, B>>(block_pools_[t]));
+        }
+    }
+
+    pool_perthread_shared(const pool_perthread_shared&) = delete;
+    pool_perthread_shared& operator=(const pool_perthread_shared&) = delete;
+
+    ~pool_perthread_shared() {
+        // Pooled records are safe-to-free by construction; return their
+        // storage to the allocator at teardown. Thread id 0 is fine here:
+        // destruction is single-threaded.
+        for (auto& bag : bags_) {
+            while (T* p = bag->remove()) alloc_.deallocate(0, p);
+        }
+        while (block_t* b = shared_.pop()) {
+            for (int i = 0; i < b->size; ++i) alloc_.deallocate(0, b->entries[i]);
+            delete b;
+        }
+    }
+
+    T* allocate(int tid) {
+        auto& bag = *bags_[static_cast<std::size_t>(tid)];
+        if (T* p = bag.remove()) {
+            if (stats_) stats_->add(tid, stat::records_reused);
+            return p;
+        }
+        if (block_t* b = shared_.pop()) {
+            bag.add_full_block(b);
+            if (stats_) stats_->add(tid, stat::records_reused);
+            return bag.remove();
+        }
+        return alloc_.allocate(tid);
+    }
+
+    void deallocate(int tid, T* p) { alloc_.deallocate(tid, p); }
+
+    void release(int tid, T* p) {
+        auto& bag = *bags_[static_cast<std::size_t>(tid)];
+        if (stats_) stats_->add(tid, stat::records_pooled);
+        bag.add(p);
+        maybe_overflow(bag);
+    }
+
+    void accept_chain(int tid, chain_t chain) {
+        auto& bag = *bags_[static_cast<std::size_t>(tid)];
+        block_t* b = chain.head;
+        while (b != nullptr) {
+            block_t* next = b->next;
+            if (stats_) stats_->add(tid, stat::records_pooled, b->size);
+            if (bag.size_in_blocks() < LOCAL_MAX_BLOCKS) {
+                bag.add_full_block(b);
+            } else {
+                shared_.push(b);
+            }
+            b = next;
+        }
+    }
+
+    /// Visible for tests and monitoring.
+    long long local_size(int tid) const noexcept {
+        return bags_[static_cast<std::size_t>(tid)]->size();
+    }
+    long long shared_blocks() const noexcept { return shared_.approx_blocks(); }
+
+  private:
+    void maybe_overflow(mem::blockbag<T, B>& bag) {
+        while (bag.size_in_blocks() > LOCAL_MAX_BLOCKS) {
+            block_t* b = bag.pop_full_block();
+            if (b == nullptr) break;
+            shared_.push(b);
+        }
+    }
+
+    Alloc& alloc_;
+    mem::block_pool_array<T, B>& block_pools_;
+    debug_stats* stats_;
+    std::vector<std::unique_ptr<mem::blockbag<T, B>>> bags_;
+    mem::shared_blockbag<T, B> shared_;
+};
+
+}  // namespace smr::pool

@@ -1,0 +1,242 @@
+// reclaimer_debra_plus.h -- DEBRA+: fault-tolerant distributed EBR
+// (paper Section 5, Figure 6).
+//
+// DEBRA+ = DEBRA + three additions:
+//
+//  1. Neutralization. When a thread's current limbo bag exceeds
+//     `suspect_threshold_blocks` and the epoch scan is blocked on a
+//     non-quiescent laggard, the scanner signals the laggard
+//     (suspectNeutralized). Once the signal is sent the laggard counts as
+//     quiescent: the OS guarantees it executes the handler -- which enters a
+//     quiescent state and siglongjmps to recovery -- before its next step.
+//  2. Recovery hazard pointers. An operation RProtects the records its help
+//     procedure may touch, then RProtects its descriptor last; recovery
+//     checks isRProtected(descriptor) to decide between help(desc) and a
+//     plain restart (paper Figure 5).
+//  3. Scanning rotation. Because RProtected records must not be freed,
+//     rotateAndReclaim hashes every thread's RProtected announcements,
+//     partitions the limbo bag so protected records sit at the front, and
+//     moves only the full blocks after the partition point to the pool --
+//     expected amortized O(1) per record.
+//
+// Bound: with everything stalled-but-signalable, at most O(n * (c + nm))
+// records wait in limbo bags (paper Section 5, "Complexity").
+#pragma once
+
+#include <pthread.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "../mem/arraystack.h"
+#include "../mem/block_pool.h"
+#include "../mem/ptr_hashset.h"
+#include "../util/debug_stats.h"
+#include "../util/padded.h"
+#include "epoch_core.h"
+#include "limbo_bags.h"
+#include "neutralizer.h"
+
+namespace smr::reclaim {
+
+struct debra_plus_config {
+    epoch_config epoch;
+    /// Neutralize a laggard only when our own current limbo bag holds at
+    /// least this many blocks (the paper's SUSPECT_THRESHOLD_IN_BLOCKS).
+    int suspect_threshold_blocks = 2;
+    /// Reclaim during rotation only when the bag holds at least this many
+    /// blocks, so the RProtect scan amortizes (paper's scanThreshold).
+    int scan_threshold_blocks = 2;
+};
+
+namespace detail {
+
+class debra_plus_global {
+  public:
+    using config = debra_plus_config;
+    static constexpr int RPROT_CAP = mem::RPROTECT_CAPACITY;
+
+    debra_plus_global(int num_threads, const config& cfg, debug_stats* stats)
+        : cfg_(cfg), stats_(stats), core_(num_threads, cfg.epoch, stats) {
+        install_neutralize_handler();
+        for (auto& t : targets_) t->active.store(false, std::memory_order_relaxed);
+    }
+
+    ~debra_plus_global() = default;
+
+    /// Must run on the thread itself (registers pthread_t and the
+    /// thread-local signal context). Pair with deinit_thread + an external
+    /// barrier before thread exit (see neutralizer.h contract).
+    void init_thread(int tid) {
+        target& t = *targets_[tid];
+        t.pthread = pthread_self();
+        t.ctx.announce = core_.announce_word(tid);
+        t.ctx.stats = stats_;
+        t.ctx.tid = tid;
+        arm_neutralization(&t.ctx);
+        t.active.store(true, std::memory_order_seq_cst);
+    }
+
+    void deinit_thread(int tid) {
+        targets_[tid]->active.store(false, std::memory_order_seq_cst);
+        disarm_neutralization();
+    }
+
+    /// The sigsetjmp environment for `tid`'s current operation.
+    sigjmp_buf& jmp_env(int tid) noexcept { return targets_[tid]->ctx.env; }
+
+    /// Runs at the top of neutralization recovery: the thread longjmped out
+    /// of the signal handler, so the kernel still has NEUTRALIZE_SIGNAL
+    /// blocked for it; re-enable it so the thread stays neutralizable.
+    /// (run_op uses sigsetjmp without mask saving to keep the hot path
+    /// syscall-free; this syscall happens only when a signal actually
+    /// landed.)
+    void prepare_recovery(int /*tid*/) noexcept {
+        sigset_t set;
+        sigemptyset(&set);
+        sigaddset(&set, NEUTRALIZE_SIGNAL);
+        pthread_sigmask(SIG_UNBLOCK, &set, nullptr);
+    }
+
+    template <class RotateFn, class PressureFn>
+    bool leave_qstate(int tid, RotateFn&& rotate, PressureFn&& pressure) {
+        return core_.leave_qstate(tid, rotate, [&](int other) {
+            return suspect_neutralized(tid, other, pressure);
+        });
+    }
+    void enter_qstate(int tid) noexcept { core_.enter_qstate(tid); }
+    bool is_quiescent(int tid) const noexcept { return core_.is_quiescent(tid); }
+
+    template <class ValidateFn>
+    bool protect(int, const void*, ValidateFn&&) noexcept {
+        return true;  // epoch protection, as in DEBRA
+    }
+    void unprotect(int, const void*) noexcept {}
+    bool is_protected(int, const void*) const noexcept { return true; }
+
+    // ---- recovery hazard pointers (paper Figure 6) ----------------------
+    bool rprotect(int tid, const void* p) noexcept {
+        rprotected_[tid]->push(const_cast<void*>(p));
+        return true;
+    }
+    void runprotect_all(int tid) noexcept { rprotected_[tid]->clear(); }
+    bool is_rprotected(int tid, const void* p) const noexcept {
+        return rprotected_[tid]->contains(p);
+    }
+
+    /// Scanner side: hash every thread's RProtected slots into `out`.
+    void collect_rprotected(mem::ptr_hashset& out) const {
+        for (int t = 0; t < core_.num_threads(); ++t)
+            for (int i = 0; i < RPROT_CAP; ++i)
+                out.insert(rprotected_[t]->read_slot(i));
+    }
+
+    std::size_t max_rprotected() const noexcept {
+        return static_cast<std::size_t>(core_.num_threads()) * RPROT_CAP;
+    }
+
+    std::uint64_t read_epoch() const noexcept { return core_.read_epoch(); }
+    int num_threads() const noexcept { return core_.num_threads(); }
+    const config& cfg() const noexcept { return cfg_; }
+
+  private:
+    struct target {
+        std::atomic<bool> active{false};
+        pthread_t pthread{};
+        neutral_ctx ctx;
+    };
+
+    /// Paper Figure 6 suspectNeutralized: signal `other` if our own limbo
+    /// pressure warrants it. Returns true when `other` may be treated as
+    /// quiescent (signal delivered, or thread de-registered).
+    template <class PressureFn>
+    bool suspect_neutralized(int tid, int other, PressureFn&& pressure) {
+        if (pressure() < cfg_.suspect_threshold_blocks) return false;
+        target& t = *targets_[other];
+        if (!t.active.load(std::memory_order_seq_cst)) return true;
+        if (pthread_kill(t.pthread, NEUTRALIZE_SIGNAL) == 0) {
+            if (stats_) stats_->add(tid, stat::neutralize_signals_sent);
+            return true;
+        }
+        return true;  // ESRCH: thread already gone -> quiescent forever
+    }
+
+    const config cfg_;
+    debug_stats* stats_;
+    epoch_core core_;
+    std::array<padded<target>, MAX_THREADS> targets_;
+    std::array<padded<mem::arraystack<void, RPROT_CAP>>, MAX_THREADS>
+        rprotected_;
+};
+
+}  // namespace detail
+
+struct reclaim_debra_plus {
+    static constexpr const char* name = "debra+";
+    static constexpr bool supports_crash_recovery = true;
+    static constexpr bool is_fault_tolerant = true;
+    static constexpr bool quiescence_based = true;
+    static constexpr bool per_access_protection = false;
+
+    using config = debra_plus_config;
+    using global_state = detail::debra_plus_global;
+
+    template <class T, class Pool, int B = mem::DEFAULT_BLOCK_SIZE>
+    class per_type : public limbo_bags<T, Pool, B> {
+        using base = limbo_bags<T, Pool, B>;
+
+      public:
+        per_type(int num_threads, global_state& global, Pool& pool,
+                 mem::block_pool_array<T, B>& bpools, debug_stats* stats)
+            : base(num_threads, pool, bpools, stats), global_(global) {
+            scan_sets_.reserve(static_cast<std::size_t>(num_threads));
+            for (int t = 0; t < num_threads; ++t)
+                scan_sets_.push_back(std::make_unique<mem::ptr_hashset>(
+                    global.max_rprotected()));
+        }
+
+        /// Figure 6 rotateAndReclaim: rotate; if the (old) oldest bag is big
+        /// enough, partition RProtected records to the front and free every
+        /// full block after the partition point.
+        void rotate_and_reclaim(int tid) {
+            auto& st = *this->states_[tid];
+            st.index = (st.index + 1) % 3;
+            if (this->stats_) this->stats_->add(tid, stat::rotations);
+            auto& bag = st.current();
+            if (bag.size_in_blocks() < global_.cfg().scan_threshold_blocks)
+                return;  // defer: records simply wait one more rotation
+
+            mem::ptr_hashset& scan_set = *scan_sets_[tid];
+            scan_set.clear();
+            global_.collect_rprotected(scan_set);
+
+            auto it1 = bag.begin();
+            auto it2 = bag.begin();
+            const auto end = bag.end();
+            while (it1 != end) {
+                if (scan_set.contains(*it1)) {
+                    swap_entries(it1, it2);
+                    ++it2;
+                }
+                ++it1;
+            }
+            // it2 is one past the last protected record. When nothing was
+            // protected it still points *into* the first non-empty block;
+            // shed every full block in that case rather than sparing one.
+            if (it2 == bag.begin()) {
+                this->pool_.accept_chain(tid, bag.take_full_blocks());
+            } else {
+                this->pool_.accept_chain(tid, bag.take_blocks_after(it2));
+            }
+        }
+
+      private:
+        global_state& global_;
+        std::vector<std::unique_ptr<mem::ptr_hashset>> scan_sets_;
+    };
+};
+
+}  // namespace smr::reclaim

@@ -1,0 +1,232 @@
+// reclaimer_hp.h -- hazard pointers (Michael 2004), tuned for throughput as
+// in the paper's comparison.
+//
+// Before dereferencing a record (or using its address as a CAS expected
+// value), a thread announces it in one of its K hazard slots, issues a full
+// fence, and then *validates* that the record is still safe via a
+// data-structure-supplied predicate. Validation failure means the operation
+// must behave as if it lost a race (typically restart) -- the paper's
+// Section 3 explains why this breaks lock-free progress for structures that
+// traverse retired-to-retired pointers; we reproduce the practical
+// restart-on-suspicion behaviour the paper measures.
+//
+// Retired records collect in per-thread bags; when a bag reaches
+// 2nK + O(B) records, the thread hashes all nK hazard slots (O(1) expected
+// membership tests) and frees every unprotected record -- at least half the
+// bag -- giving O(1) expected amortized retirement (Section 3, "Hazard
+// Pointers"). The scan reuses the same partition-then-move-full-blocks trick
+// as DEBRA+'s rotate so reclamation still moves whole blocks.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "../mem/block_pool.h"
+#include "../mem/ptr_hashset.h"
+#include "../util/debug_stats.h"
+#include "../util/padded.h"
+
+namespace smr::reclaim {
+
+struct hp_config {
+    /// Extra slack added to the 2nK scan threshold, in records. Larger
+    /// values trade memory bound for fewer scans (the paper tunes HP "for
+    /// high performance (instead of space efficiency)").
+    int scan_slack_records = 512;
+};
+
+namespace detail {
+
+class hp_global {
+  public:
+    using config = hp_config;
+    /// Hazard slots per thread. Lists and trees need a handful (prev, cur,
+    /// descriptor, helping targets); the skip list's locked window holds
+    /// preds[] and succs[] across every level, which dominates the budget.
+    static constexpr int K = 64;
+
+    hp_global(int num_threads, const config& cfg, debug_stats* stats)
+        : num_threads_(num_threads), cfg_(cfg), stats_(stats) {}
+
+    void init_thread(int) noexcept {}
+    void deinit_thread(int tid) noexcept { clear_all(tid); }
+
+    template <class RotateFn, class PressureFn>
+    bool leave_qstate(int, RotateFn&&, PressureFn&&) noexcept {
+        return false;  // HPs have no epochs; nothing to do per operation
+    }
+    /// End of operation: every hazard pointer is released (paper Section 6:
+    /// "enterQstate clears all announced HPs").
+    void enter_qstate(int tid) noexcept { clear_all(tid); }
+    bool is_quiescent(int) const noexcept { return false; }
+
+    /// Announce + fence + validate. On validation failure the slot is
+    /// released and the caller must treat the operation as contended.
+    template <class ValidateFn>
+    bool protect(int tid, const void* p, ValidateFn&& validate) {
+        auto& row = *slots_[tid];
+        int free_slot = -1;
+        for (int i = 0; i < K; ++i) {
+            if (row[i].load(std::memory_order_relaxed) == nullptr) {
+                free_slot = i;
+                break;
+            }
+        }
+        assert(free_slot >= 0 && "out of hazard slots; raise hp_global::K");
+        // seq_cst store doubles as the announcement fence (paper: "a memory
+        // barrier must be issued immediately after a HP is announced").
+        row[free_slot].store(const_cast<void*>(p), std::memory_order_seq_cst);
+        if (!validate()) {
+            row[free_slot].store(nullptr, std::memory_order_release);
+            if (stats_) stats_->add(tid, stat::hp_validation_failures);
+            return false;
+        }
+        return true;
+    }
+
+    void unprotect(int tid, const void* p) noexcept {
+        auto& row = *slots_[tid];
+        for (int i = 0; i < K; ++i) {
+            if (row[i].load(std::memory_order_relaxed) == p) {
+                row[i].store(nullptr, std::memory_order_release);
+                return;
+            }
+        }
+    }
+
+    bool is_protected(int tid, const void* p) const noexcept {
+        auto& row = *slots_[tid];
+        for (int i = 0; i < K; ++i)
+            if (row[i].load(std::memory_order_relaxed) == p) return true;
+        return false;
+    }
+
+    // HP provides no crash-recovery interface (paper Section 6: RProtect /
+    // RUnprotectAll do nothing, isRProtected returns false).
+    bool rprotect(int, const void*) noexcept { return true; }
+    void runprotect_all(int) noexcept {}
+    bool is_rprotected(int, const void*) const noexcept { return false; }
+
+    /// Scanner side: hash all nK hazard slots.
+    void collect_hazards(mem::ptr_hashset& out) const {
+        for (int t = 0; t < num_threads_; ++t)
+            for (int i = 0; i < K; ++i)
+                out.insert((*slots_[t])[i].load(std::memory_order_seq_cst));
+    }
+
+    std::size_t max_hazards() const noexcept {
+        return static_cast<std::size_t>(num_threads_) * K;
+    }
+    long long scan_threshold_records() const noexcept {
+        return 2LL * num_threads_ * K + cfg_.scan_slack_records;
+    }
+    int num_threads() const noexcept { return num_threads_; }
+
+  private:
+    void clear_all(int tid) noexcept {
+        auto& row = *slots_[tid];
+        for (int i = 0; i < K; ++i) {
+            if (row[i].load(std::memory_order_relaxed) != nullptr)
+                row[i].store(nullptr, std::memory_order_release);
+        }
+    }
+
+    const int num_threads_;
+    const config cfg_;
+    debug_stats* stats_;
+    std::array<padded<std::array<std::atomic<void*>, K>>, MAX_THREADS> slots_{};
+};
+
+}  // namespace detail
+
+struct reclaim_hp {
+    static constexpr const char* name = "hp";
+    static constexpr bool supports_crash_recovery = false;
+    static constexpr bool is_fault_tolerant = true;
+    static constexpr bool quiescence_based = false;
+    static constexpr bool per_access_protection = true;
+
+    using config = hp_config;
+    using global_state = detail::hp_global;
+
+    template <class T, class Pool, int B = mem::DEFAULT_BLOCK_SIZE>
+    class per_type {
+      public:
+        per_type(int num_threads, global_state& global, Pool& pool,
+                 mem::block_pool_array<T, B>& bpools, debug_stats* stats)
+            : num_threads_(num_threads), global_(global), pool_(pool),
+              stats_(stats) {
+            states_.reserve(static_cast<std::size_t>(num_threads));
+            for (int t = 0; t < num_threads; ++t)
+                states_.push_back(std::make_unique<tstate>(
+                    bpools[t], global.max_hazards()));
+        }
+
+        per_type(const per_type&) = delete;
+        per_type& operator=(const per_type&) = delete;
+
+        ~per_type() {
+            for (int t = 0; t < num_threads_; ++t) {
+                while (T* p = states_[t]->bag.remove()) pool_.release(t, p);
+            }
+        }
+
+        void retire(int tid, T* p) {
+            if (stats_) stats_->add(tid, stat::records_retired);
+            tstate& st = *states_[tid];
+            st.bag.add(p);
+            if (st.bag.size() >= global_.scan_threshold_records()) scan(tid);
+        }
+
+        /// HPs reclaim from retire(); the manager-level rotation hook is a
+        /// no-op.
+        void rotate_and_reclaim(int) noexcept {}
+        int current_bag_blocks(int tid) const {
+            return states_[tid]->bag.size_in_blocks();
+        }
+        long long limbo_size(int tid) const { return states_[tid]->bag.size(); }
+
+      private:
+        struct tstate {
+            tstate(mem::block_pool<T, B>& bp, std::size_t max_hazards)
+                : bag(bp), scan_set(max_hazards) {}
+            mem::blockbag<T, B> bag;
+            mem::ptr_hashset scan_set;
+        };
+
+        void scan(int tid) {
+            if (stats_) stats_->add(tid, stat::hp_scans);
+            tstate& st = *states_[tid];
+            st.scan_set.clear();
+            global_.collect_hazards(st.scan_set);
+            auto it1 = st.bag.begin();
+            auto it2 = st.bag.begin();
+            const auto end = st.bag.end();
+            while (it1 != end) {
+                if (st.scan_set.contains(*it1)) {
+                    swap_entries(it1, it2);
+                    ++it2;
+                }
+                ++it1;
+            }
+            // See reclaimer_debra_plus.h: an empty partition leaves it2
+            // inside the first non-empty block; shed all full blocks then.
+            if (it2 == st.bag.begin()) {
+                pool_.accept_chain(tid, st.bag.take_full_blocks());
+            } else {
+                pool_.accept_chain(tid, st.bag.take_blocks_after(it2));
+            }
+        }
+
+        const int num_threads_;
+        global_state& global_;
+        Pool& pool_;
+        debug_stats* stats_;
+        std::vector<std::unique_ptr<tstate>> states_;
+    };
+};
+
+}  // namespace smr::reclaim

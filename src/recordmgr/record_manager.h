@@ -1,0 +1,324 @@
+// record_manager.h -- the paper's lock-free memory management abstraction
+// (Section 6).
+//
+// A record_manager composes a Reclaimer scheme, an Allocator policy, and a
+// Pool policy over a fixed set of record types, and exposes the operation
+// vocabulary the paper identifies as sufficient for HPs, EBR, DEBRA and
+// DEBRA+ alike:
+//
+//   lifecycle   : allocate<T>, deallocate<T>, retire
+//   quiescence  : leave_qstate, enter_qstate, is_quiescent
+//   per-access  : protect(record, validate), unprotect, is_protected
+//   recovery    : rprotect, runprotect_all, is_rprotected, run_op
+//   introspection: stats(), limbo_size<T>, traits
+//
+// All composition happens through templates: for DEBRA, protect() compiles
+// to `return true` and vanishes; for schemes without crash recovery,
+// run_op() contains no sigsetjmp (the paper's supportsCrashRecovery
+// predicate). Changing the reclamation scheme of a data structure is
+// exactly one template argument.
+//
+// Global state (epoch counter, announcement words, hazard slots) is shared
+// across the manager's record types; limbo bags and pools are per-type so a
+// record's storage always returns to an allocator of the right type.
+#pragma once
+
+#include <setjmp.h>
+
+#include <cstddef>
+#include <memory>
+#include <tuple>
+#include <type_traits>
+
+#include "../mem/block.h"
+#include "../mem/block_pool.h"
+#include "../util/debug_stats.h"
+#include "policies.h"
+
+namespace smr {
+
+template <class Scheme, class AllocTag, class PoolTag, class... Ts>
+class record_manager {
+    static_assert(sizeof...(Ts) >= 1, "manage at least one record type");
+    static_assert((std::is_trivially_destructible_v<Ts> && ...),
+                  "managed records must be trivially destructible: their "
+                  "storage is recycled without running destructors");
+
+  public:
+    static constexpr int BLOCK_SIZE = mem::DEFAULT_BLOCK_SIZE;
+    static constexpr const char* scheme_name = Scheme::name;
+    static constexpr bool supports_crash_recovery =
+        Scheme::supports_crash_recovery;
+    static constexpr bool is_fault_tolerant = Scheme::is_fault_tolerant;
+    static constexpr bool quiescence_based = Scheme::quiescence_based;
+    static constexpr bool per_access_protection = Scheme::per_access_protection;
+
+    using scheme = Scheme;
+    using config_t = typename Scheme::config;
+
+    /// Schemes may publish non-default configs (e.g. classic EBR's
+    /// scan-everything mode); otherwise value-initialize.
+    static config_t default_config() {
+        if constexpr (requires { Scheme::default_config(); }) {
+            return Scheme::default_config();
+        } else {
+            return config_t{};
+        }
+    }
+
+    explicit record_manager(int num_threads,
+                            config_t cfg = default_config())
+        : num_threads_(num_threads),
+          global_(num_threads, cfg, &stats_),
+          bundles_(std::make_unique<bundle<Ts>>(num_threads, global_,
+                                                &stats_)...) {}
+
+    record_manager(const record_manager&) = delete;
+    record_manager& operator=(const record_manager&) = delete;
+
+    // ---- thread lifecycle ------------------------------------------------
+
+    /// Must be called on the thread that will use `tid`, before any other
+    /// call with that tid. For DEBRA+ this registers the thread as a
+    /// neutralization target.
+    void init_thread(int tid) { global_.init_thread(tid); }
+
+    /// Must be called on the owning thread when it is done. For DEBRA+,
+    /// synchronize on a barrier after this before letting the thread exit
+    /// (a laggard scanner may still signal it; disarmed threads absorb the
+    /// signal, dead threads must never receive one).
+    void deinit_thread(int tid) { global_.deinit_thread(tid); }
+
+    // ---- quiescence -------------------------------------------------------
+
+    /// Start of a data structure operation. Returns true iff this thread's
+    /// epoch announcement changed (its oldest limbo bag was reclaimed).
+    bool leave_qstate(int tid) {
+        return global_.leave_qstate(
+            tid,
+            [&] { for_each_bundle([&](auto& b) { b.rec.rotate_and_reclaim(tid); }); },
+            [&] {
+                int mx = 0;
+                for_each_bundle([&](auto& b) {
+                    const int blocks = b.rec.current_bag_blocks(tid);
+                    if (blocks > mx) mx = blocks;
+                });
+                return mx;
+            });
+    }
+
+    /// End of a data structure operation.
+    void enter_qstate(int tid) { global_.enter_qstate(tid); }
+
+    bool is_quiescent(int tid) const { return global_.is_quiescent(tid); }
+
+    // ---- record lifecycle --------------------------------------------------
+
+    /// Raw storage for one T (pool first, then allocator). The record is
+    /// *uninitialized*: placement-new it before publishing.
+    template <class T>
+    T* allocate(int tid) {
+        return get<T>().pool.allocate(tid);
+    }
+
+    /// Convenience: allocate + placement-new.
+    template <class T, class... Args>
+    T* new_record(int tid, Args&&... args) {
+        return ::new (static_cast<void*>(allocate<T>(tid)))
+            T(std::forward<Args>(args)...);
+    }
+
+    /// Return a record that was never published (e.g. a preallocated node an
+    /// operation ended up not inserting).
+    template <class T>
+    void deallocate(int tid, T* p) {
+        get<T>().pool.deallocate(tid, p);
+    }
+
+    /// The record has been removed from the data structure; reclaim it once
+    /// no thread can still reach it.
+    template <class T>
+    void retire(int tid, T* p) {
+        get<T>().rec.retire(tid, p);
+    }
+
+    // ---- per-access protection (hazard-pointer schemes) ---------------------
+
+    /// Must succeed before any field of `p` is read or `p` is used as a CAS
+    /// expected value. `validate` checks that `p` is still safe (e.g. still
+    /// linked); it runs after the announcement fence. For epoch schemes this
+    /// whole call compiles to `true`.
+    template <class T, class ValidateFn>
+    bool protect(int tid, T* p, ValidateFn&& validate) {
+        return global_.protect(tid, p, std::forward<ValidateFn>(validate));
+    }
+    template <class T>
+    bool protect(int tid, T* p) {
+        return global_.protect(tid, p, [] { return true; });
+    }
+    template <class T>
+    void unprotect(int tid, T* p) {
+        global_.unprotect(tid, p);
+    }
+    template <class T>
+    bool is_protected(int tid, T* p) const {
+        return global_.is_protected(tid, p);
+    }
+
+    /// Releases every per-access protection this thread holds (hazard
+    /// schemes); compiles to nothing for epoch schemes. Data structures call
+    /// this when restarting a traversal so abandoned hazard slots do not
+    /// accumulate.
+    void clear_protections(int tid) {
+        if constexpr (per_access_protection) {
+            global_.enter_qstate(tid);  // for HPs: clears all hazard slots
+        } else {
+            (void)tid;
+        }
+    }
+
+    // ---- crash recovery (DEBRA+) ---------------------------------------------
+
+    template <class T>
+    bool rprotect(int tid, T* p) {
+        return global_.rprotect(tid, p);
+    }
+    void runprotect_all(int tid) { global_.runprotect_all(tid); }
+    template <class T>
+    bool is_rprotected(int tid, T* p) const {
+        return global_.is_rprotected(tid, p);
+    }
+
+    /// Runs one data structure operation with neutralization recovery.
+    ///
+    ///   body(tid)     -> bool done : the Figure-5 body (leave_qstate ...
+    ///                    enter_qstate). Returning false retries.
+    ///   recovery(tid) -> bool done : runs after a neutralization longjmp,
+    ///                    in a quiescent state. Returning false restarts the
+    ///                    body.
+    ///
+    /// For schemes without crash recovery this is a plain retry loop; the
+    /// sigsetjmp is compiled out (paper's supportsCrashRecovery check).
+    /// Contract: the body must not perform non-reentrant actions (allocation,
+    /// bag manipulation, I/O) -- those belong in the quiescent preamble and
+    /// postamble around run_op.
+    template <class BodyFn, class RecoveryFn>
+    void run_op(int tid, BodyFn&& body, RecoveryFn&& recovery) {
+        if constexpr (supports_crash_recovery) {
+            for (;;) {
+                // savemask = 0: saving the signal mask is a sigprocmask
+                // syscall per operation. Instead, the (rare) recovery path
+                // re-enables the neutralization signal explicitly -- the
+                // kernel blocked it for the duration of the handler we
+                // longjmped out of.
+                if (sigsetjmp(global_.jmp_env(tid), 0)) {
+                    global_.prepare_recovery(tid);
+                    if (recovery(tid)) return;
+                } else {
+                    if (body(tid)) return;
+                }
+            }
+        } else {
+            (void)recovery;
+            while (!body(tid)) {}
+        }
+    }
+
+    // ---- introspection --------------------------------------------------------
+
+    debug_stats& stats() noexcept { return stats_; }
+    const debug_stats& stats() const noexcept { return stats_; }
+    typename Scheme::global_state& global() noexcept { return global_; }
+    int num_threads() const noexcept { return num_threads_; }
+
+    template <class T>
+    long long limbo_size(int tid) const {
+        return get<T>().rec.limbo_size(tid);
+    }
+    template <class T>
+    long long total_limbo_size() const {
+        long long sum = 0;
+        for (int t = 0; t < num_threads_; ++t) sum += limbo_size<T>(t);
+        return sum;
+    }
+    template <class T>
+    auto& pool() {
+        return get<T>().pool;
+    }
+
+    /// Records waiting to be freed, summed over every managed type and
+    /// thread (the paper's "objects waiting to be freed" metric).
+    long long total_limbo_all_types() {
+        long long sum = 0;
+        for_each_bundle([&](auto& b) {
+            for (int t = 0; t < num_threads_; ++t) sum += b.rec.limbo_size(t);
+        });
+        return sum;
+    }
+
+    /// Total bytes of fresh record storage allocated, summed over managed
+    /// types -- the Figure 9 metric. Returns -1 when the configured
+    /// Allocator cannot report it (i.e., is not a bump allocator).
+    long long total_allocated_bytes() {
+        long long sum = -1;
+        for_each_bundle([&](auto& b) {
+            if constexpr (requires { b.alloc.total_bumped_bytes(); }) {
+                if (sum < 0) sum = 0;
+                sum += b.alloc.total_bumped_bytes();
+            }
+        });
+        return sum;
+    }
+    template <class T>
+    auto& allocator() {
+        return get<T>().alloc;
+    }
+
+  private:
+    template <class T>
+    struct bundle {
+        using alloc_t = typename AllocTag::template bind<T>;
+        using pool_t =
+            typename PoolTag::template bind<T, alloc_t, BLOCK_SIZE>;
+        using rec_t =
+            typename Scheme::template per_type<T, pool_t, BLOCK_SIZE>;
+
+        bundle(int n, typename Scheme::global_state& g, debug_stats* stats)
+            : bpools(n, stats),
+              alloc(n, stats),
+              pool(n, alloc, bpools, stats),
+              rec(n, g, pool, bpools, stats) {}
+
+        // Declaration order doubles as teardown dependency order (reverse):
+        // rec drains limbo into pool, pool frees into alloc.
+        mem::block_pool_array<T, BLOCK_SIZE> bpools;
+        alloc_t alloc;
+        pool_t pool;
+        rec_t rec;
+    };
+
+    template <class T>
+    bundle<T>& get() {
+        static_assert((std::is_same_v<T, Ts> || ...),
+                      "type is not managed by this record_manager");
+        return *std::get<std::unique_ptr<bundle<T>>>(bundles_);
+    }
+    template <class T>
+    const bundle<T>& get() const {
+        static_assert((std::is_same_v<T, Ts> || ...),
+                      "type is not managed by this record_manager");
+        return *std::get<std::unique_ptr<bundle<T>>>(bundles_);
+    }
+
+    template <class F>
+    void for_each_bundle(F&& f) {
+        std::apply([&](auto&... b) { (f(*b), ...); }, bundles_);
+    }
+
+    const int num_threads_;
+    debug_stats stats_;
+    typename Scheme::global_state global_;
+    std::tuple<std::unique_ptr<bundle<Ts>>...> bundles_;
+};
+
+}  // namespace smr

@@ -1,0 +1,45 @@
+// barrier.h -- sense-reversing spin barrier for the harness and tests.
+//
+// std::barrier is available in C++20 but parks threads in futexes; for
+// benchmark start lines we want every thread spinning and hot the instant
+// the trial begins. Tests also use this barrier to force particular
+// interleavings (e.g. "all threads have retired their records before any
+// thread rotates").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace smr {
+
+class spin_barrier {
+  public:
+    explicit spin_barrier(std::uint32_t parties) noexcept
+        : parties_(parties), waiting_(0), sense_(false) {}
+
+    spin_barrier(const spin_barrier&) = delete;
+    spin_barrier& operator=(const spin_barrier&) = delete;
+
+    /// Blocks until `parties` threads have arrived. Reusable.
+    void arrive_and_wait() noexcept {
+        const bool my_sense = !sense_.load(std::memory_order_relaxed);
+        if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+            waiting_.store(0, std::memory_order_relaxed);
+            sense_.store(my_sense, std::memory_order_release);
+        } else {
+            // Yield rather than pure-spin: the test machines may have fewer
+            // cores than parties, and a pure spin would serialize arrival.
+            while (sense_.load(std::memory_order_acquire) != my_sense) {
+                std::this_thread::yield();
+            }
+        }
+    }
+
+  private:
+    const std::uint32_t parties_;
+    std::atomic<std::uint32_t> waiting_;
+    std::atomic<bool> sense_;
+};
+
+}  // namespace smr

@@ -1,0 +1,92 @@
+// debug_stats.h -- cheap per-thread event counters, aggregated on demand.
+//
+// The paper's evaluation reports more than throughput: Figure 9 needs total
+// memory allocated, the Section 4 block-pool claim needs block allocation
+// counts, and the Figure 9 discussion needs neutralization counts. Every
+// component in this library bumps a per-thread padded counter (one relaxed
+// add, no sharing) and the harness sums them after the trial.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "padded.h"
+
+namespace smr {
+
+/// Compile-time upper bound on threads. Runtime thread counts up to this
+/// value are chosen per-experiment; the arrays this sizes are all per-thread
+/// slots, ~dozens of KiB total.
+inline constexpr int MAX_THREADS = 128;
+
+enum class stat : int {
+    records_allocated,       // allocator handed out fresh storage
+    records_freed,           // storage returned to the OS / arena
+    records_retired,         // retire() calls
+    records_pooled,          // records moved from limbo bags to a pool
+    records_reused,          // pool satisfied an allocate()
+    blocks_allocated,        // blockbag blocks obtained from heap
+    blocks_recycled,         // blockbag blocks served from block_pool
+    epochs_advanced,         // successful epoch CAS
+    announcement_checks,     // reads of another thread's announcement
+    rotations,               // limbo-bag rotations
+    neutralize_signals_sent,
+    neutralize_signals_received,  // handler ran while non-quiescent (longjmp)
+    benign_signals_received,      // handler ran while quiescent (no-op)
+    hp_scans,                // full hazard-pointer scans
+    hp_validation_failures,  // protect() validation rejected (op restarts)
+    op_restarts,             // data structure operation restarted
+    COUNT
+};
+
+inline constexpr std::array<std::string_view,
+                            static_cast<int>(stat::COUNT)>
+    stat_names = {
+        "records_allocated",      "records_freed",
+        "records_retired",        "records_pooled",
+        "records_reused",         "blocks_allocated",
+        "blocks_recycled",        "epochs_advanced",
+        "announcement_checks",    "rotations",
+        "neutralize_signals_sent","neutralize_signals_received",
+        "benign_signals_received","hp_scans",
+        "hp_validation_failures", "op_restarts",
+};
+
+/// Per-thread counter matrix. Writes are relaxed single-writer; totals are
+/// only meaningful once the writing threads have quiesced (harness sums
+/// after joining / barrier).
+class debug_stats {
+  public:
+    void add(int tid, stat s, std::uint64_t delta = 1) noexcept {
+        cells_[tid]->counts[static_cast<int>(s)].fetch_add(
+            delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t get(int tid, stat s) const noexcept {
+        return cells_[tid]->counts[static_cast<int>(s)].load(
+            std::memory_order_relaxed);
+    }
+
+    std::uint64_t total(stat s) const noexcept {
+        std::uint64_t sum = 0;
+        for (int t = 0; t < MAX_THREADS; ++t) sum += get(t, s);
+        return sum;
+    }
+
+    void clear() noexcept {
+        for (int t = 0; t < MAX_THREADS; ++t)
+            for (auto& c : cells_[t]->counts)
+                c.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    struct cell {
+        std::array<std::atomic<std::uint64_t>, static_cast<int>(stat::COUNT)>
+            counts{};
+    };
+    std::array<padded<cell>, MAX_THREADS> cells_{};
+};
+
+}  // namespace smr

@@ -1,0 +1,47 @@
+// padded.h -- cache-line padding utilities.
+//
+// Nearly every shared array in an SMR scheme (epoch announcements, hazard
+// pointer slots, per-thread counters) is written by one thread and read by
+// many. Placing two such slots in one cache line causes false sharing, which
+// the paper identifies as a first-order cost on NUMA systems (Section 4,
+// "Optimizing for NUMA systems"). Every per-thread slot in this library is
+// therefore padded to PREFETCH_LINE bytes: two hardware lines, because Intel
+// L2 spatial prefetchers pull adjacent line pairs.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace smr {
+
+/// One coherence line. 64 bytes on every x86-64 / aarch64 part we target.
+inline constexpr std::size_t CACHE_LINE = 64;
+
+/// Padding granularity for cross-thread slots: two lines, defeating the
+/// adjacent-line prefetcher as well as plain false sharing.
+inline constexpr std::size_t PREFETCH_LINE = 128;
+
+/// A value of type T alone on its own (pair of) cache line(s).
+///
+/// Usable for any T whose size is <= PREFETCH_LINE after alignment; for
+/// larger T the wrapper degenerates to alignment only.
+template <class T>
+struct alignas(PREFETCH_LINE) padded {
+    T value{};
+
+    padded() = default;
+    template <class... Args>
+    explicit padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+    T& operator*() noexcept { return value; }
+    const T& operator*() const noexcept { return value; }
+    T* operator->() noexcept { return &value; }
+    const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(sizeof(padded<long>) == PREFETCH_LINE);
+static_assert(alignof(padded<long>) == PREFETCH_LINE);
+
+}  // namespace smr

@@ -1,0 +1,61 @@
+// prng.h -- fast per-thread pseudo-random number generation.
+//
+// Workload generators in the benchmark harness draw one key and one
+// operation per data structure operation, so the generator sits on the
+// critical path of every throughput experiment. std::mt19937 is far too
+// heavy; we use xorshift128+ (Vigna), the same family used by the original
+// DEBRA harness, which needs two 64-bit words of state and ~4 ALU ops per
+// draw.
+#pragma once
+
+#include <cstdint>
+
+namespace smr {
+
+/// xorshift128+ generator. Not cryptographic; statistically more than
+/// adequate for workload generation and randomized tests.
+class prng {
+  public:
+    /// Seeds must not both be zero; the constructor runs splitmix64 over the
+    /// seed so that small consecutive seeds (thread ids) yield uncorrelated
+    /// streams.
+    explicit prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+        s0_ = splitmix64(seed);
+        s1_ = splitmix64(s0_ ^ 0xbf58476d1ce4e5b9ULL);
+        if (s0_ == 0 && s1_ == 0) s1_ = 1;
+    }
+
+    std::uint64_t next() noexcept {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /// Uniform draw in [0, bound). Uses the multiply-shift trick to avoid a
+    /// modulo on the hot path; bias is negligible for bound << 2^64.
+    std::uint64_t next(std::uint64_t bound) noexcept {
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /// Bernoulli draw with probability percent/100.
+    bool chance_percent(std::uint64_t percent) noexcept {
+        return next(100) < percent;
+    }
+
+    static std::uint64_t splitmix64(std::uint64_t x) noexcept {
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+}  // namespace smr

@@ -1,0 +1,45 @@
+// tagged_ptr.h -- low-bit tagging for marked pointers and flagged words.
+//
+// Lock-free structures encode state in the low bits of aligned pointers:
+// Harris-style lists mark a node's next pointer before unlinking it, and the
+// Ellen et al. BST packs a 2-bit operation state (CLEAN/IFLAG/DFLAG/MARK)
+// next to an info-record pointer in each node's update word. Records are
+// allocated with >= 8-byte alignment, so the low three bits are free.
+#pragma once
+
+#include <cstdint>
+
+namespace smr {
+
+/// Pointer with a single mark bit in bit 0 (Harris lists, skip list towers).
+template <class T>
+struct marked_ptr {
+    static constexpr std::uintptr_t MARK = 1;
+
+    static std::uintptr_t pack(T* p, bool marked) noexcept {
+        return reinterpret_cast<std::uintptr_t>(p) | (marked ? MARK : 0);
+    }
+    static T* ptr(std::uintptr_t v) noexcept {
+        return reinterpret_cast<T*>(v & ~MARK);
+    }
+    static bool is_marked(std::uintptr_t v) noexcept { return v & MARK; }
+};
+
+/// Pointer with a 2-bit state field in bits 0..1 (EFRB BST update words).
+template <class T>
+struct stated_ptr {
+    static constexpr std::uintptr_t STATE_MASK = 3;
+
+    static std::uintptr_t pack(T* p, unsigned state) noexcept {
+        return reinterpret_cast<std::uintptr_t>(p) |
+               (static_cast<std::uintptr_t>(state) & STATE_MASK);
+    }
+    static T* ptr(std::uintptr_t v) noexcept {
+        return reinterpret_cast<T*>(v & ~STATE_MASK);
+    }
+    static unsigned state(std::uintptr_t v) noexcept {
+        return static_cast<unsigned>(v & STATE_MASK);
+    }
+};
+
+}  // namespace smr

@@ -1,0 +1,29 @@
+// timing.h -- wall-clock timing helpers for the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace smr {
+
+/// Monotonic nanosecond timestamp.
+inline std::int64_t now_nanos() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Simple stopwatch around steady_clock.
+class stopwatch {
+  public:
+    stopwatch() : start_(now_nanos()) {}
+    void reset() noexcept { start_ = now_nanos(); }
+    std::int64_t elapsed_nanos() const noexcept { return now_nanos() - start_; }
+    double elapsed_millis() const noexcept { return elapsed_nanos() / 1e6; }
+    double elapsed_seconds() const noexcept { return elapsed_nanos() / 1e9; }
+
+  private:
+    std::int64_t start_;
+};
+
+}  // namespace smr

@@ -1,0 +1,94 @@
+// ds_test_util.h -- shared fixtures for the data structure tests: manager
+// typedefs per reclamation scheme and a reference-model checker.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "ds/ellen_bst.h"
+#include "ds/harris_list.h"
+#include "ds/lazy_skiplist.h"
+#include "recordmgr/record_manager.h"
+#include "reclaim/reclaimer_debra.h"
+#include "reclaim/reclaimer_debra_plus.h"
+#include "reclaim/reclaimer_hp.h"
+#include "reclaim/reclaimer_none.h"
+#include "util/prng.h"
+
+namespace smr::testutil {
+
+using key_t = long long;
+using val_t = long long;
+
+/// Aggressive epoch settings so reclamation happens within small tests.
+template <class Mgr>
+typename Mgr::config_t fast_config() {
+    auto cfg = Mgr::default_config();
+    if constexpr (requires { cfg.check_thresh; }) {
+        cfg.check_thresh = 1;
+        cfg.incr_thresh = 1;
+    }
+    if constexpr (requires { cfg.epoch.check_thresh; }) {
+        cfg.epoch.check_thresh = 1;
+        cfg.epoch.incr_thresh = 1;
+        cfg.suspect_threshold_blocks = 1;
+        cfg.scan_threshold_blocks = 1;
+    }
+    return cfg;
+}
+
+// ---- per-structure manager typedefs ---------------------------------------
+
+template <class Scheme>
+using list_mgr = record_manager<Scheme, alloc_malloc, pool_shared,
+                                ds::list_node<key_t, val_t>>;
+
+template <class Scheme>
+using bst_mgr =
+    record_manager<Scheme, alloc_malloc, pool_shared,
+                   ds::bst_node<key_t, val_t>, ds::bst_info<key_t, val_t>>;
+
+template <class Scheme>
+using skip_mgr = record_manager<Scheme, alloc_malloc, pool_shared,
+                                ds::skiplist_node<key_t, val_t>>;
+
+/// Randomized differential test of any set implementation against
+/// std::map, single-threaded. Returns the number of operations checked.
+template <class DS>
+long differential_test(DS& ds, int tid, std::uint64_t seed, int ops,
+                       key_t key_range) {
+    std::map<key_t, val_t> model;
+    prng rng(seed);
+    long checked = 0;
+    for (int i = 0; i < ops; ++i) {
+        const key_t k =
+            static_cast<key_t>(rng.next(static_cast<std::uint64_t>(key_range)));
+        const auto dice = rng.next(100);
+        if (dice < 40) {
+            const bool expect = model.emplace(k, k * 3).second;
+            const bool got = ds.insert(tid, k, k * 3);
+            if (expect != got) return -i - 1;
+        } else if (dice < 70) {
+            const auto it = model.find(k);
+            const std::optional<val_t> expect =
+                it == model.end() ? std::nullopt
+                                  : std::optional<val_t>(it->second);
+            if (it != model.end()) model.erase(it);
+            const auto got = ds.erase(tid, k);
+            if (expect != got) return -i - 1;
+        } else {
+            const auto it = model.find(k);
+            const std::optional<val_t> expect =
+                it == model.end() ? std::nullopt
+                                  : std::optional<val_t>(it->second);
+            const auto got = ds.find(tid, k);
+            if (expect != got) return -i - 1;
+        }
+        ++checked;
+    }
+    if (ds.size_slow() != static_cast<long long>(model.size())) return -ops - 1;
+    return checked;
+}
+
+}  // namespace smr::testutil

@@ -1,0 +1,158 @@
+// Tests for the Allocator policies (src/alloc/).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "alloc/allocator_bump.h"
+#include "alloc/allocator_new.h"
+#include "util/debug_stats.h"
+
+namespace smr::alloc {
+namespace {
+
+struct rec {
+    long a;
+    long b;
+};
+
+TEST(AllocatorNew, AllocateGivesAlignedDistinctStorage) {
+    debug_stats stats;
+    allocator_new<rec> alloc(2, &stats);
+    std::set<rec*> seen;
+    for (int i = 0; i < 100; ++i) {
+        rec* p = alloc.allocate(0);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(rec), 0u);
+        EXPECT_TRUE(seen.insert(p).second);
+    }
+    for (rec* p : seen) alloc.deallocate(0, p);
+    EXPECT_EQ(stats.total(stat::records_allocated), 100u);
+    EXPECT_EQ(stats.total(stat::records_freed), 100u);
+}
+
+TEST(AllocatorNew, BytesInUseTracksLiveRecords) {
+    debug_stats stats;
+    allocator_new<rec> alloc(1, &stats);
+    rec* a = alloc.allocate(0);
+    rec* b = alloc.allocate(0);
+    EXPECT_EQ(alloc.bytes_in_use(stats),
+              static_cast<long long>(2 * sizeof(rec)));
+    alloc.deallocate(0, a);
+    EXPECT_EQ(alloc.bytes_in_use(stats), static_cast<long long>(sizeof(rec)));
+    alloc.deallocate(0, b);
+    EXPECT_EQ(alloc.bytes_in_use(stats), 0);
+}
+
+TEST(AllocatorBump, AllocateGivesDistinctWritableStorage) {
+    debug_stats stats;
+    allocator_bump<rec> alloc(2, &stats);
+    std::set<rec*> seen;
+    for (int i = 0; i < 1000; ++i) {
+        rec* p = alloc.allocate(0);
+        ASSERT_NE(p, nullptr);
+        p->a = i;  // must be writable
+        p->b = -i;
+        EXPECT_TRUE(seen.insert(p).second);
+    }
+}
+
+TEST(AllocatorBump, FreeListReusesStorage) {
+    debug_stats stats;
+    allocator_bump<rec> alloc(1, &stats);
+    rec* a = alloc.allocate(0);
+    const long long bumped_before = alloc.bumped_bytes(0);
+    alloc.deallocate(0, a);
+    rec* b = alloc.allocate(0);
+    EXPECT_EQ(b, a);  // LIFO free list returns the same slot
+    EXPECT_EQ(alloc.bumped_bytes(0), bumped_before);  // no new bump
+    EXPECT_EQ(stats.total(stat::records_reused), 1u);
+}
+
+TEST(AllocatorBump, BumpedBytesIsTheFigure9Metric) {
+    debug_stats stats;
+    allocator_bump<rec> alloc(2, &stats);
+    EXPECT_EQ(alloc.total_bumped_bytes(), 0);
+    for (int i = 0; i < 10; ++i) alloc.allocate(0);
+    for (int i = 0; i < 5; ++i) alloc.allocate(1);
+    const long long per_thread0 = alloc.bumped_bytes(0);
+    const long long per_thread1 = alloc.bumped_bytes(1);
+    EXPECT_GT(per_thread0, 0);
+    EXPECT_GT(per_thread1, 0);
+    EXPECT_EQ(alloc.total_bumped_bytes(), per_thread0 + per_thread1);
+    // Reuse does not move the bump pointer.
+    rec* p = alloc.allocate(0);
+    alloc.deallocate(0, p);
+    const long long before = alloc.total_bumped_bytes();
+    alloc.allocate(0);
+    EXPECT_EQ(alloc.total_bumped_bytes(), before);
+}
+
+TEST(AllocatorBump, PerThreadArenasAreIndependent) {
+    debug_stats stats;
+    allocator_bump<rec> alloc(2, &stats);
+    rec* a = alloc.allocate(0);
+    rec* b = alloc.allocate(1);
+    EXPECT_NE(a, b);
+    alloc.deallocate(0, a);
+    // Thread 1's free list is untouched by thread 0's deallocate.
+    rec* c = alloc.allocate(1);
+    EXPECT_NE(c, a);
+}
+
+TEST(AllocatorBump, SurvivesChunkBoundaries) {
+    debug_stats stats;
+    allocator_bump<rec> alloc(1, &stats);
+    // Allocate more than one chunk's worth of records.
+    const std::size_t per_chunk = allocator_bump<rec>::CHUNK_BYTES / sizeof(rec);
+    std::set<rec*> seen;
+    for (std::size_t i = 0; i < per_chunk + 100; ++i) {
+        rec* p = alloc.allocate(0);
+        p->a = static_cast<long>(i);
+        EXPECT_TRUE(seen.insert(p).second);
+    }
+    EXPECT_EQ(seen.size(), per_chunk + 100);
+}
+
+TEST(AllocatorBump, ConcurrentPerThreadAllocation) {
+    debug_stats stats;
+    constexpr int N = 4;
+    allocator_bump<rec> alloc(N, &stats);
+    std::vector<std::thread> threads;
+    std::vector<std::vector<rec*>> out(N);
+    for (int t = 0; t < N; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < 5000; ++i) {
+                rec* p = alloc.allocate(t);
+                p->a = t;
+                out[static_cast<std::size_t>(t)].push_back(p);
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    std::set<rec*> all;
+    for (auto& v : out) {
+        for (rec* p : v) {
+            EXPECT_TRUE(all.insert(p).second);
+            EXPECT_EQ(p->a, &v - &out[0]);
+        }
+    }
+    EXPECT_EQ(all.size(), static_cast<std::size_t>(N) * 5000);
+}
+
+TEST(AllocatorBump, SmallRecordsStillFitFreeListNode) {
+    struct tiny {
+        char c;
+    };
+    debug_stats stats;
+    allocator_bump<tiny> alloc(1, &stats);
+    tiny* a = alloc.allocate(0);
+    alloc.deallocate(0, a);
+    tiny* b = alloc.allocate(0);
+    EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace smr::alloc

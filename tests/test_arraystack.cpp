@@ -1,0 +1,124 @@
+// Tests for the single-writer multi-reader announcement stack
+// (src/mem/arraystack.h) used for DEBRA+'s RProtect records.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "mem/arraystack.h"
+
+namespace smr::mem {
+namespace {
+
+TEST(Arraystack, StartsEmpty) {
+    arraystack<int, 8> s;
+    EXPECT_EQ(s.count_hint(), 0);
+    int x;
+    EXPECT_FALSE(s.contains(&x));
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(s.read_slot(i), nullptr);
+}
+
+TEST(Arraystack, PushThenContains) {
+    arraystack<int, 8> s;
+    int a, b;
+    s.push(&a);
+    EXPECT_TRUE(s.contains(&a));
+    EXPECT_FALSE(s.contains(&b));
+    EXPECT_EQ(s.count_hint(), 1);
+}
+
+TEST(Arraystack, ContainsNullIsFalseEvenWithEmptySlots) {
+    arraystack<int, 8> s;
+    EXPECT_FALSE(s.contains(nullptr));
+    int a;
+    s.push(&a);
+    EXPECT_FALSE(s.contains(nullptr));
+}
+
+TEST(Arraystack, ClearRemovesEverything) {
+    arraystack<int, 8> s;
+    int xs[5];
+    for (auto& x : xs) s.push(&x);
+    s.clear();
+    EXPECT_EQ(s.count_hint(), 0);
+    for (auto& x : xs) EXPECT_FALSE(s.contains(&x));
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(s.read_slot(i), nullptr);
+}
+
+TEST(Arraystack, SlotsVisibleToReaders) {
+    arraystack<int, 8> s;
+    int a, b;
+    s.push(&a);
+    s.push(&b);
+    // A scanner reads every slot, null-checked.
+    int found = 0;
+    for (int i = 0; i < 8; ++i) {
+        int* p = s.read_slot(i);
+        if (p == &a || p == &b) ++found;
+    }
+    EXPECT_EQ(found, 2);
+}
+
+TEST(Arraystack, ReusableAfterClear) {
+    arraystack<int, 4> s;
+    int a, b;
+    for (int round = 0; round < 100; ++round) {
+        s.push(&a);
+        s.push(&b);
+        EXPECT_TRUE(s.contains(&a));
+        EXPECT_TRUE(s.contains(&b));
+        s.clear();
+    }
+    EXPECT_EQ(s.count_hint(), 0);
+}
+
+TEST(Arraystack, TornPushIsConservativelyVisible) {
+    // Simulates neutralization between the slot store and the count bump:
+    // the slot is written but count not yet incremented. A scanner must
+    // still see the pointer (over-protection is safe; missing it is not).
+    arraystack<int, 4> s;
+    int a;
+    // Emulate the torn state by pushing then manually rolling the count
+    // back is not possible through the public API; instead verify that
+    // contains()/read_slot() ignore the count entirely: push two, then
+    // check that even slots beyond count_hint would be visible.
+    s.push(&a);
+    EXPECT_TRUE(s.contains(&a));
+    bool seen = false;
+    for (int i = 0; i < 4; ++i) {
+        if (s.read_slot(i) == &a) seen = true;
+    }
+    EXPECT_TRUE(seen);
+}
+
+TEST(Arraystack, ConcurrentReadersSeeOwnerWrites) {
+    // The owner writes each slot before bumping the count, so a reader that
+    // observes count == k finds at least k non-null slots as long as no
+    // clear() intervenes. Run the reader against a push-only owner phase.
+    arraystack<long, 16> s;
+    std::vector<long> recs(16);
+    std::atomic<bool> stop{false};
+    std::atomic<long> misses{0};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            const int published = s.count_hint();
+            int found = 0;
+            for (int i = 0; i < 16; ++i) {
+                if (s.read_slot(i) != nullptr) ++found;
+            }
+            if (found < published) misses.fetch_add(1);
+        }
+    });
+    for (auto& r : recs) {
+        s.push(&r);
+        std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_release);
+    reader.join();
+    EXPECT_EQ(misses.load(), 0);
+    EXPECT_EQ(s.count_hint(), 16);
+}
+
+}  // namespace
+}  // namespace smr::mem

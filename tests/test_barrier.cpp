@@ -1,0 +1,98 @@
+// Tests for the sense-reversing spin barrier (src/util/barrier.h) and the
+// stopwatch (src/util/timing.h).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/barrier.h"
+#include "util/timing.h"
+
+namespace smr {
+namespace {
+
+TEST(SpinBarrier, SingleParty) {
+    spin_barrier b(1);
+    b.arrive_and_wait();  // must not block
+    b.arrive_and_wait();
+    SUCCEED();
+}
+
+TEST(SpinBarrier, AllThreadsSeePrePhaseWrites) {
+    constexpr int N = 4;
+    spin_barrier b(N);
+    std::atomic<int> counter{0};
+    std::vector<std::thread> threads;
+    std::atomic<bool> failed{false};
+    for (int t = 0; t < N; ++t) {
+        threads.emplace_back([&] {
+            counter.fetch_add(1, std::memory_order_relaxed);
+            b.arrive_and_wait();
+            if (counter.load(std::memory_order_relaxed) != N) failed = true;
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_FALSE(failed.load());
+}
+
+TEST(SpinBarrier, ReusableAcrossManyPhases) {
+    constexpr int N = 3;
+    constexpr int PHASES = 50;
+    spin_barrier b(N);
+    std::atomic<int> phase_counts[PHASES] = {};
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < N; ++t) {
+        threads.emplace_back([&] {
+            for (int ph = 0; ph < PHASES; ++ph) {
+                phase_counts[ph].fetch_add(1);
+                b.arrive_and_wait();
+                // Every thread must see the full count for its phase.
+                if (phase_counts[ph].load() != N) failed = true;
+                b.arrive_and_wait();
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_FALSE(failed.load());
+}
+
+TEST(SpinBarrier, MoreThreadsThanCores) {
+    // The barrier yields, so heavy oversubscription must still complete.
+    constexpr int N = 16;
+    spin_barrier b(N);
+    std::atomic<int> done{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < N; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 10; ++i) b.arrive_and_wait();
+            done.fetch_add(1);
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(done.load(), N);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+    stopwatch w;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_GE(w.elapsed_millis(), 15.0);
+    EXPECT_LT(w.elapsed_seconds(), 10.0);
+}
+
+TEST(Stopwatch, ResetRestarts) {
+    stopwatch w;
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    w.reset();
+    EXPECT_LT(w.elapsed_millis(), 15.0);
+}
+
+TEST(Stopwatch, Monotonic) {
+    const auto a = now_nanos();
+    const auto b = now_nanos();
+    EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace smr

@@ -1,0 +1,79 @@
+// Tests for fixed-capacity record blocks (src/mem/block.h).
+#include <gtest/gtest.h>
+
+#include "mem/block.h"
+
+namespace smr::mem {
+namespace {
+
+struct rec {
+    long v;
+};
+
+TEST(Block, StartsEmpty) {
+    block<rec, 4> b;
+    EXPECT_TRUE(b.empty());
+    EXPECT_FALSE(b.full());
+    EXPECT_EQ(b.size, 0);
+    EXPECT_EQ(b.next, nullptr);
+}
+
+TEST(Block, PushPopLifo) {
+    block<rec, 4> b;
+    rec r1{1}, r2{2}, r3{3};
+    b.push(&r1);
+    b.push(&r2);
+    b.push(&r3);
+    EXPECT_EQ(b.size, 3);
+    EXPECT_EQ(b.pop(), &r3);
+    EXPECT_EQ(b.pop(), &r2);
+    EXPECT_EQ(b.pop(), &r1);
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(Block, FullAtCapacity) {
+    block<rec, 3> b;
+    rec r{0};
+    b.push(&r);
+    b.push(&r);
+    EXPECT_FALSE(b.full());
+    b.push(&r);
+    EXPECT_TRUE(b.full());
+    EXPECT_EQ(b.capacity, 3);
+}
+
+TEST(Block, DefaultCapacityMatchesPaper) {
+    EXPECT_EQ((block<rec>::capacity), 256);
+    EXPECT_EQ(DEFAULT_BLOCK_SIZE, 256);
+}
+
+TEST(Block, RefillAfterDrain) {
+    block<rec, 2> b;
+    rec r1{1}, r2{2};
+    b.push(&r1);
+    b.push(&r2);
+    EXPECT_EQ(b.pop(), &r2);
+    EXPECT_EQ(b.pop(), &r1);
+    b.push(&r2);
+    EXPECT_EQ(b.pop(), &r2);
+}
+
+TEST(BlockChain, DefaultIsEmpty) {
+    block_chain<rec, 4> c;
+    EXPECT_TRUE(c.empty());
+    EXPECT_EQ(c.head, nullptr);
+    EXPECT_EQ(c.tail, nullptr);
+    EXPECT_EQ(c.count, 0);
+}
+
+TEST(BlockChain, NonEmptyWhenHeadSet) {
+    block<rec, 4> b;
+    block_chain<rec, 4> c;
+    c.head = &b;
+    c.tail = &b;
+    c.count = 1;
+    EXPECT_FALSE(c.empty());
+}
+
+}  // namespace
+}  // namespace smr::mem

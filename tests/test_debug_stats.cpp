@@ -1,0 +1,79 @@
+// Tests for the per-thread event counters (src/util/debug_stats.h).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/debug_stats.h"
+
+namespace smr {
+namespace {
+
+TEST(DebugStats, StartsAtZero) {
+    debug_stats s;
+    for (int i = 0; i < static_cast<int>(stat::COUNT); ++i) {
+        EXPECT_EQ(s.total(static_cast<stat>(i)), 0u);
+    }
+}
+
+TEST(DebugStats, AddAndGetPerThread) {
+    debug_stats s;
+    s.add(0, stat::records_retired);
+    s.add(0, stat::records_retired);
+    s.add(1, stat::records_retired, 5);
+    EXPECT_EQ(s.get(0, stat::records_retired), 2u);
+    EXPECT_EQ(s.get(1, stat::records_retired), 5u);
+    EXPECT_EQ(s.get(2, stat::records_retired), 0u);
+    EXPECT_EQ(s.total(stat::records_retired), 7u);
+}
+
+TEST(DebugStats, CountersAreIndependent) {
+    debug_stats s;
+    s.add(3, stat::hp_scans, 10);
+    EXPECT_EQ(s.total(stat::hp_scans), 10u);
+    EXPECT_EQ(s.total(stat::epochs_advanced), 0u);
+}
+
+TEST(DebugStats, ClearResetsEverything) {
+    debug_stats s;
+    for (int t = 0; t < 8; ++t) {
+        for (int i = 0; i < static_cast<int>(stat::COUNT); ++i) {
+            s.add(t, static_cast<stat>(i), static_cast<std::uint64_t>(i + t));
+        }
+    }
+    s.clear();
+    for (int i = 0; i < static_cast<int>(stat::COUNT); ++i) {
+        EXPECT_EQ(s.total(static_cast<stat>(i)), 0u);
+    }
+}
+
+TEST(DebugStats, NamesCoverEveryStat) {
+    EXPECT_EQ(stat_names.size(),
+              static_cast<std::size_t>(static_cast<int>(stat::COUNT)));
+    for (const auto& n : stat_names) EXPECT_FALSE(n.empty());
+}
+
+TEST(DebugStats, ConcurrentWritersOnDistinctTids) {
+    debug_stats s;
+    constexpr int N = 8;
+    constexpr int ITERS = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < N; ++t) {
+        threads.emplace_back([&s, t] {
+            for (int i = 0; i < ITERS; ++i) s.add(t, stat::records_allocated);
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(s.total(stat::records_allocated),
+              static_cast<std::uint64_t>(N) * ITERS);
+}
+
+TEST(DebugStats, MaxThreadsBound) {
+    debug_stats s;
+    s.add(MAX_THREADS - 1, stat::rotations);
+    EXPECT_EQ(s.get(MAX_THREADS - 1, stat::rotations), 1u);
+    EXPECT_EQ(s.total(stat::rotations), 1u);
+}
+
+}  // namespace
+}  // namespace smr

@@ -1,0 +1,222 @@
+// Tests for the epoch/announcement engine (src/reclaim/epoch_core.h):
+// quiescent bits, incremental scanning (CHECK_THRESH), epoch-increment
+// throttling (INCR_THRESH), and the suspect hook DEBRA+ builds on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "reclaim/epoch_core.h"
+
+namespace smr::reclaim {
+namespace {
+
+epoch_config fast_cfg() {
+    epoch_config c;
+    c.check_thresh = 1;
+    c.incr_thresh = 1;
+    return c;
+}
+
+TEST(EpochCore, InitialState) {
+    epoch_core core(2, fast_cfg(), nullptr);
+    EXPECT_EQ(core.read_epoch(), 2u);
+    EXPECT_TRUE(core.is_quiescent(0));
+    EXPECT_TRUE(core.is_quiescent(1));
+    EXPECT_EQ(core.num_threads(), 2);
+}
+
+TEST(EpochCore, LeaveQstateClearsQuiescentBit) {
+    epoch_core core(1, fast_cfg(), nullptr);
+    core.leave_qstate(0, [] {}, [](int) { return false; });
+    EXPECT_FALSE(core.is_quiescent(0));
+    core.enter_qstate(0);
+    EXPECT_TRUE(core.is_quiescent(0));
+}
+
+TEST(EpochCore, FirstLeaveTriggersRotate) {
+    epoch_core core(1, fast_cfg(), nullptr);
+    int rotations = 0;
+    const bool changed =
+        core.leave_qstate(0, [&] { ++rotations; }, [](int) { return false; });
+    EXPECT_TRUE(changed);
+    EXPECT_EQ(rotations, 1);
+}
+
+TEST(EpochCore, SingleThreadAdvancesEpochEveryOp) {
+    // With check_thresh = incr_thresh = 1, a lone thread advances the epoch
+    // on every operation (the pathology INCR_THRESH exists to prevent).
+    // Operations alternate leave/enter, as the contract requires.
+    epoch_core core(1, fast_cfg(), nullptr);
+    const auto e0 = core.read_epoch();
+    core.leave_qstate(0, [] {}, [](int) { return false; });
+    core.enter_qstate(0);
+    EXPECT_EQ(core.read_epoch(), e0 + 2);
+    core.leave_qstate(0, [] {}, [](int) { return false; });
+    core.enter_qstate(0);
+    EXPECT_EQ(core.read_epoch(), e0 + 4);
+}
+
+TEST(EpochCore, IncrThreshThrottlesAdvancement) {
+    epoch_config cfg;
+    cfg.check_thresh = 1;
+    cfg.incr_thresh = 10;
+    epoch_core core(1, cfg, nullptr);
+    const auto e0 = core.read_epoch();
+    // The epoch must not advance until 10 checks have accumulated.
+    for (int i = 0; i < 9; ++i) {
+        core.leave_qstate(0, [] {}, [](int) { return false; });
+        core.enter_qstate(0);
+        EXPECT_EQ(core.read_epoch(), e0) << "advanced after " << i + 1;
+    }
+    core.leave_qstate(0, [] {}, [](int) { return false; });
+    core.enter_qstate(0);
+    EXPECT_EQ(core.read_epoch(), e0 + 2);
+}
+
+TEST(EpochCore, CheckThreshAmortizesScanning) {
+    debug_stats stats;
+    epoch_config cfg;
+    cfg.check_thresh = 5;
+    cfg.incr_thresh = 1;
+    epoch_core core(1, cfg, &stats);
+    for (int i = 0; i < 20; ++i) {
+        core.leave_qstate(0, [] {}, [](int) { return false; });
+        core.enter_qstate(0);
+    }
+    // Exactly one announcement check per 5 operations (plus rotations when
+    // the epoch moved); far fewer than 20 checks.
+    EXPECT_LE(stats.total(stat::announcement_checks), 8u);
+    EXPECT_GE(stats.total(stat::announcement_checks), 3u);
+}
+
+TEST(EpochCore, NonQuiescentLaggardBlocksEpoch) {
+    epoch_core core(2, fast_cfg(), nullptr);
+    // Thread 1 is non-quiescent with a stale announcement (simulated
+    // directly through its announcement word).
+    core.announce_word(1)->store(0, std::memory_order_seq_cst);  // epoch 0, busy
+    const auto e0 = core.read_epoch();
+    for (int i = 0; i < 20; ++i) {
+        core.leave_qstate(0, [] {}, [](int) { return false; });
+        core.enter_qstate(0);
+    }
+    EXPECT_EQ(core.read_epoch(), e0);
+}
+
+TEST(EpochCore, QuiescentLaggardDoesNotBlockEpoch) {
+    // DEBRA's partial fault tolerance: a crashed-but-quiescent thread never
+    // stalls reclamation (paper Section 4).
+    epoch_core core(2, fast_cfg(), nullptr);
+    core.announce_word(1)->store(0 | epoch_core::QUIESCENT_BIT,
+                                 std::memory_order_seq_cst);
+    const auto e0 = core.read_epoch();
+    for (int i = 0; i < 8; ++i) {
+        core.leave_qstate(0, [] {}, [](int) { return false; });
+        core.enter_qstate(0);
+    }
+    EXPECT_GT(core.read_epoch(), e0);
+}
+
+TEST(EpochCore, SuspectHookUnblocksEpoch) {
+    // DEBRA+'s neutralization in miniature: the suspect callback declares
+    // the laggard safe, and the epoch advances.
+    epoch_core core(2, fast_cfg(), nullptr);
+    core.announce_word(1)->store(0, std::memory_order_seq_cst);
+    const auto e0 = core.read_epoch();
+    std::vector<int> suspected;
+    for (int i = 0; i < 8; ++i) {
+        core.leave_qstate(
+            0, [] {},
+            [&](int other) {
+                suspected.push_back(other);
+                return true;
+            });
+        core.enter_qstate(0);
+    }
+    EXPECT_GT(core.read_epoch(), e0);
+    ASSERT_FALSE(suspected.empty());
+    for (int s : suspected) EXPECT_EQ(s, 1);
+}
+
+TEST(EpochCore, LaggardCatchingUpUnblocksEpoch) {
+    epoch_core core(2, fast_cfg(), nullptr);
+    core.announce_word(1)->store(0, std::memory_order_seq_cst);
+    for (int i = 0; i < 5; ++i) {
+        core.leave_qstate(0, [] {}, [](int) { return false; });
+        core.enter_qstate(0);
+    }
+    const auto e0 = core.read_epoch();
+    // Laggard announces the current epoch.
+    core.announce_word(1)->store(e0, std::memory_order_seq_cst);
+    for (int i = 0; i < 5; ++i) {
+        core.leave_qstate(0, [] {}, [](int) { return false; });
+        core.enter_qstate(0);
+    }
+    EXPECT_GT(core.read_epoch(), e0);
+}
+
+TEST(EpochCore, RotateFiresOncePerEpochChange) {
+    epoch_config cfg;
+    cfg.check_thresh = 1;
+    cfg.incr_thresh = 4;
+    epoch_core core(1, cfg, nullptr);
+    int rotations = 0;
+    for (int i = 0; i < 40; ++i) {
+        core.leave_qstate(0, [&] { ++rotations; }, [](int) { return false; });
+        core.enter_qstate(0);
+    }
+    // Epoch advances every ~4 ops; rotation happens on the following op.
+    EXPECT_GE(rotations, 8);
+    EXPECT_LE(rotations, 12);
+}
+
+TEST(EpochCore, ClassicEbrModeScansAllPerOp) {
+    debug_stats stats;
+    epoch_config cfg;
+    cfg.check_thresh = 1;
+    cfg.incr_thresh = 1;
+    cfg.scan_all_per_op = true;
+    epoch_core core(4, cfg, &stats);
+    // All other threads are quiescent, so one op should scan all 4 and
+    // advance the epoch immediately, every time.
+    const auto e0 = core.read_epoch();
+    core.leave_qstate(0, [] {}, [](int) { return false; });
+    core.enter_qstate(0);
+    EXPECT_EQ(core.read_epoch(), e0 + 2);
+    EXPECT_GE(stats.total(stat::announcement_checks), 4u);
+}
+
+TEST(EpochCore, ConcurrentThreadsAdvanceTogether) {
+    constexpr int N = 4;
+    epoch_core core(N, fast_cfg(), nullptr);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < N; ++t) {
+        threads.emplace_back([&, t] {
+            while (!stop.load(std::memory_order_acquire)) {
+                core.leave_qstate(t, [] {}, [](int) { return false; });
+                core.enter_qstate(t);
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    stop.store(true, std::memory_order_release);
+    for (auto& th : threads) th.join();
+    // With everyone cycling through quiescent states, the epoch must move.
+    EXPECT_GT(core.read_epoch(), 10u);
+}
+
+TEST(EpochCore, AnnouncementEncodesEpochAndBit) {
+    epoch_core core(1, fast_cfg(), nullptr);
+    core.leave_qstate(0, [] {}, [](int) { return false; });
+    const auto ann = core.announcement(0);
+    EXPECT_EQ(ann & epoch_core::QUIESCENT_BIT, 0u);
+    EXPECT_EQ(ann & ~epoch_core::QUIESCENT_BIT,
+              core.read_epoch() == ann ? ann : ann);  // epoch bits only
+    core.enter_qstate(0);
+    EXPECT_EQ(core.announcement(0) & epoch_core::QUIESCENT_BIT, 1u);
+}
+
+}  // namespace
+}  // namespace smr::reclaim

@@ -1,0 +1,115 @@
+// Tests for the lock-free Harris/Michael list (src/ds/harris_list.h),
+// typed across every compatible reclamation scheme.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "ds_test_util.h"
+
+namespace smr {
+namespace {
+
+using testutil::key_t;
+using testutil::val_t;
+
+template <class Scheme>
+class HarrisListTyped : public ::testing::Test {
+  protected:
+    using mgr_t = testutil::list_mgr<Scheme>;
+    using list_t = ds::harris_list<key_t, val_t, mgr_t>;
+
+    HarrisListTyped()
+        : mgr_(2, testutil::fast_config<mgr_t>()), list_(mgr_) {
+        mgr_.init_thread(0);
+    }
+    ~HarrisListTyped() override { mgr_.deinit_thread(0); }
+
+    mgr_t mgr_;
+    list_t list_;
+};
+
+using ListSchemes = ::testing::Types<reclaim::reclaim_none,
+                                     reclaim::reclaim_debra,
+                                     reclaim::reclaim_ebr, reclaim::reclaim_hp>;
+TYPED_TEST_SUITE(HarrisListTyped, ListSchemes);
+
+TYPED_TEST(HarrisListTyped, EmptyListBehaviour) {
+    EXPECT_FALSE(this->list_.contains(0, 5));
+    EXPECT_EQ(this->list_.erase(0, 5), std::nullopt);
+    EXPECT_EQ(this->list_.size_slow(), 0);
+}
+
+TYPED_TEST(HarrisListTyped, InsertFindErase) {
+    EXPECT_TRUE(this->list_.insert(0, 10, 100));
+    EXPECT_TRUE(this->list_.contains(0, 10));
+    EXPECT_EQ(this->list_.find(0, 10), std::optional<val_t>(100));
+    EXPECT_EQ(this->list_.size_slow(), 1);
+    EXPECT_EQ(this->list_.erase(0, 10), std::optional<val_t>(100));
+    EXPECT_FALSE(this->list_.contains(0, 10));
+    EXPECT_EQ(this->list_.size_slow(), 0);
+}
+
+TYPED_TEST(HarrisListTyped, DuplicateInsertFails) {
+    EXPECT_TRUE(this->list_.insert(0, 7, 70));
+    EXPECT_FALSE(this->list_.insert(0, 7, 71));
+    EXPECT_EQ(this->list_.find(0, 7), std::optional<val_t>(70));
+}
+
+TYPED_TEST(HarrisListTyped, EraseAbsentKey) {
+    this->list_.insert(0, 1, 1);
+    EXPECT_EQ(this->list_.erase(0, 2), std::nullopt);
+    EXPECT_EQ(this->list_.size_slow(), 1);
+}
+
+TYPED_TEST(HarrisListTyped, ManyKeysSortedInsertion) {
+    for (key_t k = 0; k < 100; ++k) {
+        EXPECT_TRUE(this->list_.insert(0, k, k));
+    }
+    EXPECT_EQ(this->list_.size_slow(), 100);
+    for (key_t k = 0; k < 100; ++k) {
+        EXPECT_TRUE(this->list_.contains(0, k));
+    }
+    EXPECT_FALSE(this->list_.contains(0, 100));
+}
+
+TYPED_TEST(HarrisListTyped, ReverseOrderInsertion) {
+    for (key_t k = 50; k > 0; --k) {
+        EXPECT_TRUE(this->list_.insert(0, k, -k));
+    }
+    for (key_t k = 1; k <= 50; ++k) {
+        EXPECT_EQ(this->list_.find(0, k), std::optional<val_t>(-k));
+    }
+}
+
+TYPED_TEST(HarrisListTyped, ReinsertAfterErase) {
+    EXPECT_TRUE(this->list_.insert(0, 3, 30));
+    EXPECT_EQ(this->list_.erase(0, 3), std::optional<val_t>(30));
+    EXPECT_TRUE(this->list_.insert(0, 3, 33));
+    EXPECT_EQ(this->list_.find(0, 3), std::optional<val_t>(33));
+}
+
+TYPED_TEST(HarrisListTyped, DifferentialAgainstStdMap) {
+    const long result =
+        testutil::differential_test(this->list_, 0, 0xfeed, 4000, 64);
+    EXPECT_GT(result, 0) << "divergence at op " << -result - 1;
+}
+
+TYPED_TEST(HarrisListTyped, ChurnReclaimsMemory) {
+    // Insert/erase the same keys repeatedly; retired nodes must be recycled
+    // for schemes that reclaim (everything except none).
+    for (int round = 0; round < 2500; ++round) {
+        const key_t k = round % 8;
+        this->list_.insert(0, k, round);
+        this->list_.erase(0, k);
+    }
+    EXPECT_EQ(this->list_.size_slow(), 0);
+    if (std::string(TypeParam::name) != "none") {
+        EXPECT_GT(this->mgr_.stats().total(stat::records_pooled) +
+                      this->mgr_.stats().total(stat::records_reused),
+                  0u);
+    }
+}
+
+}  // namespace
+}  // namespace smr

@@ -1,0 +1,60 @@
+// Tests for cache-line padding utilities (src/util/padded.h).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/padded.h"
+
+namespace smr {
+namespace {
+
+TEST(Padded, SizeIsAtLeastTwoCacheLines) {
+    EXPECT_GE(sizeof(padded<char>), PREFETCH_LINE);
+    EXPECT_GE(sizeof(padded<long>), PREFETCH_LINE);
+    EXPECT_GE(sizeof(padded<std::atomic<std::uint64_t>>), PREFETCH_LINE);
+}
+
+TEST(Padded, AlignmentIsPrefetchLine) {
+    EXPECT_EQ(alignof(padded<char>), PREFETCH_LINE);
+    EXPECT_EQ(alignof(padded<void*>), PREFETCH_LINE);
+}
+
+TEST(Padded, ArrayElementsDoNotShareLines) {
+    padded<int> arr[4];
+    for (int i = 0; i < 3; ++i) {
+        const auto a = reinterpret_cast<std::uintptr_t>(&arr[i].value);
+        const auto b = reinterpret_cast<std::uintptr_t>(&arr[i + 1].value);
+        EXPECT_GE(b - a, PREFETCH_LINE);
+    }
+}
+
+TEST(Padded, DereferenceOperators) {
+    padded<int> p;
+    *p = 42;
+    EXPECT_EQ(*p, 42);
+    padded<std::string> s("hello");
+    EXPECT_EQ(s->size(), 5u);
+}
+
+TEST(Padded, ForwardingConstructor) {
+    padded<std::string> s(3, 'x');
+    EXPECT_EQ(*s, "xxx");
+}
+
+TEST(Padded, ValueInitializedByDefault) {
+    padded<long> p;
+    EXPECT_EQ(*p, 0);
+}
+
+TEST(Padded, LargeTypeDegeneratesToAlignment) {
+    struct big {
+        char data[1024];
+    };
+    EXPECT_GE(sizeof(padded<big>), sizeof(big));
+    EXPECT_EQ(alignof(padded<big>), PREFETCH_LINE);
+}
+
+}  // namespace
+}  // namespace smr

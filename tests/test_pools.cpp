@@ -1,0 +1,202 @@
+// Tests for the Pool policies (src/pool/): pass-through, discarding, and
+// the paper's per-thread + shared object pool.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "alloc/allocator_bump.h"
+#include "alloc/allocator_new.h"
+#include "mem/block_pool.h"
+#include "pool/pool_discard.h"
+#include "pool/pool_none.h"
+#include "pool/pool_perthread_shared.h"
+#include "util/debug_stats.h"
+
+namespace smr::pool {
+namespace {
+
+struct rec {
+    long v;
+};
+constexpr int B = 4;
+
+template <class Pool, class Alloc>
+mem::block_chain<rec, B> make_chain(mem::block_pool<rec, B>& bp, Alloc& alloc,
+                                    int blocks, int tid = 0) {
+    mem::block_chain<rec, B> c;
+    mem::block<rec, B>* prev = nullptr;
+    for (int i = 0; i < blocks; ++i) {
+        auto* blk = bp.acquire();
+        for (int j = 0; j < B; ++j) blk->push(alloc.allocate(tid));
+        if (c.head == nullptr) {
+            c.head = blk;
+        } else {
+            prev->next = blk;
+        }
+        prev = blk;
+        c.tail = blk;
+        ++c.count;
+    }
+    return c;
+}
+
+TEST(PoolNone, ReleaseFreesImmediately) {
+    debug_stats stats;
+    alloc::allocator_new<rec> alloc(1, &stats);
+    mem::block_pool_array<rec, B> bps(1, &stats);
+    pool_none<rec, alloc::allocator_new<rec>, B> p(1, alloc, bps, &stats);
+    rec* r = p.allocate(0);
+    p.release(0, r);
+    EXPECT_EQ(stats.total(stat::records_freed), 1u);
+    EXPECT_EQ(stats.total(stat::records_pooled), 1u);
+}
+
+TEST(PoolNone, AcceptChainFreesRecordsRecyclesBlocks) {
+    debug_stats stats;
+    alloc::allocator_new<rec> alloc(1, &stats);
+    mem::block_pool_array<rec, B> bps(1, &stats);
+    pool_none<rec, alloc::allocator_new<rec>, B> p(1, alloc, bps, &stats);
+    auto chain = make_chain<decltype(p)>(bps[0], alloc, 3);
+    p.accept_chain(0, chain);
+    EXPECT_EQ(stats.total(stat::records_freed), 3u * B);
+    EXPECT_EQ(bps[0].cached(), 3);  // block storage recycled, not freed
+}
+
+TEST(PoolDiscard, ReleaseDropsRecordsKeepsCounting) {
+    debug_stats stats;
+    alloc::allocator_bump<rec> alloc(1, &stats);
+    mem::block_pool_array<rec, B> bps(1, &stats);
+    pool_discard<rec, alloc::allocator_bump<rec>, B> p(1, alloc, bps, &stats);
+    rec* r = p.allocate(0);
+    p.release(0, r);
+    EXPECT_EQ(stats.total(stat::records_pooled), 1u);
+    EXPECT_EQ(stats.total(stat::records_freed), 0u);  // dropped, not freed
+    // Allocation always comes fresh (Experiment 1's "no reuse" property).
+    rec* r2 = p.allocate(0);
+    EXPECT_NE(r2, nullptr);
+    EXPECT_EQ(stats.total(stat::records_reused), 0u);
+}
+
+TEST(PoolDiscard, AcceptChainRecyclesBlocksOnly) {
+    debug_stats stats;
+    alloc::allocator_bump<rec> alloc(1, &stats);
+    mem::block_pool_array<rec, B> bps(1, &stats);
+    pool_discard<rec, alloc::allocator_bump<rec>, B> p(1, alloc, bps, &stats);
+    auto chain = make_chain<decltype(p)>(bps[0], alloc, 2);
+    p.accept_chain(0, chain);
+    EXPECT_EQ(stats.total(stat::records_pooled), 2u * B);
+    EXPECT_EQ(bps[0].cached(), 2);
+}
+
+class PerThreadSharedPoolTest : public ::testing::Test {
+  protected:
+    using alloc_t = alloc::allocator_new<rec>;
+    using pool_t = pool_perthread_shared<rec, alloc_t, B>;
+
+    debug_stats stats_;
+    alloc_t alloc_{2, &stats_};
+    mem::block_pool_array<rec, B> bps_{2, &stats_};
+    pool_t pool_{2, alloc_, bps_, &stats_};
+};
+
+TEST_F(PerThreadSharedPoolTest, AllocateFallsBackToAllocator) {
+    rec* r = pool_.allocate(0);
+    EXPECT_NE(r, nullptr);
+    EXPECT_EQ(stats_.total(stat::records_allocated), 1u);
+    pool_.deallocate(0, r);
+}
+
+TEST_F(PerThreadSharedPoolTest, ReleaseThenAllocateReuses) {
+    rec* r = pool_.allocate(0);
+    pool_.release(0, r);
+    EXPECT_EQ(pool_.local_size(0), 1);
+    rec* r2 = pool_.allocate(0);
+    EXPECT_EQ(r2, r);
+    EXPECT_EQ(stats_.total(stat::records_reused), 1u);
+    pool_.deallocate(0, r2);
+}
+
+TEST_F(PerThreadSharedPoolTest, OverflowSpillsFullBlocksToSharedBag) {
+    // Fill thread 0's local bag past its block budget.
+    const int target_blocks = pool_t::LOCAL_MAX_BLOCKS + 4;
+    std::vector<rec*> recs;
+    for (int i = 0; i < target_blocks * B; ++i) {
+        rec* r = alloc_.allocate(0);
+        recs.push_back(r);
+        pool_.release(0, r);
+    }
+    EXPECT_GT(pool_.shared_blocks(), 0);
+    // Thread 1 starts empty and steals from the shared bag.
+    rec* stolen = pool_.allocate(1);
+    EXPECT_NE(stolen, nullptr);
+    EXPECT_GT(stats_.get(1, stat::records_reused), 0u);
+}
+
+TEST_F(PerThreadSharedPoolTest, AcceptChainRespectsLocalBudget) {
+    auto chain = make_chain<pool_t>(bps_[0], alloc_,
+                                    pool_t::LOCAL_MAX_BLOCKS + 8);
+    pool_.accept_chain(0, chain);
+    EXPECT_GE(pool_.shared_blocks(), 8);
+    EXPECT_LE(pool_.local_size(0),
+              static_cast<long long>(pool_t::LOCAL_MAX_BLOCKS + 1) * B);
+}
+
+TEST_F(PerThreadSharedPoolTest, CrossThreadRecordCirculation) {
+    // Thread 0 releases; thread 1 allocates. Records flow through the
+    // shared bag without ever touching the allocator again.
+    std::set<rec*> originals;
+    for (int i = 0; i < (pool_t::LOCAL_MAX_BLOCKS + 8) * B; ++i) {
+        rec* r = pool_.allocate(0);
+        originals.insert(r);
+    }
+    for (rec* r : originals) pool_.release(0, r);
+    const auto allocated_before = stats_.total(stat::records_allocated);
+    int recycled = 0;
+    for (std::size_t i = 0; i < originals.size(); ++i) {
+        rec* r = pool_.allocate(1);
+        if (originals.count(r)) ++recycled;
+        pool_.deallocate(1, r);  // hand storage back to the allocator
+    }
+    EXPECT_GT(recycled, 0);
+    // Thread 0's local bag keeps up to LOCAL_MAX_BLOCKS+1 blocks; only the
+    // overflow reached the shared bag, so thread 1 can recycle exactly that
+    // overflow and must allocate fresh storage for the rest.
+    EXPECT_LT(static_cast<std::size_t>(stats_.total(stat::records_allocated) -
+                                       allocated_before),
+              originals.size());
+    EXPECT_GE(recycled, 8 * B);  // at least the 8 overflow blocks circulated
+}
+
+TEST_F(PerThreadSharedPoolTest, ConcurrentReleaseAllocateChurn) {
+    constexpr int THREADS = 2;
+    constexpr int ITERS = 20000;
+    std::vector<std::thread> workers;
+    std::atomic<bool> failed{false};
+    for (int t = 0; t < THREADS; ++t) {
+        workers.emplace_back([&, t] {
+            std::vector<rec*> mine;
+            for (int i = 0; i < ITERS; ++i) {
+                if (mine.size() < 64 && (i & 3) != 3) {
+                    rec* r = pool_.allocate(t);
+                    if (r == nullptr) {
+                        failed = true;
+                        return;
+                    }
+                    r->v = t;
+                    mine.push_back(r);
+                } else if (!mine.empty()) {
+                    pool_.release(t, mine.back());
+                    mine.pop_back();
+                }
+            }
+            for (rec* r : mine) pool_.release(t, r);
+        });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace smr::pool

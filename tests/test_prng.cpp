@@ -1,0 +1,115 @@
+// Tests for the xorshift128+ workload generator (src/util/prng.h).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace smr {
+namespace {
+
+TEST(Prng, Deterministic) {
+    prng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+    prng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next() == b.next()) ++same;
+    }
+    EXPECT_LE(same, 1);
+}
+
+TEST(Prng, ConsecutiveSeedsUncorrelated) {
+    // Thread ids are used as seeds; splitmix decorrelates them.
+    prng a(7), b(8);
+    std::uint64_t matches = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if ((a.next() & 0xff) == (b.next() & 0xff)) ++matches;
+    }
+    // Expect ~10000/256 = 39 matches; allow a generous band.
+    EXPECT_GT(matches, 5u);
+    EXPECT_LT(matches, 200u);
+}
+
+TEST(Prng, BoundedDrawInRange) {
+    prng r(99);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000ull}) {
+        for (int i = 0; i < 1000; ++i) {
+            EXPECT_LT(r.next(bound), bound);
+        }
+    }
+}
+
+TEST(Prng, BoundedDrawCoversRange) {
+    prng r(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) seen.insert(r.next(10));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Prng, BoundOneAlwaysZero) {
+    prng r(3);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next(1), 0u);
+}
+
+TEST(Prng, ChancePercentExtremes) {
+    prng r(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance_percent(0));
+        EXPECT_TRUE(r.chance_percent(100));
+    }
+}
+
+TEST(Prng, ChancePercentApproximatesProbability) {
+    prng r(77);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        if (r.chance_percent(25)) ++hits;
+    }
+    EXPECT_GT(hits, trials / 4 - trials / 20);
+    EXPECT_LT(hits, trials / 4 + trials / 20);
+}
+
+TEST(Prng, UniformityChiSquaredish) {
+    prng r(2024);
+    const int buckets = 16;
+    std::vector<int> counts(buckets, 0);
+    const int n = 160000;
+    for (int i = 0; i < n; ++i) {
+        ++counts[static_cast<std::size_t>(r.next(buckets))];
+    }
+    const double expect = static_cast<double>(n) / buckets;
+    for (int c : counts) {
+        EXPECT_GT(c, expect * 0.9);
+        EXPECT_LT(c, expect * 1.1);
+    }
+}
+
+TEST(Prng, SplitmixAvalanche) {
+    // Single-bit input changes should flip roughly half the output bits.
+    const std::uint64_t base = prng::splitmix64(0x1234);
+    int total_flips = 0;
+    for (int bit = 0; bit < 64; ++bit) {
+        const std::uint64_t other = prng::splitmix64(0x1234 ^ (1ull << bit));
+        total_flips += __builtin_popcountll(base ^ other);
+    }
+    const double avg = total_flips / 64.0;
+    EXPECT_GT(avg, 24.0);
+    EXPECT_LT(avg, 40.0);
+}
+
+TEST(Prng, ZeroSeedStillWorks) {
+    prng r(0);
+    std::uint64_t x = 0;
+    for (int i = 0; i < 10; ++i) x |= r.next();
+    EXPECT_NE(x, 0u);
+}
+
+}  // namespace
+}  // namespace smr

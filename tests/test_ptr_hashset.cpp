@@ -1,0 +1,121 @@
+// Tests for the open-addressing scan set (src/mem/ptr_hashset.h).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "mem/ptr_hashset.h"
+#include "util/prng.h"
+
+namespace smr::mem {
+namespace {
+
+TEST(PtrHashset, EmptyContainsNothing) {
+    ptr_hashset s(16);
+    int dummy;
+    EXPECT_FALSE(s.contains(&dummy));
+    EXPECT_FALSE(s.contains(nullptr));
+    EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(PtrHashset, InsertThenContains) {
+    ptr_hashset s(16);
+    int a, b;
+    s.insert(&a);
+    EXPECT_TRUE(s.contains(&a));
+    EXPECT_FALSE(s.contains(&b));
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(PtrHashset, NullInsertIsNoop) {
+    ptr_hashset s(16);
+    s.insert(nullptr);
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_FALSE(s.contains(nullptr));
+}
+
+TEST(PtrHashset, DuplicateInsertCountedOnce) {
+    ptr_hashset s(16);
+    int a;
+    s.insert(&a);
+    s.insert(&a);
+    s.insert(&a);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_TRUE(s.contains(&a));
+}
+
+TEST(PtrHashset, ClearEmptiesTheSet) {
+    ptr_hashset s(16);
+    std::vector<int> xs(10);
+    for (auto& x : xs) s.insert(&x);
+    EXPECT_EQ(s.size(), 10u);
+    s.clear();
+    EXPECT_EQ(s.size(), 0u);
+    for (auto& x : xs) EXPECT_FALSE(s.contains(&x));
+}
+
+TEST(PtrHashset, ClearOnEmptyIsCheapAndCorrect) {
+    ptr_hashset s(16);
+    s.clear();
+    EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(PtrHashset, ReusableAcrossScans) {
+    // The reclaimers clear + rebuild the same set every scan.
+    ptr_hashset s(32);
+    std::vector<long> xs(20);
+    for (int scan = 0; scan < 50; ++scan) {
+        s.clear();
+        for (std::size_t i = static_cast<std::size_t>(scan) % 5; i < xs.size();
+             i += 3) {
+            s.insert(&xs[i]);
+        }
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const bool expected =
+                i >= static_cast<std::size_t>(scan) % 5 &&
+                (i - static_cast<std::size_t>(scan) % 5) % 3 == 0;
+            EXPECT_EQ(s.contains(&xs[i]), expected) << "scan " << scan
+                                                    << " idx " << i;
+        }
+    }
+}
+
+TEST(PtrHashset, FillToSizingBound) {
+    constexpr std::size_t N = 100;
+    ptr_hashset s(N);
+    std::vector<long> xs(N);
+    for (auto& x : xs) s.insert(&x);
+    EXPECT_EQ(s.size(), N);
+    for (auto& x : xs) EXPECT_TRUE(s.contains(&x));
+}
+
+class PtrHashsetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PtrHashsetProperty, AgreesWithStdSet) {
+    prng rng(GetParam());
+    constexpr std::size_t N = 256;
+    ptr_hashset s(N);
+    std::vector<long> storage(N);
+    std::set<const void*> model;
+    for (int i = 0; i < 1000; ++i) {
+        const auto idx = static_cast<std::size_t>(rng.next(N));
+        const void* p = &storage[idx];
+        if (model.size() < N && rng.chance_percent(60)) {
+            s.insert(p);
+            model.insert(p);
+        } else {
+            EXPECT_EQ(s.contains(p), model.count(p) > 0);
+        }
+        EXPECT_EQ(s.size(), model.size());
+    }
+    for (const auto& x : storage) {
+        EXPECT_EQ(s.contains(&x), model.count(&x) > 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PtrHashsetProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace smr::mem

@@ -1,0 +1,149 @@
+// Tests for the lock-free shared bag of full blocks
+// (src/mem/shared_blockbag.h), including a multi-threaded churn test that
+// exercises the ABA-protected tagged head.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "mem/shared_blockbag.h"
+
+namespace smr::mem {
+namespace {
+
+struct rec {
+    long v;
+};
+using blk = block<rec, 4>;
+
+TEST(SharedBlockbag, StartsEmpty) {
+    shared_blockbag<rec, 4> bag;
+    EXPECT_EQ(bag.pop(), nullptr);
+    EXPECT_EQ(bag.approx_blocks(), 0);
+}
+
+TEST(SharedBlockbag, PushPopSingle) {
+    shared_blockbag<rec, 4> bag;
+    auto* b = new blk();
+    rec r{1};
+    for (int i = 0; i < 4; ++i) b->push(&r);
+    bag.push(b);
+    EXPECT_EQ(bag.approx_blocks(), 1);
+    auto* got = bag.pop();
+    EXPECT_EQ(got, b);
+    EXPECT_EQ(got->next, nullptr);
+    EXPECT_EQ(bag.pop(), nullptr);
+    delete b;
+}
+
+TEST(SharedBlockbag, LifoOrder) {
+    shared_blockbag<rec, 4> bag;
+    rec r{0};
+    blk* blocks[3];
+    for (auto*& b : blocks) {
+        b = new blk();
+        for (int i = 0; i < 4; ++i) b->push(&r);
+        bag.push(b);
+    }
+    EXPECT_EQ(bag.pop(), blocks[2]);
+    EXPECT_EQ(bag.pop(), blocks[1]);
+    EXPECT_EQ(bag.pop(), blocks[0]);
+    for (auto* b : blocks) delete b;
+}
+
+TEST(SharedBlockbag, DestructorFreesLeftoverBlocks) {
+    // Covered by leak checkers in CI; structurally we just verify it runs.
+    auto* bag = new shared_blockbag<rec, 4>();
+    auto* b = new blk();
+    bag->push(b);
+    delete bag;  // must delete b
+    SUCCEED();
+}
+
+TEST(SharedBlockbag, ConcurrentChurnPreservesBlocks) {
+    // Threads repeatedly pop a block and push it back. Every block must
+    // survive, be returned exactly once at the end, and never be lost or
+    // duplicated -- the tagged head's job.
+    shared_blockbag<rec, 4> bag;
+    constexpr int BLOCKS = 16;
+    constexpr int THREADS = 4;
+    constexpr int ITERS = 20000;
+    std::vector<blk*> blocks;
+    rec r{0};
+    for (int i = 0; i < BLOCKS; ++i) {
+        auto* b = new blk();
+        for (int j = 0; j < 4; ++j) b->push(&r);
+        blocks.push_back(b);
+        bag.push(b);
+    }
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < THREADS; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < ITERS; ++i) {
+                blk* b = bag.pop();
+                if (b == nullptr) continue;
+                if (!b->full()) failed = true;  // corruption
+                bag.push(b);
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_FALSE(failed.load());
+    std::set<blk*> recovered;
+    while (blk* b = bag.pop()) EXPECT_TRUE(recovered.insert(b).second);
+    EXPECT_EQ(recovered.size(), static_cast<std::size_t>(BLOCKS));
+    for (auto* b : blocks) {
+        EXPECT_TRUE(recovered.count(b));
+        delete b;
+    }
+}
+
+TEST(SharedBlockbag, ConcurrentProducersConsumers) {
+    shared_blockbag<rec, 4> bag;
+    constexpr int PER_PRODUCER = 500;
+    constexpr int PRODUCERS = 2;
+    constexpr int CONSUMERS = 2;
+    std::atomic<int> consumed{0};
+    std::atomic<bool> producers_done{false};
+    rec r{0};
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < PRODUCERS; ++p) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < PER_PRODUCER; ++i) {
+                auto* b = new blk();
+                for (int j = 0; j < 4; ++j) b->push(&r);
+                bag.push(b);
+            }
+        });
+    }
+    for (int c = 0; c < CONSUMERS; ++c) {
+        threads.emplace_back([&] {
+            for (;;) {
+                blk* b = bag.pop();
+                if (b != nullptr) {
+                    delete b;
+                    consumed.fetch_add(1);
+                } else if (producers_done.load()) {
+                    if (bag.pop() == nullptr) return;
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+    for (int p = 0; p < PRODUCERS; ++p) threads[static_cast<std::size_t>(p)].join();
+    producers_done.store(true);
+    for (std::size_t c = PRODUCERS; c < threads.size(); ++c) threads[c].join();
+    while (blk* b = bag.pop()) {
+        delete b;
+        consumed.fetch_add(1);
+    }
+    EXPECT_EQ(consumed.load(), PRODUCERS * PER_PRODUCER);
+}
+
+}  // namespace
+}  // namespace smr::mem

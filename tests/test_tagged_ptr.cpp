@@ -1,0 +1,70 @@
+// Tests for low-bit pointer tagging (src/util/tagged_ptr.h).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/tagged_ptr.h"
+
+namespace smr {
+namespace {
+
+struct alignas(8) rec {
+    long x;
+};
+
+using mp = marked_ptr<rec>;
+using sp = stated_ptr<rec>;
+
+TEST(MarkedPtr, PackUnpackRoundTrip) {
+    rec r{};
+    for (bool m : {false, true}) {
+        const std::uintptr_t w = mp::pack(&r, m);
+        EXPECT_EQ(mp::ptr(w), &r);
+        EXPECT_EQ(mp::is_marked(w), m);
+    }
+}
+
+TEST(MarkedPtr, NullPointer) {
+    EXPECT_EQ(mp::ptr(mp::pack(nullptr, false)), nullptr);
+    EXPECT_EQ(mp::ptr(mp::pack(nullptr, true)), nullptr);
+    EXPECT_TRUE(mp::is_marked(mp::pack(nullptr, true)));
+    EXPECT_FALSE(mp::is_marked(mp::pack(nullptr, false)));
+}
+
+TEST(MarkedPtr, MarkedAndUnmarkedDiffer) {
+    rec r{};
+    EXPECT_NE(mp::pack(&r, true), mp::pack(&r, false));
+}
+
+TEST(StatedPtr, AllFourStatesRoundTrip) {
+    rec r{};
+    for (unsigned st = 0; st < 4; ++st) {
+        const std::uintptr_t w = sp::pack(&r, st);
+        EXPECT_EQ(sp::ptr(w), &r);
+        EXPECT_EQ(sp::state(w), st);
+    }
+}
+
+TEST(StatedPtr, StateMaskedToTwoBits) {
+    rec r{};
+    EXPECT_EQ(sp::state(sp::pack(&r, 7)), 3u);
+    EXPECT_EQ(sp::ptr(sp::pack(&r, 7)), &r);
+}
+
+TEST(StatedPtr, DistinctStatesDistinctWords) {
+    rec r{};
+    for (unsigned a = 0; a < 4; ++a) {
+        for (unsigned b = a + 1; b < 4; ++b) {
+            EXPECT_NE(sp::pack(&r, a), sp::pack(&r, b));
+        }
+    }
+}
+
+TEST(StatedPtr, NullWithState) {
+    const std::uintptr_t w = sp::pack(nullptr, 2);
+    EXPECT_EQ(sp::ptr(w), nullptr);
+    EXPECT_EQ(sp::state(w), 2u);
+}
+
+}  // namespace
+}  // namespace smr
