@@ -53,9 +53,13 @@ struct bench_env {
         while (pos < spec.size()) {
             std::size_t comma = spec.find(',', pos);
             if (comma == std::string::npos) comma = spec.size();
-            e.thread_counts.push_back(std::atoi(spec.substr(pos, comma - pos).c_str()));
+            const int t = std::atoi(spec.substr(pos, comma - pos).c_str());
+            // Drop unparsable or non-positive entries: a 0-thread trial
+            // would crash the harness.
+            if (t > 0) e.thread_counts.push_back(t);
             pos = comma + 1;
         }
+        if (e.thread_counts.empty()) e.thread_counts = {1, 2, 4, 8};
         return e;
     }
 };

@@ -1,0 +1,72 @@
+// exp4_era_schemes -- beyond the paper: the era family (Hazard Eras,
+// 2GE-IBR) against the paper's contenders (DEBRA, HP) on the skip list.
+//
+// Two tables per workload mix:
+//   * throughput (Mops/s), the usual Figure-8-style sweep;
+//   * limbo records at trial end (total_limbo_all_types()) -- the memory
+//     bound the era schemes buy. DEBRA's limbo is unbounded under stalls;
+//     HP/HE/IBR bound it by their scan thresholds.
+//
+// The era schemes drop in as one template argument, exactly like the
+// paper's schemes: run_skiplist_point is unchanged.
+#include "bench_common.h"
+#include "reclaim/era/reclaimer_he.h"
+#include "reclaim/era/reclaimer_ibr.h"
+
+using namespace smr;
+using namespace smr::bench;
+
+template <class Scheme>
+harness::trial_result point(const bench_env& env, const op_mix& mix,
+                            int threads) {
+    return run_skiplist_point<Scheme, alloc_malloc, pool_shared>(
+        env, mix, 200000, threads);
+}
+
+int main() {
+    const bench_env env = bench_env::from_env();
+    print_banner(
+        "Experiment 4 (beyond the paper): era-based reclamation\n"
+        "skip list, malloc, per-thread + shared pool, range 2e5\n"
+        "schemes: DEBRA vs HP vs Hazard Eras vs 2GE-IBR",
+        env);
+    for (const op_mix& mix : {MIX_50_50, MIX_25_25_50}) {
+        std::printf("\nSkip list keyrange [0,200000) workload %s  (Mops/s)\n",
+                    mix.name);
+        print_table_header({"debra", "hp", "he", "ibr"});
+        struct limbo_cell {
+            long long limbo;
+            std::uint64_t scans;
+        };
+        std::vector<std::vector<limbo_cell>> limbo_rows;
+        for (int t : env.thread_counts) {
+            std::vector<double> mops;
+            std::vector<limbo_cell> limbo;
+            const auto add = [&](const harness::trial_result& r) {
+                mops.push_back(r.mops_per_sec());
+                limbo.push_back({r.limbo_records, r.hp_scans + r.era_scans});
+            };
+            add(point<reclaim::reclaim_debra>(env, mix, t));
+            add(point<reclaim::reclaim_hp>(env, mix, t));
+            add(point<reclaim::reclaim_he>(env, mix, t));
+            add(point<reclaim::reclaim_ibr>(env, mix, t));
+            print_table_row(t, mops);
+            limbo_rows.push_back(limbo);
+        }
+        std::printf("\nlimbo records at trial end (total_limbo_all_types); "
+                    "[n] = reservation scans\n");
+        std::printf("%8s%16s%16s%16s%16s\n", "threads", "debra", "hp", "he",
+                    "ibr");
+        for (std::size_t i = 0; i < limbo_rows.size(); ++i) {
+            std::printf("%8d", env.thread_counts[i]);
+            for (const auto& cell : limbo_rows[i]) {
+                char buf[32];
+                std::snprintf(buf, sizeof buf, "%lld [%llu]", cell.limbo,
+                              static_cast<unsigned long long>(cell.scans));
+                std::printf("%16s", buf);
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

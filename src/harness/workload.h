@@ -69,6 +69,7 @@ struct trial_result {
     std::uint64_t neutralize_sent = 0;
     std::uint64_t neutralize_received = 0;
     std::uint64_t hp_scans = 0;
+    std::uint64_t era_scans = 0;
     std::uint64_t op_restarts = 0;
     long long limbo_records = 0;     // still waiting to be freed at the end
     long long allocated_bytes = -1;  // bump allocators only (Figure 9 right)
@@ -224,6 +225,7 @@ trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
     res.neutralize_sent = d.total(stat::neutralize_signals_sent);
     res.neutralize_received = d.total(stat::neutralize_signals_received);
     res.hp_scans = d.total(stat::hp_scans);
+    res.era_scans = d.total(stat::era_scans);
     res.op_restarts = d.total(stat::op_restarts);
     res.limbo_records = mgr.total_limbo_all_types();
     res.allocated_bytes = mgr.total_allocated_bytes();

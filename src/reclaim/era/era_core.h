@@ -1,0 +1,205 @@
+// era_core.h -- the era-clock engine shared by Hazard Eras and 2GE
+// interval-based reclamation (IBR).
+//
+// Era schemes generalize the epoch engine in ../epoch_core.h: instead of one
+// global epoch that every active thread must catch up to, a global *era*
+// counter advances on retirement pressure, and every record carries the era
+// interval [birth_era, retire_era] over which it was reachable. A retired
+// record may be freed as soon as no thread holds a *reservation* that
+// intersects its interval:
+//
+//   * Hazard Eras publishes per-access era reservations in hazard-style
+//     slots (reclaimer_he.h);
+//   * 2GE-IBR publishes one [lower, upper] interval per thread at quiescence
+//     granularity (reclaimer_ibr.h).
+//
+// Both reuse the three pieces in this header:
+//
+//   * era_clock -- the monotonic global era, advanced every `era_freq`
+//     retires (per thread, so a lone retiring thread cannot thrash it);
+//   * era_record<T> -- the per-record header carrying the stamps. Managed
+//     types stay untouched (and trivially destructible); the record manager
+//     transparently allocates era_record<T> and hands out &rec->value (see
+//     record_manager.h "era stamping");
+//   * era_limbo -- the per-type retired bag: O(1) retire, and a partition
+//     scan every scan_threshold records that frees every record whose
+//     interval no reservation intersects (the same move-full-blocks trick
+//     as the HP and DEBRA+ scans).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "../../mem/block_pool.h"
+#include "../../mem/blockbag.h"
+#include "../../util/debug_stats.h"
+#include "../../util/padded.h"
+
+namespace smr::reclaim {
+
+/// Reservation slot / interval value meaning "nothing reserved". Eras start
+/// at 1 so the sentinel can never collide with a real stamp.
+inline constexpr std::uint64_t ERA_NONE = 0;
+
+/// The global monotonic era counter. Reads are cheap (one shared cache
+/// line, almost always a hit); advances happen once per `era_freq` retires
+/// per thread, so the line is written rarely.
+class era_clock {
+  public:
+    era_clock(int era_freq, debug_stats* stats)
+        : era_freq_(era_freq > 0 ? era_freq : 1), stats_(stats) {
+        era_.store(1, std::memory_order_relaxed);
+    }
+
+    era_clock(const era_clock&) = delete;
+    era_clock& operator=(const era_clock&) = delete;
+
+    std::uint64_t current() const noexcept {
+        return era_.load(std::memory_order_acquire);
+    }
+
+    /// Called once per retire. Advances the era every era_freq retires by
+    /// this thread. fetch_add (not CAS): concurrent advances just move the
+    /// clock further, which is always safe -- eras need monotonicity, not
+    /// exactness.
+    void on_retire(int tid) noexcept {
+        local& L = *locals_[tid];
+        if (++L.retires_since_advance >= era_freq_) {
+            L.retires_since_advance = 0;
+            era_.fetch_add(1, std::memory_order_seq_cst);
+            if (stats_) stats_->add(tid, stat::epochs_advanced);
+        }
+    }
+
+    int era_freq() const noexcept { return era_freq_; }
+
+  private:
+    struct local {
+        int retires_since_advance = 0;
+    };
+
+    const int era_freq_;
+    debug_stats* stats_;
+    alignas(PREFETCH_LINE) std::atomic<std::uint64_t> era_;
+    std::array<padded<local>, MAX_THREADS> locals_;
+};
+
+/// Per-record header for era stamping. The record manager stores managed
+/// type T as era_record<T> whenever the scheme declares `stored<T>`; the
+/// data structure only ever sees &rec->value, so its code is unchanged.
+/// Standard layout + trivially destructible, so storage recycles exactly
+/// like a bare T.
+template <class T>
+struct era_record {
+    std::uint64_t birth_era;
+    std::uint64_t retire_era;
+    T value;
+
+    T* value_ptr() noexcept { return &value; }
+
+    /// Recovers the header from the pointer the data structure holds.
+    static era_record* from_value(T* p) noexcept {
+        return reinterpret_cast<era_record*>(
+            reinterpret_cast<char*>(p) - offsetof(era_record, value));
+    }
+};
+
+/// Per-type retired-record bag for era schemes. `T` is the *stored* type
+/// (an era_record instantiation). `Global` supplies the reservation
+/// snapshot: `Global::snapshot_t s; s.collect(global);
+/// s.covers(birth, retire)`.
+///
+/// retire() is O(1); when the bag reaches global.scan_threshold_records()
+/// the thread snapshots every reservation, partitions the bag so covered
+/// records sit at the front, and moves every full block after the partition
+/// point to the pool -- expected amortized O(1) per record, and a limbo
+/// bound of scan_threshold + one partial block per thread and type.
+template <class T, class Pool, int B, class Global>
+class era_limbo {
+    static_assert(requires(T* p) {
+        { p->birth_era } -> std::convertible_to<std::uint64_t>;
+        { p->retire_era } -> std::convertible_to<std::uint64_t>;
+    }, "era_limbo manages era_record-wrapped storage");
+
+  public:
+    era_limbo(int num_threads, Global& global, Pool& pool,
+              mem::block_pool_array<T, B>& bpools, debug_stats* stats)
+        : num_threads_(num_threads), global_(global), pool_(pool),
+          stats_(stats) {
+        states_.reserve(static_cast<std::size_t>(num_threads));
+        for (int t = 0; t < num_threads; ++t)
+            states_.push_back(std::make_unique<tstate>(bpools[t]));
+    }
+
+    era_limbo(const era_limbo&) = delete;
+    era_limbo& operator=(const era_limbo&) = delete;
+
+    /// Teardown is single-threaded and after all threads quiesced; every
+    /// limbo record is safe.
+    ~era_limbo() {
+        for (int t = 0; t < num_threads_; ++t) {
+            while (T* p = states_[t]->bag.remove()) pool_.release(t, p);
+        }
+    }
+
+    void retire(int tid, T* p) {
+        if (stats_) stats_->add(tid, stat::records_retired);
+        tstate& st = *states_[tid];
+        st.bag.add(p);
+        if (st.bag.size() >= global_.scan_threshold_records()) scan(tid);
+    }
+
+    /// Era schemes reclaim from retire(); the manager-level rotation hook
+    /// is a no-op.
+    void rotate_and_reclaim(int) noexcept {}
+    int current_bag_blocks(int tid) const {
+        return states_[tid]->bag.size_in_blocks();
+    }
+    long long limbo_size(int tid) const { return states_[tid]->bag.size(); }
+
+    /// Snapshot reservations and free every record whose lifetime interval
+    /// none of them intersects. Public so tests and draining shutdown paths
+    /// can force a pass.
+    void scan(int tid) {
+        if (stats_) stats_->add(tid, stat::era_scans);
+        tstate& st = *states_[tid];
+        st.snap.collect(global_);
+        auto it1 = st.bag.begin();
+        auto it2 = st.bag.begin();
+        const auto end = st.bag.end();
+        while (it1 != end) {
+            T* rec = *it1;
+            if (st.snap.covers(rec->birth_era, rec->retire_era)) {
+                swap_entries(it1, it2);
+                ++it2;
+            }
+            ++it1;
+        }
+        // See reclaimer_debra_plus.h: an empty covered partition leaves it2
+        // inside the first non-empty block; shed all full blocks then.
+        if (it2 == st.bag.begin()) {
+            pool_.accept_chain(tid, st.bag.take_full_blocks());
+        } else {
+            pool_.accept_chain(tid, st.bag.take_blocks_after(it2));
+        }
+    }
+
+  private:
+    struct tstate {
+        explicit tstate(mem::block_pool<T, B>& bp) : bag(bp) {}
+        mem::blockbag<T, B> bag;
+        typename Global::snapshot_t snap;
+    };
+
+    const int num_threads_;
+    Global& global_;
+    Pool& pool_;
+    debug_stats* stats_;
+    std::vector<std::unique_ptr<tstate>> states_;
+};
+
+}  // namespace smr::reclaim

@@ -21,6 +21,14 @@
 // Global state (epoch counter, announcement words, hazard slots) is shared
 // across the manager's record types; limbo bags and pools are per-type so a
 // record's storage always returns to an allocator of the right type.
+//
+// Era stamping: schemes that track record lifetimes (Hazard Eras, IBR)
+// declare a `stored<T>` member template mapping each managed type to a
+// wrapper with a per-record header (era_record<T>). The manager then
+// allocates/pools the wrapper and hands the data structure &wrapper->value,
+// stamping birth_era on allocate and retire_era on retire -- the structure
+// code and the managed types are untouched, so the one-template-argument
+// swap claim extends to the era family.
 #pragma once
 
 #include <setjmp.h>
@@ -36,6 +44,24 @@
 #include "policies.h"
 
 namespace smr {
+
+namespace rm_detail {
+
+/// Maps a managed type to its stored type: T itself, unless the scheme
+/// publishes a `stored<T>` wrapper (era schemes' per-record header).
+template <class Scheme, class T, class = void>
+struct stored_type {
+    using type = T;
+    static constexpr bool stamped = false;
+};
+template <class Scheme, class T>
+struct stored_type<Scheme, T,
+                   std::void_t<typename Scheme::template stored<T>>> {
+    using type = typename Scheme::template stored<T>;
+    static constexpr bool stamped = true;
+};
+
+}  // namespace rm_detail
 
 template <class Scheme, class AllocTag, class PoolTag, class... Ts>
 class record_manager {
@@ -115,10 +141,18 @@ class record_manager {
     // ---- record lifecycle --------------------------------------------------
 
     /// Raw storage for one T (pool first, then allocator). The record is
-    /// *uninitialized*: placement-new it before publishing.
+    /// *uninitialized*: placement-new it before publishing. For era schemes
+    /// the storage carries a just-stamped birth era in its hidden header.
     template <class T>
     T* allocate(int tid) {
-        return get<T>().pool.allocate(tid);
+        auto& b = get<T>();
+        if constexpr (bundle<T>::stamped) {
+            auto* rec = b.pool.allocate(tid);
+            global_.stamp_birth(rec);
+            return rec->value_ptr();
+        } else {
+            return b.pool.allocate(tid);
+        }
     }
 
     /// Convenience: allocate + placement-new.
@@ -132,14 +166,25 @@ class record_manager {
     /// operation ended up not inserting).
     template <class T>
     void deallocate(int tid, T* p) {
-        get<T>().pool.deallocate(tid, p);
+        if constexpr (bundle<T>::stamped) {
+            get<T>().pool.deallocate(tid, bundle<T>::stored_t::from_value(p));
+        } else {
+            get<T>().pool.deallocate(tid, p);
+        }
     }
 
     /// The record has been removed from the data structure; reclaim it once
-    /// no thread can still reach it.
+    /// no thread can still reach it. Era schemes stamp the retire era here,
+    /// closing the record's lifetime interval.
     template <class T>
     void retire(int tid, T* p) {
-        get<T>().rec.retire(tid, p);
+        if constexpr (bundle<T>::stamped) {
+            auto* rec = bundle<T>::stored_t::from_value(p);
+            global_.stamp_retire(tid, rec);
+            get<T>().rec.retire(tid, rec);
+        } else {
+            get<T>().rec.retire(tid, p);
+        }
     }
 
     // ---- per-access protection (hazard-pointer schemes) ---------------------
@@ -277,11 +322,14 @@ class record_manager {
   private:
     template <class T>
     struct bundle {
-        using alloc_t = typename AllocTag::template bind<T>;
+        using stored_t = typename rm_detail::stored_type<Scheme, T>::type;
+        static constexpr bool stamped =
+            rm_detail::stored_type<Scheme, T>::stamped;
+        using alloc_t = typename AllocTag::template bind<stored_t>;
         using pool_t =
-            typename PoolTag::template bind<T, alloc_t, BLOCK_SIZE>;
+            typename PoolTag::template bind<stored_t, alloc_t, BLOCK_SIZE>;
         using rec_t =
-            typename Scheme::template per_type<T, pool_t, BLOCK_SIZE>;
+            typename Scheme::template per_type<stored_t, pool_t, BLOCK_SIZE>;
 
         bundle(int n, typename Scheme::global_state& g, debug_stats* stats)
             : bpools(n, stats),
@@ -291,7 +339,7 @@ class record_manager {
 
         // Declaration order doubles as teardown dependency order (reverse):
         // rec drains limbo into pool, pool frees into alloc.
-        mem::block_pool_array<T, BLOCK_SIZE> bpools;
+        mem::block_pool_array<stored_t, BLOCK_SIZE> bpools;
         alloc_t alloc;
         pool_t pool;
         rec_t rec;

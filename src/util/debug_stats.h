@@ -37,6 +37,7 @@ enum class stat : int {
     benign_signals_received,      // handler ran while quiescent (no-op)
     hp_scans,                // full hazard-pointer scans
     hp_validation_failures,  // protect() validation rejected (op restarts)
+    era_scans,               // era-reservation limbo scans (HE / IBR)
     op_restarts,             // data structure operation restarted
     COUNT
 };
@@ -51,7 +52,8 @@ inline constexpr std::array<std::string_view,
         "announcement_checks",    "rotations",
         "neutralize_signals_sent","neutralize_signals_received",
         "benign_signals_received","hp_scans",
-        "hp_validation_failures", "op_restarts",
+        "hp_validation_failures", "era_scans",
+        "op_restarts",
 };
 
 /// Per-thread counter matrix. Writes are relaxed single-writer; totals are

@@ -21,7 +21,7 @@ namespace smr::testutil {
 using key_t = long long;
 using val_t = long long;
 
-/// Aggressive epoch settings so reclamation happens within small tests.
+/// Aggressive epoch/era settings so reclamation happens within small tests.
 template <class Mgr>
 typename Mgr::config_t fast_config() {
     auto cfg = Mgr::default_config();
@@ -34,6 +34,10 @@ typename Mgr::config_t fast_config() {
         cfg.epoch.incr_thresh = 1;
         cfg.suspect_threshold_blocks = 1;
         cfg.scan_threshold_blocks = 1;
+    }
+    if constexpr (requires { cfg.era_freq; }) {
+        cfg.era_freq = 2;
+        cfg.scan_slack_records = 64;
     }
     return cfg;
 }

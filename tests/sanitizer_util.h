@@ -1,0 +1,20 @@
+// sanitizer_util.h -- shared test helper: detect LeakSanitizer so tests
+// can skip cells that leak *by design* (the paper's "None" scheme drops
+// retired records on the floor; everything else stays leak-checked).
+#pragma once
+
+namespace smr::testutil {
+
+#if defined(__SANITIZE_ADDRESS__)
+inline constexpr bool kLeakChecked = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+inline constexpr bool kLeakChecked = true;
+#else
+inline constexpr bool kLeakChecked = false;
+#endif
+#else
+inline constexpr bool kLeakChecked = false;
+#endif
+
+}  // namespace smr::testutil

@@ -150,8 +150,13 @@ TEST(ReclaimDebraPlus, NeutralizationUnblocksReclamation) {
 
     mgr.init_thread(0);
     // Thread 0 churns retires; pressure exceeds the suspect threshold and
-    // thread 1 gets neutralized.
-    for (int i = 0; i < 4 * mgr_dp::BLOCK_SIZE && neutralized.load() == 0;
+    // thread 1 gets neutralized. Always churn enough to fill limbo blocks
+    // (reclamation moves whole blocks, and the neutralization can land
+    // before the first block fills), then keep going until the signal
+    // arrives.
+    for (int i = 0;
+         i < 4 * mgr_dp::BLOCK_SIZE ||
+         (neutralized.load() == 0 && i < 64 * mgr_dp::BLOCK_SIZE);
          ++i) {
         mgr.leave_qstate(0);
         rec* r = mgr.new_record<rec>(0);
@@ -250,12 +255,22 @@ TEST(ReclaimDebraPlus, LimboStaysBoundedDespiteStalledThread) {
     while (!stalled.load(std::memory_order_acquire)) std::this_thread::yield();
 
     mgr.init_thread(0);
+    // Thread 1 re-enters run_op after every neutralization, and each
+    // re-entry scans announcements -- so it may suspect and signal *this*
+    // thread. Operations must therefore run inside run_op (the Figure-5
+    // contract): allocation and retire stay in the quiescent pre/postamble.
     long long max_limbo = 0;
     for (int i = 0; i < 30 * mgr_dp::BLOCK_SIZE; ++i) {
-        mgr.leave_qstate(0);
         rec* r = mgr.new_record<rec>(0);
+        mgr.run_op(
+            0,
+            [&](int t) {
+                mgr.leave_qstate(t);
+                mgr.enter_qstate(t);
+                return true;
+            },
+            [&](int) { return true; });
         mgr.retire<rec>(0, r);
-        mgr.enter_qstate(0);
         const long long limbo = mgr.total_limbo_size<rec>();
         if (limbo > max_limbo) max_limbo = limbo;
     }

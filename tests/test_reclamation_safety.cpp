@@ -15,6 +15,9 @@
 #include <vector>
 
 #include "ds_test_util.h"
+#include "reclaim/era/reclaimer_he.h"
+#include "reclaim/era/reclaimer_ibr.h"
+#include "sanitizer_util.h"
 
 namespace smr {
 namespace {
@@ -269,11 +272,17 @@ TEST(ReclamationSafety, SchemeSwapIsOneTypeAlias) {
         mgr.deinit_thread(0);
         return size;
     };
-    EXPECT_EQ(run(reclaim::reclaim_none{}), 50);
+    if (!testutil::kLeakChecked) {
+        // 'none' leaks every retired record by design; keep it out of
+        // LeakSanitizer runs.
+        EXPECT_EQ(run(reclaim::reclaim_none{}), 50);
+    }
     EXPECT_EQ(run(reclaim::reclaim_debra{}), 50);
     EXPECT_EQ(run(reclaim::reclaim_ebr{}), 50);
     EXPECT_EQ(run(reclaim::reclaim_debra_plus{}), 50);
     EXPECT_EQ(run(reclaim::reclaim_hp{}), 50);
+    EXPECT_EQ(run(reclaim::reclaim_he{}), 50);
+    EXPECT_EQ(run(reclaim::reclaim_ibr{}), 50);
 }
 
 }  // namespace

@@ -5,14 +5,18 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
 #include "recordmgr/record_manager.h"
+#include "reclaim/era/reclaimer_he.h"
+#include "reclaim/era/reclaimer_ibr.h"
 #include "reclaim/reclaimer_debra.h"
 #include "reclaim/reclaimer_debra_plus.h"
 #include "reclaim/reclaimer_hp.h"
 #include "reclaim/reclaimer_none.h"
+#include "sanitizer_util.h"
 
 namespace smr {
 namespace {
@@ -58,13 +62,92 @@ void exercise_scheme() {
         record_manager<Scheme, alloc_bump, pool_shared, small_rec, big_rec>>();
 }
 
-TEST(RecordManager, MatrixNone) { exercise_scheme<reclaim::reclaim_none>(); }
+TEST(RecordManager, MatrixNone) {
+    if (testutil::kLeakChecked)
+        GTEST_SKIP() << "'none' leaks retired records by design";
+    exercise_scheme<reclaim::reclaim_none>();
+}
 TEST(RecordManager, MatrixDebra) { exercise_scheme<reclaim::reclaim_debra>(); }
 TEST(RecordManager, MatrixEbr) { exercise_scheme<reclaim::reclaim_ebr>(); }
 TEST(RecordManager, MatrixDebraPlus) {
     exercise_scheme<reclaim::reclaim_debra_plus>();
 }
 TEST(RecordManager, MatrixHp) { exercise_scheme<reclaim::reclaim_hp>(); }
+TEST(RecordManager, MatrixHe) { exercise_scheme<reclaim::reclaim_he>(); }
+TEST(RecordManager, MatrixIbr) { exercise_scheme<reclaim::reclaim_ibr>(); }
+
+// ---- scheme swap at the API boundary: six schemes, one manager type -----
+//
+// The compile-time trait constants and scheme_name are the API the
+// structures' if-constexpr paths key on; pin them per scheme so a trait
+// regression cannot slip in behind the templates.
+
+template <class Scheme>
+class ManagerTyped : public ::testing::Test {};
+using SixSchemes =
+    ::testing::Types<reclaim::reclaim_none, reclaim::reclaim_debra,
+                     reclaim::reclaim_debra_plus, reclaim::reclaim_hp,
+                     reclaim::reclaim_he, reclaim::reclaim_ibr>;
+TYPED_TEST_SUITE(ManagerTyped, SixSchemes);
+
+struct trait_row {
+    const char* name;
+    bool crash_recovery;
+    bool fault_tolerant;
+    bool quiescence;
+    bool per_access;
+};
+constexpr trait_row expected_traits[] = {
+    {"none", false, true, false, false},
+    {"debra", false, false, true, false},
+    {"debra+", true, true, true, false},
+    {"hp", false, true, false, true},
+    {"he", false, true, false, true},
+    {"ibr-2ge", false, true, true, true},
+};
+
+TYPED_TEST(ManagerTyped, SchemeNameAndTraitsMatchTable) {
+    using mgr_t = record_manager<TypeParam, alloc_malloc, pool_shared,
+                                 small_rec, big_rec>;
+    static_assert(std::is_same_v<typename mgr_t::scheme, TypeParam>);
+    bool found = false;
+    for (const trait_row& row : expected_traits) {
+        if (std::string_view(row.name) != mgr_t::scheme_name) continue;
+        found = true;
+        EXPECT_EQ(mgr_t::supports_crash_recovery, row.crash_recovery);
+        EXPECT_EQ(mgr_t::is_fault_tolerant, row.fault_tolerant);
+        EXPECT_EQ(mgr_t::quiescence_based, row.quiescence);
+        EXPECT_EQ(mgr_t::per_access_protection, row.per_access);
+    }
+    EXPECT_TRUE(found) << "scheme " << mgr_t::scheme_name
+                       << " missing from the trait table";
+}
+
+TYPED_TEST(ManagerTyped, LifecycleAndLimboAccounting) {
+    using mgr_t = record_manager<TypeParam, alloc_malloc, pool_shared,
+                                 small_rec, big_rec>;
+    mgr_t mgr(2);
+    mgr.init_thread(0);
+    mgr.leave_qstate(0);
+    auto* a = mgr.template new_record<small_rec>(0);
+    a->v = 5;
+    auto* b = mgr.template new_record<big_rec>(0);
+    b->payload[0] = 6;
+    EXPECT_EQ(a->v, 5);
+    EXPECT_EQ(b->payload[0], 6);
+    if constexpr (std::string_view(TypeParam::name) != "none") {
+        mgr.template retire<small_rec>(0, a);
+        mgr.enter_qstate(0);
+        EXPECT_EQ(mgr.template total_limbo_size<small_rec>(), 1);
+        EXPECT_EQ(mgr.total_limbo_all_types(), 1);
+    } else {
+        mgr.enter_qstate(0);
+        // 'none' would leak the retire; hand the record straight back.
+        mgr.template deallocate<small_rec>(0, a);
+    }
+    mgr.template deallocate<big_rec>(0, b);
+    mgr.deinit_thread(0);
+}
 
 // ---- multi-type bundles ---------------------------------------------------
 

@@ -1,0 +1,297 @@
+// The scheme-conformance matrix: every data structure in src/ds/ against
+// every reclamation scheme (none / DEBRA / DEBRA+ / HP / HE / IBR),
+// instantiated at compile time through one typed test suite.
+//
+// Each compatible (structure, scheme) cell runs the paper's harness
+// workload concurrently and checks its size invariant -- a reclamation bug
+// that frees a reachable record breaks it or crashes (under ASan, every
+// cell is also a use-after-free probe). On top of that the suite asserts
+// the Scheme-concept trait predicates and, for the bounded schemes
+// (HP / HE / IBR), that total_limbo_all_types() respects the scan
+// threshold after the workload.
+//
+// Known incompatibilities are part of the matrix's claim, not holes in it:
+// DEBRA+ requires the structure to carry neutralization recovery code,
+// which only the Ellen BST does (the other structures static_assert
+// against it, reproducing the paper's applicability table).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "ds/hash_map.h"
+#include "ds/ms_queue.h"
+#include "ds/treiber_stack.h"
+#include "ds_test_util.h"
+#include "harness/workload.h"
+#include "reclaim/era/reclaimer_he.h"
+#include "reclaim/era/reclaimer_ibr.h"
+#include "sanitizer_util.h"
+
+namespace smr {
+namespace {
+
+using testutil::fast_config;
+using testutil::kLeakChecked;
+using testutil::key_t;
+using testutil::val_t;
+
+constexpr int THREADS = 3;
+
+using AllSchemes =
+    ::testing::Types<reclaim::reclaim_none, reclaim::reclaim_debra,
+                     reclaim::reclaim_debra_plus, reclaim::reclaim_hp,
+                     reclaim::reclaim_he, reclaim::reclaim_ibr>;
+
+template <class Scheme>
+class SchemeMatrix : public ::testing::Test {};
+TYPED_TEST_SUITE(SchemeMatrix, AllSchemes);
+
+/// The 'none' scheme leaks every retired record by design; skip its cells
+/// when LeakSanitizer is watching.
+template <class Scheme>
+bool skip_leaky_cell() {
+    return kLeakChecked && std::string_view(Scheme::name) == "none";
+}
+
+/// Bounded-limbo predicate: schemes that reclaim by reservation scan
+/// expose a scan threshold; after a trial their limbo must respect it.
+/// Per thread and type a bag may retain, beyond the threshold, records
+/// still covered at the last scan plus up to three partial blocks (the
+/// head block, the partition-boundary block, and growth since the scan
+/// only sheds full blocks). Quiescence-only schemes have no such bound
+/// and are not checked.
+template <class Mgr>
+void expect_limbo_bounded(Mgr& mgr, int num_types) {
+    if constexpr (requires { mgr.global().scan_threshold_records(); }) {
+        const long long bound =
+            static_cast<long long>(num_types) * mgr.num_threads() *
+            (mgr.global().scan_threshold_records() + 3 * Mgr::BLOCK_SIZE);
+        EXPECT_LE(mgr.total_limbo_all_types(), bound);
+    }
+}
+
+/// One matrix cell for a set-shaped structure: concurrent harness workload
+/// with the size-invariant check, then the limbo bound.
+template <class Mgr, class DS>
+void run_set_cell(Mgr& mgr, DS& ds, int num_types) {
+    harness::workload_config cfg;
+    cfg.num_threads = THREADS;
+    cfg.key_range = 512;
+    cfg.insert_pct = 40;
+    cfg.delete_pct = 40;
+    cfg.trial_ms = 40;
+    cfg.seed = 42;
+    const auto r = harness::run_trial(ds, mgr, cfg);
+    EXPECT_TRUE(r.size_invariant_holds())
+        << "final=" << r.final_size << " expected=" << r.expected_final_size;
+    EXPECT_GT(r.total_ops, 0);
+    expect_limbo_bounded(mgr, num_types);
+}
+
+// ---- Scheme concept conformance ------------------------------------------
+
+TYPED_TEST(SchemeMatrix, SchemeConceptConformance) {
+    using S = TypeParam;
+    // The record_manager vocabulary every scheme must satisfy (paper
+    // Section 6): compile-time traits, a config, a global_state, and a
+    // per-type component.
+    static_assert(S::name != nullptr);
+    static_assert(std::is_same_v<decltype(S::supports_crash_recovery),
+                                 const bool>);
+    static_assert(std::is_same_v<decltype(S::is_fault_tolerant), const bool>);
+    static_assert(std::is_same_v<decltype(S::quiescence_based), const bool>);
+    static_assert(
+        std::is_same_v<decltype(S::per_access_protection), const bool>);
+    static_assert(std::is_default_constructible_v<typename S::config>);
+    // A scheme with per-access protection can never hand out records whose
+    // protection the structure cannot release; crash recovery implies
+    // fault tolerance.
+    static_assert(!S::supports_crash_recovery || S::is_fault_tolerant);
+    using mgr_t = testutil::list_mgr<S>;
+    static_assert(mgr_t::quiescence_based == S::quiescence_based);
+    static_assert(mgr_t::per_access_protection == S::per_access_protection);
+    SUCCEED();
+}
+
+// ---- set-shaped structures -----------------------------------------------
+
+TYPED_TEST(SchemeMatrix, HarrisList) {
+    using S = TypeParam;
+    if (skip_leaky_cell<S>()) GTEST_SKIP() << "'none' leaks by design";
+    if constexpr (S::supports_crash_recovery) {
+        GTEST_SKIP() << "harris_list carries no neutralization recovery";
+    } else {
+        using mgr_t = testutil::list_mgr<S>;
+        mgr_t mgr(THREADS, fast_config<mgr_t>());
+        ds::harris_list<key_t, val_t, mgr_t> list(mgr);
+        run_set_cell(mgr, list, 1);
+    }
+}
+
+TYPED_TEST(SchemeMatrix, LazySkiplist) {
+    using S = TypeParam;
+    if (skip_leaky_cell<S>()) GTEST_SKIP() << "'none' leaks by design";
+    if constexpr (S::supports_crash_recovery) {
+        GTEST_SKIP() << "lazy_skiplist carries no neutralization recovery";
+    } else {
+        using mgr_t = testutil::skip_mgr<S>;
+        mgr_t mgr(THREADS, fast_config<mgr_t>());
+        ds::lazy_skiplist<key_t, val_t, mgr_t> skip(mgr);
+        run_set_cell(mgr, skip, 1);
+    }
+}
+
+TYPED_TEST(SchemeMatrix, EllenBst) {
+    using S = TypeParam;
+    if (skip_leaky_cell<S>()) GTEST_SKIP() << "'none' leaks by design";
+    using mgr_t = testutil::bst_mgr<S>;
+    mgr_t mgr(THREADS, fast_config<mgr_t>());
+    ds::ellen_bst<key_t, val_t, mgr_t> bst(mgr);
+    run_set_cell(mgr, bst, 2);
+}
+
+TYPED_TEST(SchemeMatrix, HashMap) {
+    using S = TypeParam;
+    if (skip_leaky_cell<S>()) GTEST_SKIP() << "'none' leaks by design";
+    if constexpr (S::supports_crash_recovery) {
+        GTEST_SKIP() << "hash_map buckets carry no neutralization recovery";
+    } else {
+        using mgr_t = testutil::list_mgr<S>;
+        mgr_t mgr(THREADS, fast_config<mgr_t>());
+        ds::hash_map<key_t, val_t, mgr_t> map(mgr, 32);
+        run_set_cell(mgr, map, 1);
+    }
+}
+
+// ---- differential correctness (single-threaded, every cell) --------------
+
+TYPED_TEST(SchemeMatrix, DifferentialAgainstStdMap) {
+    using S = TypeParam;
+    if (skip_leaky_cell<S>()) GTEST_SKIP() << "'none' leaks by design";
+    constexpr int OPS = 4000;
+    {
+        using mgr_t = testutil::bst_mgr<S>;
+        mgr_t mgr(1, fast_config<mgr_t>());
+        mgr.init_thread(0);
+        ds::ellen_bst<key_t, val_t, mgr_t> bst(mgr);
+        EXPECT_EQ(testutil::differential_test(bst, 0, 7, OPS, 128), OPS);
+        mgr.deinit_thread(0);
+    }
+    if constexpr (!S::supports_crash_recovery) {
+        using mgr_t = testutil::list_mgr<S>;
+        mgr_t mgr(1, fast_config<mgr_t>());
+        mgr.init_thread(0);
+        ds::harris_list<key_t, val_t, mgr_t> list(mgr);
+        EXPECT_EQ(testutil::differential_test(list, 0, 11, OPS, 128), OPS);
+        ds::hash_map<key_t, val_t, mgr_t> map(mgr, 16);
+        EXPECT_EQ(testutil::differential_test(map, 0, 13, OPS, 128), OPS);
+        mgr.deinit_thread(0);
+    }
+}
+
+// ---- stack and queue ------------------------------------------------------
+
+TYPED_TEST(SchemeMatrix, TreiberStack) {
+    using S = TypeParam;
+    if (skip_leaky_cell<S>()) GTEST_SKIP() << "'none' leaks by design";
+    if constexpr (S::supports_crash_recovery) {
+        GTEST_SKIP() << "treiber_stack carries no neutralization recovery";
+    } else {
+        using mgr_t = record_manager<S, alloc_malloc, pool_shared,
+                                     ds::stack_node<long>>;
+        mgr_t mgr(THREADS, fast_config<mgr_t>());
+        ds::treiber_stack<long, mgr_t> stack(mgr);
+        constexpr int PER_THREAD = 3000;
+        std::atomic<long long> popped_sum{0};
+        std::atomic<long long> popped_count{0};
+        std::vector<std::thread> workers;
+        for (int t = 0; t < THREADS; ++t) {
+            workers.emplace_back([&, t] {
+                mgr.init_thread(t);
+                long long my_sum = 0, my_count = 0;
+                for (int i = 0; i < PER_THREAD; ++i) {
+                    stack.push(t, t * PER_THREAD + i);
+                    if (i % 4 != 0) {
+                        if (auto v = stack.pop(t)) {
+                            my_sum += *v;
+                            ++my_count;
+                        }
+                    }
+                }
+                popped_sum.fetch_add(my_sum);
+                popped_count.fetch_add(my_count);
+                mgr.deinit_thread(t);
+            });
+        }
+        for (auto& w : workers) w.join();
+        mgr.init_thread(0);
+        long long drain_sum = 0, drain_count = 0;
+        while (auto v = stack.pop(0)) {
+            drain_sum += *v;
+            ++drain_count;
+        }
+        const long long total = static_cast<long long>(THREADS) * PER_THREAD;
+        EXPECT_EQ(popped_count.load() + drain_count, total);
+        long long expected_sum = 0;
+        for (long long v = 0; v < total; ++v) expected_sum += v;
+        EXPECT_EQ(popped_sum.load() + drain_sum, expected_sum);
+        expect_limbo_bounded(mgr, 1);
+        mgr.deinit_thread(0);
+    }
+}
+
+TYPED_TEST(SchemeMatrix, MsQueue) {
+    using S = TypeParam;
+    if (skip_leaky_cell<S>()) GTEST_SKIP() << "'none' leaks by design";
+    if constexpr (S::supports_crash_recovery) {
+        GTEST_SKIP() << "ms_queue carries no neutralization recovery";
+    } else {
+        using mgr_t = record_manager<S, alloc_malloc, pool_shared,
+                                     ds::queue_node<long>>;
+        mgr_t mgr(THREADS, fast_config<mgr_t>());
+        ds::ms_queue<long, mgr_t> queue(mgr);
+        constexpr int PER_PRODUCER = 4000;
+        std::atomic<long long> consumed_sum{0};
+        std::atomic<long long> consumed_count{0};
+        std::atomic<int> producers_left{2};
+        std::vector<std::thread> workers;
+        for (int p = 0; p < 2; ++p) {
+            workers.emplace_back([&, p] {
+                mgr.init_thread(p);
+                for (int i = 0; i < PER_PRODUCER; ++i) {
+                    queue.enqueue(p, p * PER_PRODUCER + i);
+                }
+                producers_left.fetch_sub(1);
+                mgr.deinit_thread(p);
+            });
+        }
+        workers.emplace_back([&] {
+            mgr.init_thread(2);
+            for (;;) {
+                auto v = queue.dequeue(2);
+                if (v) {
+                    consumed_sum.fetch_add(*v);
+                    consumed_count.fetch_add(1);
+                } else if (producers_left.load() == 0) {
+                    if (!queue.dequeue(2)) break;
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+            mgr.deinit_thread(2);
+        });
+        for (auto& w : workers) w.join();
+        const long long total = 2LL * PER_PRODUCER;
+        EXPECT_EQ(consumed_count.load(), total);
+        long long expected = 0;
+        for (long long v = 0; v < total; ++v) expected += v;
+        EXPECT_EQ(consumed_sum.load(), expected);
+        expect_limbo_bounded(mgr, 1);
+    }
+}
+
+}  // namespace
+}  // namespace smr
