@@ -1,0 +1,217 @@
+// exp5_guard_overhead -- A/B benchmark proving the RAII guard layer is
+// zero-cost against the raw record_manager vocabulary on the BST hot path.
+//
+// The data structures now speak accessor/guard_ptr/op_guard exclusively,
+// so the raw side of the A/B is a faithful re-implementation of the BST
+// search hot path (the seed's ellen_bst::find) against the raw tid-taking
+// back-end: run_op + leave_qstate/enter_qstate + protect/unprotect +
+// clear_protections, hand-paired exactly as before the API redesign. Both
+// sides traverse the same prefilled tree with the same key stream.
+//
+// For epoch schemes (DEBRA) the guard layer must erase entirely: guard_ptr
+// is a bare pointer and op() compiles to the same two announcement writes.
+// For HP the guard destructor replaces the hand-written unprotect; the
+// delta budget (default 2%) covers noise.
+//
+//   SMR_TRIAL_MS     per-phase duration   (default 200)
+//   SMR_TRIALS       phase repetitions    (default 3; best-of is compared)
+//   SMR_THREADS      thread counts        (default "1,2,4,8"; first entry
+//                                          is used)
+//   SMR_GUARD_DELTA_PCT  acceptance threshold in percent (default 2)
+//
+// Exit status: 0 when |delta| <= threshold for every scheme, 1 otherwise.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/barrier.h"
+#include "util/timing.h"
+
+namespace {
+
+using namespace smr;
+using bench::key_t;
+using bench::val_t;
+
+constexpr long long KEY_RANGE = 1 << 16;
+
+/// The raw-API replica of the seed's ellen_bst::find hot path, kept
+/// faithful to the pre-redesign code line by line: clear_protections at
+/// every search start, the hand-over-hand gp/p/l protect/unprotect chain
+/// with update-word bookkeeping, and the Figure-5 finish sequence
+/// (clear_protections; enter_qstate; runprotect_all).
+template <class Mgr, class Tree>
+bool raw_contains(Mgr& mgr, int tid, Tree& tree, const key_t& key) {
+    using node_t = typename Tree::node_t;
+    using sp = typename Tree::sp;
+    std::optional<val_t> result;
+    mgr.run_op(
+        tid,
+        [&](int t) {
+            mgr.leave_qstate(t);
+            for (;;) {
+                // -- the seed's search() --
+                mgr.clear_protections(t);
+                node_t* gp = nullptr;
+                node_t* p = nullptr;
+                std::uintptr_t gpupdate = sp::pack(nullptr, ds::BST_CLEAN);
+                std::uintptr_t pupdate = sp::pack(nullptr, ds::BST_CLEAN);
+                node_t* l = tree.root();
+                mgr.protect(t, l);  // root is never retired
+                bool restart = false;
+                while (!l->is_leaf()) {
+                    if (gp != nullptr) mgr.unprotect(t, gp);
+                    gp = p;
+                    p = l;
+                    gpupdate = pupdate;
+                    pupdate = p->update.load(std::memory_order_acquire);
+                    std::atomic<node_t*>* link =
+                        (l->inf != 0 || key < l->key) ? &l->left : &l->right;
+                    node_t* child = link->load(std::memory_order_acquire);
+                    node_t* parent = l;
+                    if (!mgr.protect(t, child, [&] {
+                            const std::uintptr_t u = parent->update.load(
+                                std::memory_order_seq_cst);
+                            return sp::state(u) != ds::BST_MARK &&
+                                   link->load(std::memory_order_seq_cst) ==
+                                       child;
+                        })) {
+                        restart = true;
+                        break;
+                    }
+                    l = child;
+                }
+                (void)gpupdate;
+                if (restart) {
+                    mgr.stats().add(t, stat::op_restarts);
+                    continue;
+                }
+                result = (l->inf == 0 && l->key == key)
+                             ? std::optional<val_t>(l->value)
+                             : std::nullopt;
+                break;
+            }
+            mgr.clear_protections(t);
+            mgr.enter_qstate(t);
+            mgr.runprotect_all(t);
+            return true;
+        },
+        [&](int) { return false; });
+    return result.has_value();
+}
+
+struct phase_result {
+    double guard_mops = 0;
+    double raw_mops = 0;
+    double delta_pct = 0;  // median of paired per-trial deltas
+};
+
+/// Runs the find-heavy hot path with `threads` workers for `trial_ms`,
+/// through the guard layer (mode 0) or the raw back-end (mode 1).
+template <class Mgr, class Tree>
+double timed_phase(Mgr& mgr, Tree& tree, int threads, int trial_ms,
+                   int mode, std::uint64_t seed) {
+    std::atomic<bool> start{false}, stop{false};
+    std::atomic<long long> total_ops{0};
+    spin_barrier ready(static_cast<std::uint32_t>(threads) + 1);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            auto handle = mgr.register_thread(t);
+            auto acc = mgr.access(handle);
+            prng rng(seed * 7919 + static_cast<std::uint64_t>(t));
+            ready.arrive_and_wait();
+            while (!start.load(std::memory_order_acquire)) {
+                std::this_thread::yield();
+            }
+            long long ops = 0;
+            while (!stop.load(std::memory_order_acquire)) {
+                const key_t k = static_cast<key_t>(
+                    rng.next(static_cast<std::uint64_t>(KEY_RANGE)));
+                if (mode == 0) {
+                    (void)tree.contains(acc, k);
+                } else {
+                    (void)raw_contains(mgr, t, tree, k);
+                }
+                ++ops;
+            }
+            total_ops.fetch_add(ops);
+        });
+    }
+    ready.arrive_and_wait();
+    stopwatch timer;
+    start.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(trial_ms));
+    stop.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+    const double secs = timer.elapsed_seconds();
+    return secs > 0 ? total_ops.load() / secs / 1e6 : 0.0;
+}
+
+template <class Scheme>
+phase_result run_scheme(const char* name, int threads, int trial_ms,
+                        int trials) {
+    using mgr_t = record_manager<Scheme, alloc_malloc, pool_shared,
+                                 ds::bst_node<key_t, val_t>,
+                                 ds::bst_info<key_t, val_t>>;
+    mgr_t mgr(threads);
+    ds::ellen_bst<key_t, val_t, mgr_t> tree(mgr);
+    {
+        auto h0 = mgr.register_thread(0);
+        harness::prefill_to(tree, mgr.access(h0), KEY_RANGE, KEY_RANGE / 2,
+                            42);
+    }
+    phase_result best;
+    // Interleave guard/raw phases so frequency scaling and cache warmth
+    // bias neither side, and compare *paired* per-trial deltas (median):
+    // adjacent phases see the same machine state, so pairing cancels the
+    // drift that a best-of-each comparison is exposed to.
+    std::vector<double> deltas;
+    for (int trial = 0; trial < trials; ++trial) {
+        const double g = timed_phase(mgr, tree, threads, trial_ms, 0,
+                                     100 + static_cast<std::uint64_t>(trial));
+        const double r = timed_phase(mgr, tree, threads, trial_ms, 1,
+                                     100 + static_cast<std::uint64_t>(trial));
+        best.guard_mops = std::max(best.guard_mops, g);
+        best.raw_mops = std::max(best.raw_mops, r);
+        if (r > 0) deltas.push_back((r - g) / r * 100.0);
+    }
+    std::sort(deltas.begin(), deltas.end());
+    best.delta_pct =
+        deltas.empty() ? 0.0 : deltas[deltas.size() / 2];
+    std::printf("%-8s %2d thr   guard %8.3f Mops/s   raw %8.3f Mops/s   "
+                "median paired delta %+6.2f%%\n",
+                name, threads, best.guard_mops, best.raw_mops,
+                best.delta_pct);
+    return best;
+}
+
+}  // namespace
+
+int main() {
+    const auto env = smr::bench::bench_env::from_env();
+    const int trial_ms = smr::harness::env_int("SMR_TRIAL_MS", 200);
+    const int trials = smr::harness::env_int("SMR_TRIALS", 3);
+    const int threshold = smr::harness::env_int("SMR_GUARD_DELTA_PCT", 2);
+    const int threads = env.thread_counts.front();
+
+    std::printf("exp5: guard-layer overhead vs raw API, BST search hot path "
+                "(%lld keys, %d ms x %d trials, threshold %d%%)\n",
+                KEY_RANGE, trial_ms, trials, threshold);
+
+    const auto debra = run_scheme<smr::reclaim::reclaim_debra>(
+        "debra", threads, trial_ms, trials);
+    const auto hp = run_scheme<smr::reclaim::reclaim_hp>("hp", threads,
+                                                         trial_ms, trials);
+
+    bool ok = true;
+    for (const auto& r : {debra, hp}) {
+        if (r.delta_pct > threshold) ok = false;
+    }
+    std::printf("%s: guard layer is%s within %d%% of the raw API\n",
+                ok ? "PASS" : "FAIL", ok ? "" : " NOT", threshold);
+    return ok ? 0 : 1;
+}

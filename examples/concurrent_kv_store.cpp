@@ -30,17 +30,23 @@ using store_t = smr::ds::lazy_skiplist<key_type, val_type, manager_t>;
 namespace {
 
 /// put/get/del API over the skip list (insert-if-absent becomes upsert by
-/// erase+insert; fine for a demo, not a linearizable upsert).
+/// erase+insert; fine for a demo, not a linearizable upsert). Callers pass
+/// the accessor of their thread_handle -- no tids anywhere.
 struct kv_store {
+    using accessor = manager_t::accessor_t;
     manager_t& mgr;
     store_t& skip;
 
-    bool put(int tid, key_type k, val_type v) {
-        skip.erase(tid, k);
-        return skip.insert(tid, k, v);
+    bool put(accessor acc, key_type k, val_type v) {
+        skip.erase(acc, k);
+        return skip.insert(acc, k, v);
     }
-    std::optional<val_type> get(int tid, key_type k) { return skip.find(tid, k); }
-    bool del(int tid, key_type k) { return skip.erase(tid, k).has_value(); }
+    std::optional<val_type> get(accessor acc, key_type k) {
+        return skip.find(acc, k);
+    }
+    bool del(accessor acc, key_type k) {
+        return skip.erase(acc, k).has_value();
+    }
 };
 
 }  // namespace
@@ -58,42 +64,41 @@ int main() {
     std::vector<std::thread> workers;
     for (int t = 0; t < THREADS - 1; ++t) {
         workers.emplace_back([&, t] {
-            mgr.init_thread(t);
+            auto handle = mgr.register_thread();
+            auto acc = mgr.access(handle);
             smr::prng rng(static_cast<std::uint64_t>(t) * 31 + 1);
             while (!stop.load(std::memory_order_acquire)) {
                 const key_type k = static_cast<key_type>(rng.next(KEYS));
                 const auto dice = rng.next(100);
                 if (dice < 70) {
-                    (void)store.get(t, k);
+                    (void)store.get(acc, k);
                     gets.fetch_add(1, std::memory_order_relaxed);
                 } else if (dice < 90) {
-                    store.put(t, k, k * 10);
+                    store.put(acc, k, k * 10);
                     puts.fetch_add(1, std::memory_order_relaxed);
                 } else {
-                    store.del(t, k);
+                    store.del(acc, k);
                     dels.fetch_add(1, std::memory_order_relaxed);
                 }
             }
-            mgr.deinit_thread(t);
         });
     }
     // A monitoring thread samples the store size -- a reader whose scans
     // must never touch freed memory.
     workers.emplace_back([&] {
-        const int t = THREADS - 1;
-        mgr.init_thread(t);
+        auto handle = mgr.register_thread();
+        auto acc = mgr.access(handle);
         for (int sample = 0; sample < 5; ++sample) {
             std::this_thread::sleep_for(std::chrono::milliseconds(100));
             long long hits = 0;
             for (key_type k = 0; k < KEYS; k += 8) {
-                if (store.get(t, k).has_value()) ++hits;
+                if (store.get(acc, k).has_value()) ++hits;
             }
             std::printf("  [monitor] sample %d: ~%lld/%lld sampled keys "
                         "present\n",
                         sample + 1, hits, KEYS / 8);
         }
         stop.store(true, std::memory_order_release);
-        mgr.deinit_thread(t);
     });
     for (auto& w : workers) w.join();
 

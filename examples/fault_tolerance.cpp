@@ -40,14 +40,15 @@ void run_scenario(const char* name) {
     std::vector<std::thread> threads;
     for (int t = 0; t < WORKERS; ++t) {
         threads.emplace_back([&, t] {
-            mgr.init_thread(t);
+            auto handle = mgr.register_thread(t);
+            auto acc = mgr.access(handle);
             smr::prng rng(static_cast<std::uint64_t>(t) + 99);
             while (!stop.load(std::memory_order_acquire)) {
                 const key_type k = static_cast<key_type>(rng.next(256));
                 if (rng.chance_percent(50)) {
-                    tree.insert(t, k, k);
+                    tree.insert(acc, k, k);
                 } else {
-                    tree.erase(t, k);
+                    tree.erase(acc, k);
                 }
                 const long long limbo = mgr.total_limbo_all_types();
                 long long prev = peak_limbo.load(std::memory_order_relaxed);
@@ -55,34 +56,30 @@ void run_scenario(const char* name) {
                        !peak_limbo.compare_exchange_weak(prev, limbo)) {
                 }
             }
-            mgr.deinit_thread(t);
         });
     }
-    // The straggler: stalls non-quiescently, over and over. run_op gives
-    // it a recovery point; under DEBRA+ the signal lands here.
+    // The straggler: stalls non-quiescently, over and over. run_guarded
+    // gives it a recovery point; under DEBRA+ the signal lands here.
     std::atomic<long long> recoveries{0};
     threads.emplace_back([&] {
-        mgr.init_thread(STALLER);
+        auto handle = mgr.register_thread(STALLER);
+        auto acc = mgr.access(handle);
         while (!stop.load(std::memory_order_acquire)) {
-            mgr.run_op(
-                STALLER,
-                [&](int t) {
-                    mgr.leave_qstate(t);  // "mid-operation"...
+            acc.run_guarded(
+                [&] {  // non-quiescent ("mid-operation")...
                     const auto until = std::chrono::steady_clock::now() +
                                        std::chrono::milliseconds(50);
                     while (std::chrono::steady_clock::now() < until &&
                            !stop.load(std::memory_order_acquire)) {
                         std::this_thread::yield();  // ...and going nowhere
                     }
-                    mgr.enter_qstate(t);
                     return true;
                 },
-                [&](int) {
+                [&] {
                     recoveries.fetch_add(1);  // neutralized and recovered
                     return true;
                 });
         }
-        mgr.deinit_thread(STALLER);
     });
 
     std::this_thread::sleep_for(std::chrono::milliseconds(600));

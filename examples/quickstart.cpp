@@ -1,9 +1,18 @@
-// quickstart -- the smallest complete program using the library.
+// quickstart -- the smallest complete program using the library, written
+// against the RAII guard API (the canonical way to use it).
 //
-// Builds a lock-free binary search tree whose memory is managed by DEBRA,
-// runs a few operations from two threads, and prints the reclamation
-// statistics. Swapping the reclamation scheme, allocator, or object pool
-// is the single `using manager_t = ...` line (paper Section 6).
+// Three ideas, three types:
+//
+//   1. record_manager composes {reclamation scheme, allocator, pool} over
+//      the record types of a data structure. One template argument swaps
+//      the scheme -- nothing else changes.
+//   2. thread_handle registers the calling thread (RAII): construction
+//      picks a free tid and runs the scheme's per-thread setup, the
+//      destructor deregisters. No tids are ever invented by hand.
+//   3. accessor (minted by mgr.access(handle)) binds the registration and
+//      is what data structure operations take: tree.insert(acc, k, v).
+//      Inside the structures, op_guard and guard_ptr pair every
+//      quiescence bracket and per-access protection automatically.
 //
 //   $ ./quickstart
 #include <cstdio>
@@ -17,8 +26,8 @@ using key_type = long long;
 using val_type = long long;
 
 // One line selects {reclaimer, allocator, pool} for the tree's two record
-// types. Try reclaim::reclaim_debra_plus, reclaim_hp, reclaim_ebr, or
-// reclaim_none here -- nothing else changes.
+// types. Try reclaim::reclaim_debra_plus, reclaim_hp, reclaim_he,
+// reclaim_ibr, reclaim_ebr, or reclaim_none here -- nothing else changes.
 using manager_t =
     smr::record_manager<smr::reclaim::reclaim_debra,  // reclamation scheme
                         smr::alloc_malloc,            // allocator policy
@@ -32,20 +41,23 @@ int main() {
     tree_t tree(mgr);
 
     std::thread worker([&] {
-        mgr.init_thread(1);  // every thread registers once, with its tid
-        for (key_type k = 0; k < 10000; ++k) tree.insert(1, k, k * 2);
-        for (key_type k = 0; k < 10000; k += 2) tree.erase(1, k);
-        mgr.deinit_thread(1);
+        // RAII registration: auto-assigned tid, deregistered on scope exit.
+        auto handle = mgr.register_thread();
+        auto acc = mgr.access(handle);
+        for (key_type k = 0; k < 10000; ++k) tree.insert(acc, k, k * 2);
+        for (key_type k = 0; k < 10000; k += 2) tree.erase(acc, k);
     });
 
-    mgr.init_thread(0);
     long long found = 0;
-    for (int round = 0; round < 200; ++round) {
-        for (key_type k = 0; k < 100; ++k) {
-            if (tree.contains(0, k)) ++found;
+    {
+        auto handle = mgr.register_thread();
+        auto acc = mgr.access(handle);
+        for (int round = 0; round < 200; ++round) {
+            for (key_type k = 0; k < 100; ++k) {
+                if (tree.contains(acc, k)) ++found;
+            }
         }
     }
-    mgr.deinit_thread(0);
     worker.join();
 
     std::printf("tree size:            %lld (odd keys below 10000)\n",

@@ -39,20 +39,20 @@ void churn_app(int threads, int ms) {
     std::atomic<long long> ops{0};
     for (int t = 0; t < threads; ++t) {
         workers.emplace_back([&, t] {
-            mgr.init_thread(t);
+            auto handle = mgr.register_thread();
+            auto acc = mgr.access(handle);
             smr::prng rng(static_cast<std::uint64_t>(t) + 7);
             long long mine = 0;
             while (!stop.load(std::memory_order_acquire)) {
                 const key_type k = static_cast<key_type>(rng.next(512));
                 if (rng.chance_percent(50)) {
-                    tree.insert(t, k, k);
+                    tree.insert(acc, k, k);
                 } else {
-                    tree.erase(t, k);
+                    tree.erase(acc, k);
                 }
                 ++mine;
             }
             ops.fetch_add(mine);
-            mgr.deinit_thread(t);
         });
     }
     smr::stopwatch timer;

@@ -40,31 +40,30 @@ int main() {
 
     for (int p = 0; p < PRODUCERS; ++p) {
         threads.emplace_back([&, p] {
-            mgr.init_thread(p);
+            auto handle = mgr.register_thread();
+            auto acc = mgr.access(handle);
             for (long i = 0; i < TASKS_PER_PRODUCER; ++i) {
-                work_queue.enqueue(p, p * TASKS_PER_PRODUCER + i);
+                work_queue.enqueue(acc, p * TASKS_PER_PRODUCER + i);
             }
             producers_left.fetch_sub(1);
-            mgr.deinit_thread(p);
         });
     }
     for (int c = 0; c < CONSUMERS; ++c) {
-        threads.emplace_back([&, c] {
-            const int tid = PRODUCERS + c;
-            mgr.init_thread(tid);
+        threads.emplace_back([&] {
+            auto handle = mgr.register_thread();
+            auto acc = mgr.access(handle);
             for (;;) {
-                auto task = work_queue.dequeue(tid);
+                auto task = work_queue.dequeue(acc);
                 if (task) {
                     // "Process" the task; push a digest onto the results.
-                    if ((*task & 0xfff) == 0) results.push(tid, *task);
+                    if ((*task & 0xfff) == 0) results.push(acc, *task);
                     processed.fetch_add(1, std::memory_order_relaxed);
                 } else if (producers_left.load() == 0) {
-                    if (!work_queue.dequeue(tid)) break;
+                    if (!work_queue.dequeue(acc)) break;
                 } else {
                     std::this_thread::yield();
                 }
             }
-            mgr.deinit_thread(tid);
         });
     }
     for (auto& t : threads) t.join();

@@ -102,17 +102,23 @@ struct bst_info {
 
 /// Lock-free set/map with insert-if-absent, erase, and wait-free-ish find.
 /// `RecordMgr` must manage both `bst_node<K,V>` and `bst_info<K,V>`.
+/// Operations take an accessor bound to a registered thread.
 template <class K, class V, class RecordMgr>
 class ellen_bst {
   public:
     using node_t = bst_node<K, V>;
     using info_t = bst_info<K, V>;
     using sp = stated_ptr<info_t>;
+    using accessor_t = typename RecordMgr::accessor_t;
+    using node_guard = typename RecordMgr::template guard_t<node_t>;
+    using info_guard = typename RecordMgr::template guard_t<info_t>;
 
     explicit ellen_bst(RecordMgr& mgr) : mgr_(mgr) {
-        node_t* l1 = make_leaf(0, K{}, V{}, 1);
-        node_t* l2 = make_leaf(0, K{}, V{}, 2);
-        root_ = mgr_.template new_record<node_t>(0);
+        // Single-threaded setup: raw back-end accessor for tid 0.
+        accessor_t acc(mgr_, 0);
+        node_t* l1 = make_leaf(acc, K{}, V{}, 1);
+        node_t* l2 = make_leaf(acc, K{}, V{}, 2);
+        root_ = acc.template new_record<node_t>();
         init_internal(root_, K{}, 2, l1, l2);
     }
 
@@ -127,20 +133,18 @@ class ellen_bst {
     /// writes shared memory (paper Figure 3 search shape).
     ///
     /// Like every operation, the non-quiescent traversal runs inside
-    /// run_op: under DEBRA+ a neutralization signal may interrupt *any*
-    /// non-quiescent code, and the siglongjmp must land in a live
+    /// run_guarded: under DEBRA+ a neutralization signal may interrupt
+    /// *any* non-quiescent code, and the siglongjmp must land in a live
     /// sigsetjmp environment. Recovery simply restarts the read-only body
     /// (for schemes without crash recovery this compiles to a plain loop).
-    std::optional<V> find(int tid, const K& key) {
+    std::optional<V> find(accessor_t acc, const K& key) {
         std::optional<V> result;
-        mgr_.run_op(
-            tid,
-            [&](int t) {
-                mgr_.leave_qstate(t);
+        acc.run_guarded(
+            [&] {
                 for (;;) {
                     search_result s;
-                    if (!search(t, key, s)) {
-                        mgr_.stats().add(t, stat::op_restarts);
+                    if (!search(acc, key, s)) {
+                        acc.note(stat::op_restarts);
                         continue;
                     }
                     result = is_key(s.l, key)
@@ -148,51 +152,49 @@ class ellen_bst {
                                  : std::nullopt;
                     break;
                 }
-                mgr_.clear_protections(t);
-                mgr_.enter_qstate(t);
                 return true;
             },
-            [&](int t) {
-                mgr_.stats().add(t, stat::op_restarts);
+            [&] {
+                acc.note(stat::op_restarts);
                 return false;  // restart the read-only body
             });
         return result;
     }
 
-    bool contains(int tid, const K& key) { return find(tid, key).has_value(); }
+    bool contains(accessor_t acc, const K& key) {
+        return find(acc, key).has_value();
+    }
 
     // ---- insert --------------------------------------------------------------
 
     /// Inserts (key, value) if absent; returns false when the key is present.
-    bool insert(int tid, const K& key, const V& value) {
+    bool insert(accessor_t acc, const K& key, const V& value) {
         // -- quiescent preamble: allocation is non-reentrant (Figure 5) --
         attempt_ctx ctx;
-        ctx.new_leaf = make_leaf(tid, key, value, 0);
-        ctx.new_sibling = mgr_.template new_record<node_t>(tid);
-        ctx.new_internal = mgr_.template new_record<node_t>(tid);
-        ctx.info = mgr_.template new_record<info_t>(tid);
+        ctx.new_leaf = make_leaf(acc, key, value, 0);
+        ctx.new_sibling = acc.template new_record<node_t>();
+        ctx.new_internal = acc.template new_record<node_t>();
+        ctx.info = acc.template new_record<info_t>();
 
         for (;;) {
             ctx.outcome = attempt::RETRY;
-            mgr_.run_op(
-                tid,
-                [&](int t) { return insert_body(t, key, value, ctx); },
-                [&](int t) { return insert_recovery(t, ctx); });
+            acc.run_guarded(
+                [&] { return insert_body(acc, key, value, ctx); },
+                [&] { return insert_recovery(acc, ctx); });
 
             switch (ctx.outcome) {
                 case attempt::SUCCESS: {
                     // -- quiescent postamble: retire what this op removed --
-                    mgr_.template retire<node_t>(
-                        tid, ctx.old_leaf.load(std::memory_order_relaxed));
+                    acc.retire(ctx.old_leaf.load(std::memory_order_relaxed));
                     retire_info(
-                        tid, ctx.overwritten.load(std::memory_order_relaxed));
+                        acc, ctx.overwritten.load(std::memory_order_relaxed));
                     return true;
                 }
                 case attempt::ALREADY_DONE:
-                    mgr_.template deallocate<node_t>(tid, ctx.new_leaf);
-                    mgr_.template deallocate<node_t>(tid, ctx.new_sibling);
-                    mgr_.template deallocate<node_t>(tid, ctx.new_internal);
-                    mgr_.template deallocate<info_t>(tid, ctx.info);
+                    acc.deallocate(ctx.new_leaf);
+                    acc.deallocate(ctx.new_sibling);
+                    acc.deallocate(ctx.new_internal);
+                    acc.deallocate(ctx.info);
                     return false;
                 case attempt::RETRY:
                     // Flag CAS never took effect: every preallocated record
@@ -201,43 +203,40 @@ class ellen_bst {
                 case attempt::RETRY_FRESH_INFO:
                     // The info record was published (it sits in a CLEAN
                     // word); its storage is no longer ours.
-                    ctx.info = mgr_.template new_record<info_t>(tid);
+                    ctx.info = acc.template new_record<info_t>();
                     break;
             }
-            mgr_.stats().add(tid, stat::op_restarts);
+            acc.note(stat::op_restarts);
         }
     }
 
     // ---- erase ---------------------------------------------------------------
 
     /// Removes `key`; returns its value if it was present.
-    std::optional<V> erase(int tid, const K& key) {
+    std::optional<V> erase(accessor_t acc, const K& key) {
         attempt_ctx ctx;
-        ctx.info = mgr_.template new_record<info_t>(tid);
+        ctx.info = acc.template new_record<info_t>();
 
         for (;;) {
             ctx.outcome = attempt::RETRY;
-            mgr_.run_op(
-                tid,
-                [&](int t) { return erase_body(t, key, ctx); },
-                [&](int t) { return erase_recovery(t, ctx); });
+            acc.run_guarded([&] { return erase_body(acc, key, ctx); },
+                            [&] { return erase_recovery(acc, ctx); });
 
             switch (ctx.outcome) {
                 case attempt::SUCCESS: {
                     node_t* leaf = ctx.old_leaf.load(std::memory_order_relaxed);
                     const V removed_value = leaf->value;  // before retiring
-                    mgr_.template retire<node_t>(
-                        tid,
+                    acc.retire(
                         ctx.removed_parent.load(std::memory_order_relaxed));
-                    mgr_.template retire<node_t>(tid, leaf);
-                    retire_info(tid, ctx.overwritten.load(
+                    acc.retire(leaf);
+                    retire_info(acc, ctx.overwritten.load(
                                          std::memory_order_relaxed));
-                    retire_info(tid, ctx.overwritten_mark.load(
+                    retire_info(acc, ctx.overwritten_mark.load(
                                          std::memory_order_relaxed));
                     return removed_value;
                 }
                 case attempt::ALREADY_DONE:
-                    mgr_.template deallocate<info_t>(tid, ctx.info);
+                    acc.deallocate(ctx.info);
                     return std::nullopt;
                 case attempt::RETRY:
                     break;
@@ -245,13 +244,13 @@ class ellen_bst {
                     // Aborted delete: our info is pinned in gp's CLEAN word.
                     // The dflag still overwrote gp's previous info, which is
                     // ours to retire.
-                    retire_info(tid, ctx.overwritten.load(
+                    retire_info(acc, ctx.overwritten.load(
                                          std::memory_order_relaxed));
                     ctx.overwritten.store(nullptr, std::memory_order_relaxed);
-                    ctx.info = mgr_.template new_record<info_t>(tid);
+                    ctx.info = acc.template new_record<info_t>();
                     break;
             }
-            mgr_.stats().add(tid, stat::op_restarts);
+            acc.note(stat::op_restarts);
         }
     }
 
@@ -315,8 +314,8 @@ class ellen_bst {
 
     // ---- node construction -------------------------------------------------------
 
-    node_t* make_leaf(int tid, const K& key, const V& value, int inf) {
-        node_t* n = mgr_.template new_record<node_t>(tid);
+    node_t* make_leaf(accessor_t acc, const K& key, const V& value, int inf) {
+        node_t* n = acc.template new_record<node_t>();
         n->key = key;
         n->value = value;
         n->inf = inf;
@@ -338,50 +337,55 @@ class ellen_bst {
 
     // ---- search -----------------------------------------------------------------
 
+    /// gp/p/l plus the guards keeping them safe for per-access schemes
+    /// (empty and free for epoch schemes). Guards die with the result.
     struct search_result {
         node_t* gp = nullptr;
         node_t* p = nullptr;
         node_t* l = nullptr;
         std::uintptr_t gpupdate = 0;
         std::uintptr_t pupdate = 0;
+        node_guard gp_g;
+        node_guard p_g;
+        node_guard l_g;
     };
 
     /// EFRB search. Returns false when a hazard protection failed and the
     /// caller must restart (epoch schemes always return true). On success,
-    /// gp/p/l are protected for per-access schemes.
-    bool search(int tid, const K& key, search_result& s) {
-        mgr_.clear_protections(tid);
+    /// gp/p/l are guarded by the result.
+    bool search(accessor_t acc, const K& key, search_result& s) {
         s.gp = nullptr;
         s.p = nullptr;
         s.gpupdate = sp::pack(nullptr, BST_CLEAN);
         s.pupdate = sp::pack(nullptr, BST_CLEAN);
         node_t* l = root_;
-        // The root is never retired; protect unconditionally.
-        mgr_.protect(tid, l);
+        // The root is never retired; guard unconditionally.
+        node_guard l_g = acc.protect(l);
         while (!l->is_leaf()) {
-            if (s.gp != nullptr) mgr_.unprotect(tid, s.gp);
             s.gp = s.p;
+            s.gp_g = std::move(s.p_g);  // releases the old gp's guard
             s.p = l;
+            s.p_g = std::move(l_g);
             s.gpupdate = s.pupdate;
             s.pupdate = s.p->update.load(std::memory_order_acquire);
             std::atomic<node_t*>* link =
                 key_less(key, l) ? &l->left : &l->right;
             node_t* child = link->load(std::memory_order_acquire);
-            // Hand-over-hand protection: child is safe iff the parent is
+            // Hand-over-hand guarding: child is safe iff the parent is
             // still unmarked (hence unretired, hence in the tree) and still
             // links to it. For epoch schemes this compiles to nothing.
             node_t* parent = l;
-            if (!mgr_.protect(tid, child, [&] {
-                    const std::uintptr_t u =
-                        parent->update.load(std::memory_order_seq_cst);
-                    return sp::state(u) != BST_MARK &&
-                           link->load(std::memory_order_seq_cst) == child;
-                })) {
-                return false;  // suspect: restart the whole operation
-            }
+            l_g = acc.protect(child, [&] {
+                const std::uintptr_t u =
+                    parent->update.load(std::memory_order_seq_cst);
+                return sp::state(u) != BST_MARK &&
+                       link->load(std::memory_order_seq_cst) == child;
+            });
+            if (!l_g) return false;  // suspect: restart the whole operation
             l = child;
         }
         s.l = l;
+        s.l_g = std::move(l_g);
         return true;
     }
 
@@ -453,11 +457,11 @@ class ellen_bst {
 
     /// Helps whatever operation the update word `u` (read from node `n`)
     /// describes. For hazard-pointer schemes, the info record and the
-    /// out-of-band nodes it references are protected first, anchored to the
+    /// out-of-band nodes it references are guarded first, anchored to the
     /// still-flagged word; a frozen MARK word gives no such anchor, so HP
     /// callers must treat MARK as "suspect and restart" (return false).
     /// Epoch schemes always help and return true.
-    bool help(int tid, node_t* n, std::uintptr_t u) {
+    bool help(accessor_t acc, node_t* n, std::uintptr_t u) {
         const unsigned st = sp::state(u);
         info_t* op = sp::ptr(u);
         if (st == BST_CLEAN || op == nullptr) return true;
@@ -470,19 +474,19 @@ class ellen_bst {
             auto anchored = [&] {
                 return n->update.load(std::memory_order_seq_cst) == u;
             };
-            if (!mgr_.protect(tid, op, anchored)) return false;
-            bool ok = true;
-            if (st == BST_DFLAG) ok = mgr_.protect(tid, op->p, anchored);
-            if (ok) {
-                if (st == BST_IFLAG) {
-                    help_insert(op);
-                } else {
-                    help_delete(op);
-                }
+            info_guard op_g = acc.protect(op, anchored);
+            if (!op_g) return false;
+            node_guard p_g;
+            if (st == BST_DFLAG) {
+                p_g = acc.protect(op->p, anchored);
+                if (!p_g) return false;
             }
-            if (st == BST_DFLAG) mgr_.unprotect(tid, op->p);
-            mgr_.unprotect(tid, op);
-            return ok;
+            if (st == BST_IFLAG) {
+                help_insert(op);
+            } else {
+                help_delete(op);
+            }
+            return true;
         } else {
             (void)n;
             switch (st) {
@@ -497,26 +501,25 @@ class ellen_bst {
 
     // ---- insert body / recovery ---------------------------------------------------
 
-    /// One insert attempt (Figure 5 body). Returns true when the attempt
-    /// reached a decision (ctx.outcome says which); false never happens --
-    /// retries are decided by the outer loop.
-    bool insert_body(int tid, const K& key, const V& value, attempt_ctx& ctx) {
-        mgr_.leave_qstate(tid);
+    /// One insert attempt (Figure 5 body, run under run_guarded: the
+    /// quiescence bracket and RUnprotectAll come from the wrapper; guards
+    /// acquired here die before the body returns). Returns true when the
+    /// attempt reached a decision (ctx.outcome says which); false never
+    /// happens -- retries are decided by the outer loop.
+    bool insert_body(accessor_t acc, const K& key, const V& value,
+                     attempt_ctx& ctx) {
         search_result s;
-        if (!search(tid, key, s)) {
+        if (!search(acc, key, s)) {
             ctx.outcome = attempt::RETRY;
-            finish_body(tid);
             return true;
         }
         if (is_key(s.l, key)) {
             ctx.outcome = attempt::ALREADY_DONE;
-            finish_body(tid);
             return true;
         }
         if (sp::state(s.pupdate) != BST_CLEAN) {
-            help(tid, s.p, s.pupdate);
+            help(acc, s.p, s.pupdate);
             ctx.outcome = attempt::RETRY;
-            finish_body(tid);
             return true;
         }
 
@@ -556,16 +559,16 @@ class ellen_bst {
 
         // Records the recovery help procedure may access or CAS-expect,
         // then the descriptor last (paper Figure 5 ordering).
-        mgr_.rprotect(tid, s.p);
-        mgr_.rprotect(tid, l);
-        mgr_.rprotect(tid, ctx.new_internal);
-        mgr_.rprotect(tid, op);
+        acc.rprotect(s.p);
+        acc.rprotect(l);
+        acc.rprotect(ctx.new_internal);
+        acc.rprotect(op);
         // Pin our own descriptor for hazard schemes: once published it can
         // be helped to completion, its CLEAN word overwritten, and the
         // record retired+freed by another thread's postamble while we are
         // still dereferencing it inside help_insert. Epoch schemes compile
-        // this away. Released by finish_body's clear_protections.
-        mgr_.protect(tid, op);
+        // this away. The guard dies when the body returns.
+        info_guard op_pin = acc.protect(op);
 
         std::uintptr_t expected = s.pupdate;
         if (s.p->update.compare_exchange_strong(expected,
@@ -576,19 +579,19 @@ class ellen_bst {
         } else {
             // Our flag never took effect; help whoever beat us and retry
             // with the same (still private) records.
-            help(tid, s.p, expected);
+            help(acc, s.p, expected);
             ctx.outcome = attempt::RETRY;
         }
-        finish_body(tid);
         return true;
     }
 
-    /// Insert recovery (runs quiescent, after a neutralization longjmp).
-    /// Decides whether the interrupted attempt's flag CAS took effect, and
-    /// if so drives the operation to completion (paper Figure 5).
-    bool insert_recovery(int tid, attempt_ctx& ctx) {
+    /// Insert recovery (runs quiescent, after a neutralization longjmp;
+    /// the wrapper runs RUnprotectAll afterwards). Decides whether the
+    /// interrupted attempt's flag CAS took effect, and if so drives the
+    /// operation to completion (paper Figure 5).
+    bool insert_recovery(accessor_t acc, attempt_ctx& ctx) {
         info_t* op = ctx.info;
-        if (op != nullptr && mgr_.is_rprotected(tid, op)) {
+        if (op != nullptr && acc.is_rprotected(op)) {
             // The descriptor was announced, so the flag CAS may have run.
             const int st = op->state.load(std::memory_order_seq_cst);
             node_t* target = ctx.flag_target.load(std::memory_order_relaxed);
@@ -607,35 +610,29 @@ class ellen_bst {
         } else {
             ctx.outcome = attempt::RETRY;
         }
-        mgr_.runprotect_all(tid);
         return true;
     }
 
     // ---- erase body / recovery ------------------------------------------------------
 
-    bool erase_body(int tid, const K& key, attempt_ctx& ctx) {
-        mgr_.leave_qstate(tid);
+    bool erase_body(accessor_t acc, const K& key, attempt_ctx& ctx) {
         search_result s;
-        if (!search(tid, key, s)) {
+        if (!search(acc, key, s)) {
             ctx.outcome = attempt::RETRY;
-            finish_body(tid);
             return true;
         }
         if (!is_key(s.l, key)) {
             ctx.outcome = attempt::ALREADY_DONE;
-            finish_body(tid);
             return true;
         }
         if (sp::state(s.gpupdate) != BST_CLEAN) {
-            help(tid, s.gp, s.gpupdate);
+            help(acc, s.gp, s.gpupdate);
             ctx.outcome = attempt::RETRY;
-            finish_body(tid);
             return true;
         }
         if (sp::state(s.pupdate) != BST_CLEAN) {
-            help(tid, s.p, s.pupdate);
+            help(acc, s.p, s.pupdate);
             ctx.outcome = attempt::RETRY;
-            finish_body(tid);
             return true;
         }
 
@@ -655,11 +652,12 @@ class ellen_bst {
         ctx.overwritten_mark.store(sp::ptr(s.pupdate),
                                    std::memory_order_relaxed);
 
-        mgr_.rprotect(tid, s.gp);
-        mgr_.rprotect(tid, s.p);
-        mgr_.rprotect(tid, s.l);
-        mgr_.rprotect(tid, op);
-        mgr_.protect(tid, op);  // see insert_body: pin our descriptor (HP)
+        acc.rprotect(s.gp);
+        acc.rprotect(s.p);
+        acc.rprotect(s.l);
+        acc.rprotect(op);
+        // See insert_body: pin our descriptor (HP).
+        info_guard op_pin = acc.protect(op);
 
         std::uintptr_t expected = s.gpupdate;
         if (s.gp->update.compare_exchange_strong(expected,
@@ -668,16 +666,15 @@ class ellen_bst {
             ctx.outcome = help_delete(op) ? attempt::SUCCESS
                                           : attempt::RETRY_FRESH_INFO;
         } else {
-            help(tid, s.gp, expected);
+            help(acc, s.gp, expected);
             ctx.outcome = attempt::RETRY;
         }
-        finish_body(tid);
         return true;
     }
 
-    bool erase_recovery(int tid, attempt_ctx& ctx) {
+    bool erase_recovery(accessor_t acc, attempt_ctx& ctx) {
         info_t* op = ctx.info;
-        if (op != nullptr && mgr_.is_rprotected(tid, op)) {
+        if (op != nullptr && acc.is_rprotected(op)) {
             const int st = op->state.load(std::memory_order_seq_cst);
             if (st == BST_COMMITTED) {
                 ctx.outcome = attempt::SUCCESS;
@@ -699,21 +696,13 @@ class ellen_bst {
         } else {
             ctx.outcome = attempt::RETRY;
         }
-        mgr_.runprotect_all(tid);
         return true;
     }
 
     // ---- shared tails -----------------------------------------------------------------
 
-    /// End of a body: matches Figure 5's enterQstate(); RUnprotectAll().
-    void finish_body(int tid) {
-        mgr_.clear_protections(tid);
-        mgr_.enter_qstate(tid);
-        mgr_.runprotect_all(tid);
-    }
-
-    void retire_info(int tid, info_t* op) {
-        if (op != nullptr) mgr_.template retire<info_t>(tid, op);
+    void retire_info(accessor_t acc, info_t* op) {
+        if (op != nullptr) acc.retire(op);
     }
 
     // ---- single-threaded helpers ------------------------------------------------------

@@ -8,16 +8,20 @@
 // ellen_bst.h where searches traverse pointers out of retired nodes and HPs
 // break (paper Section 3).
 //
-// Reclamation integration (paper Section 6 vocabulary):
-//   * leave_qstate / enter_qstate bracket every operation;
-//   * protect(node, validate) precedes every dereference -- for epoch
-//     schemes it compiles to `true`, for HPs it announces a hazard slot and
-//     validates that `*prev` still points to the unmarked node;
-//   * retire(node) after the successful unlink CAS.
+// Reclamation integration, through the RAII guard layer (guards.h):
+//   * every public operation takes an `accessor` (minted from a
+//     thread_handle) instead of a raw tid;
+//   * an op_guard brackets leave_qstate/enter_qstate on every exit path;
+//   * every hazardous dereference holds a guard_ptr, acquired by
+//     acc.protect(node, validate) -- for epoch schemes the guard is a bare
+//     pointer and compiles away, for HPs it owns a hazard slot released by
+//     its destructor;
+//   * retire(node) after the successful unlink CAS, in the quiescent
+//     postamble.
 //
 // The operation mix is the classic three-pointer traversal (prev, cur,
-// next); at most three protections are live at once, well under the
-// reclaimer's hazard-slot budget.
+// next); at most three guards are live at once, well under the reclaimer's
+// hazard-slot budget.
 #pragma once
 
 #include <atomic>
@@ -41,22 +45,26 @@ struct list_node {
 
 /// Sorted set/map from K to V with lock-free insert / erase / contains.
 ///
-/// `RecordMgr` must manage `list_node<K, V>`. Thread ids passed to every
-/// operation must have been registered with the manager (init_thread).
+/// `RecordMgr` must manage `list_node<K, V>`. Operations take an accessor
+/// bound to a registered thread (mgr.access(handle)).
 template <class K, class V, class RecordMgr>
 class harris_list {
-    // Operations here are not wrapped in run_op/sigsetjmp, so a neutralizing
-    // scheme (DEBRA+) would siglongjmp into an unset environment. Use the
-    // BST for DEBRA+; the list supports none/EBR/DEBRA/HP.
+    // Operations here are not wrapped in run_guarded/sigsetjmp, so a
+    // neutralizing scheme (DEBRA+) would siglongjmp into an unset
+    // environment. Use the BST for DEBRA+; the list supports
+    // none/EBR/DEBRA/HP/HE/IBR.
     static_assert(!RecordMgr::supports_crash_recovery,
                   "harris_list has no neutralization recovery code; "
-                  "use DEBRA, EBR, HP or none");
+                  "use DEBRA, EBR, HP, HE, IBR or none");
 
   public:
     using node_t = list_node<K, V>;
     using mp = marked_ptr<node_t>;
+    using accessor_t = typename RecordMgr::accessor_t;
+    using guard_t = typename RecordMgr::template guard_t<node_t>;
 
-    /// `mgr` must outlive the list. The head sentinel is allocated from it.
+    /// `mgr` must outlive the list. The head sentinel is allocated from it
+    /// (single-threaded setup: raw back-end, tid 0).
     explicit harris_list(RecordMgr& mgr) : mgr_(mgr) {
         head_ = mgr_.template new_record<node_t>(0);
         head_->key = K{};
@@ -79,86 +87,88 @@ class harris_list {
     }
 
     /// Inserts (key, value); returns false if the key was already present.
-    bool insert(int tid, const K& key, const V& value) {
+    bool insert(accessor_t acc, const K& key, const V& value) {
         // Quiescent preamble: allocation is non-reentrant.
-        node_t* node = mgr_.template new_record<node_t>(tid);
+        node_t* node = acc.template new_record<node_t>();
         node->key = key;
         node->value = value;
 
-        mgr_.leave_qstate(tid);
         bool inserted = false;
-        for (;;) {
-            window w;
-            if (!search(tid, key, w)) continue;  // protection failed; retry
-            if (w.cur != nullptr && w.cur->key == key) break;  // present
-            node->next.store(mp::pack(w.cur, false), std::memory_order_relaxed);
-            std::uintptr_t expected = mp::pack(w.cur, false);
-            if (w.prev_link(head_)->compare_exchange_strong(
-                    expected, mp::pack(node, false),
-                    std::memory_order_seq_cst)) {
-                inserted = true;
-                break;
+        {
+            auto op = acc.op();
+            for (;;) {
+                window w;
+                if (!search(acc, key, w)) continue;  // protection failed
+                if (w.cur && w.cur->key == key) break;  // present
+                node->next.store(mp::pack(w.cur.get(), false),
+                                 std::memory_order_relaxed);
+                std::uintptr_t expected = mp::pack(w.cur.get(), false);
+                if (w.prev_link(head_)->compare_exchange_strong(
+                        expected, mp::pack(node, false),
+                        std::memory_order_seq_cst)) {
+                    inserted = true;
+                    break;
+                }
+                // Lost a race; re-search from the head.
             }
-            // Lost a race; re-search from the head.
         }
-        release_window(tid);
-        mgr_.enter_qstate(tid);
-        if (!inserted) mgr_.template deallocate<node_t>(tid, node);
+        if (!inserted) acc.deallocate(node);
         return inserted;
     }
 
     /// Removes key; returns its value if it was present.
-    std::optional<V> erase(int tid, const K& key) {
-        mgr_.leave_qstate(tid);
+    std::optional<V> erase(accessor_t acc, const K& key) {
         std::optional<V> result;
         node_t* victim = nullptr;
-        for (;;) {
-            window w;
-            if (!search(tid, key, w)) continue;
-            if (w.cur == nullptr || w.cur->key != key) break;  // absent
-            const std::uintptr_t succ = w.cur->next.load(std::memory_order_acquire);
-            if (mp::is_marked(succ)) continue;  // someone else is deleting it
-            // Logical delete: mark cur's next.
-            std::uintptr_t expected = succ;
-            if (!w.cur->next.compare_exchange_strong(
-                    expected, mp::pack(mp::ptr(succ), true),
-                    std::memory_order_seq_cst)) {
-                continue;
+        {
+            auto op = acc.op();
+            for (;;) {
+                window w;
+                if (!search(acc, key, w)) continue;
+                if (!w.cur || w.cur->key != key) break;  // absent
+                const std::uintptr_t succ =
+                    w.cur->next.load(std::memory_order_acquire);
+                if (mp::is_marked(succ)) continue;  // another deleter won
+                // Logical delete: mark cur's next.
+                std::uintptr_t expected = succ;
+                if (!w.cur->next.compare_exchange_strong(
+                        expected, mp::pack(mp::ptr(succ), true),
+                        std::memory_order_seq_cst)) {
+                    continue;
+                }
+                result = w.cur->value;
+                // Physical delete: unlink. On failure a helper already did
+                // it (and that helper retires the node -- see search()).
+                expected = mp::pack(w.cur.get(), false);
+                if (w.prev_link(head_)->compare_exchange_strong(
+                        expected, mp::pack(mp::ptr(succ), false),
+                        std::memory_order_seq_cst)) {
+                    victim = w.cur.get();
+                }
+                break;
             }
-            result = w.cur->value;
-            // Physical delete: unlink. On failure a helper already did it
-            // (and that helper retires the node -- see search()).
-            expected = mp::pack(w.cur, false);
-            if (w.prev_link(head_)->compare_exchange_strong(
-                    expected, mp::pack(mp::ptr(succ), false),
-                    std::memory_order_seq_cst)) {
-                victim = w.cur;
-            }
-            break;
         }
-        release_window(tid);
-        mgr_.enter_qstate(tid);
         // Quiescent postamble: retire the node we unlinked ourselves.
-        if (victim != nullptr) mgr_.template retire<node_t>(tid, victim);
+        if (victim != nullptr) acc.retire(victim);
         return result;
     }
 
     /// Returns the value mapped to key, if present.
-    std::optional<V> find(int tid, const K& key) {
-        mgr_.leave_qstate(tid);
+    std::optional<V> find(accessor_t acc, const K& key) {
         std::optional<V> result;
+        auto op = acc.op();
         for (;;) {
             window w;
-            if (!search(tid, key, w)) continue;
-            if (w.cur != nullptr && w.cur->key == key) result = w.cur->value;
+            if (!search(acc, key, w)) continue;
+            if (w.cur && w.cur->key == key) result = w.cur->value;
             break;
         }
-        release_window(tid);
-        mgr_.enter_qstate(tid);
         return result;
     }
 
-    bool contains(int tid, const K& key) { return find(tid, key).has_value(); }
+    bool contains(accessor_t acc, const K& key) {
+        return find(acc, key).has_value();
+    }
 
     /// Single-threaded size scan (tests / examples only).
     long long size_slow() const {
@@ -172,38 +182,38 @@ class harris_list {
     }
 
   private:
-    /// Search result: prev is the last node with key < `key` (or null for
-    /// the head sentinel), cur the first node with key >= `key` (or null).
+    /// Search result: prev guards the last node with key < `key` (empty for
+    /// the head sentinel), cur the first node with key >= `key` (empty for
+    /// end-of-list). The guards keep both nodes safe until the window dies.
     struct window {
-        node_t* prev = nullptr;
-        node_t* cur = nullptr;
+        guard_t prev;
+        guard_t cur;
 
         std::atomic<std::uintptr_t>* prev_link(node_t* head) const noexcept {
-            return prev != nullptr ? &prev->next : &head->next;
+            return prev ? &prev->next : &head->next;
         }
     };
 
     /// Michael-style find: physically unlinks marked nodes encountered on
     /// the way; never traverses from a marked node. Returns false when a
     /// hazard protection failed and the caller must retry (epoch schemes
-    /// never fail). On true, w.cur (if non-null) and w.prev are protected.
-    bool search(int tid, const K& key, window& w) {
-        release_window(tid);
+    /// never fail). On true, w.cur (if non-empty) and w.prev are guarded.
+    bool search(accessor_t acc, const K& key, window& w) {
         retry:
-        w.prev = nullptr;
-        w.cur = nullptr;
+        w.prev.reset();
+        w.cur.reset();
         std::atomic<std::uintptr_t>* prev_link = &head_->next;
         std::uintptr_t cur_word = prev_link->load(std::memory_order_acquire);
         for (;;) {
             node_t* cur = mp::ptr(cur_word);
-            if (cur == nullptr) { w.cur = nullptr; return true; }
-            // Protect cur, validating that prev still links to it unmarked.
-            if (!mgr_.protect(tid, cur, [&] {
-                    return prev_link->load(std::memory_order_seq_cst) ==
-                           mp::pack(cur, false);
-                })) {
-                mgr_.stats().add(tid, stat::op_restarts);
-                release_window(tid);
+            if (cur == nullptr) return true;  // w.cur stays empty
+            // Guard cur, validating that prev still links to it unmarked.
+            guard_t cur_g = acc.protect(cur, [&] {
+                return prev_link->load(std::memory_order_seq_cst) ==
+                       mp::pack(cur, false);
+            });
+            if (!cur_g) {
+                acc.note(stat::op_restarts);
                 goto retry;
             }
             const std::uintptr_t next_word =
@@ -215,31 +225,25 @@ class harris_list {
                 if (prev_link->compare_exchange_strong(
                         expected, mp::pack(mp::ptr(next_word), false),
                         std::memory_order_seq_cst)) {
-                    mgr_.template retire<node_t>(tid, cur);
+                    acc.retire(cur);
                 } else {
-                    mgr_.unprotect(tid, cur);
-                    release_window(tid);
-                    goto retry;
+                    goto retry;  // cur_g released on the way out
                 }
-                mgr_.unprotect(tid, cur);
+                cur_g.reset();
                 cur_word = prev_link->load(std::memory_order_acquire);
                 continue;
             }
             if (cur->key >= key) {
-                w.cur = cur;
+                w.cur = std::move(cur_g);
                 return true;
             }
-            // Advance: cur becomes prev; drop the old prev's protection.
-            if (w.prev != nullptr) mgr_.unprotect(tid, w.prev);
-            w.prev = cur;
+            // Advance: cur becomes prev; the old prev's guard is released
+            // by the move-assignment.
+            w.prev = std::move(cur_g);
             prev_link = &cur->next;
             cur_word = next_word;
         }
     }
-
-    /// Drops protections acquired by the last search. For epoch schemes the
-    /// whole call inlines away.
-    void release_window(int tid) { mgr_.clear_protections(tid); }
 
     RecordMgr& mgr_;
     node_t* head_;

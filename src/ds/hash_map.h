@@ -26,6 +26,7 @@ template <class K, class V, class RecordMgr>
 class hash_map {
   public:
     using bucket_t = harris_list<K, V, RecordMgr>;
+    using accessor_t = typename RecordMgr::accessor_t;
 
     hash_map(RecordMgr& mgr, std::size_t num_buckets)
         : mgr_(mgr), mask_(round_up_pow2(num_buckets) - 1) {
@@ -38,17 +39,17 @@ class hash_map {
     hash_map(const hash_map&) = delete;
     hash_map& operator=(const hash_map&) = delete;
 
-    bool insert(int tid, const K& key, const V& value) {
-        return bucket(key).insert(tid, key, value);
+    bool insert(accessor_t acc, const K& key, const V& value) {
+        return bucket(key).insert(acc, key, value);
     }
-    std::optional<V> erase(int tid, const K& key) {
-        return bucket(key).erase(tid, key);
+    std::optional<V> erase(accessor_t acc, const K& key) {
+        return bucket(key).erase(acc, key);
     }
-    std::optional<V> find(int tid, const K& key) {
-        return bucket(key).find(tid, key);
+    std::optional<V> find(accessor_t acc, const K& key) {
+        return bucket(key).find(acc, key);
     }
-    bool contains(int tid, const K& key) {
-        return bucket(key).contains(tid, key);
+    bool contains(accessor_t acc, const K& key) {
+        return bucket(key).contains(acc, key);
     }
 
     std::size_t bucket_count() const noexcept { return mask_ + 1; }

@@ -19,10 +19,10 @@
 //   * contains / find: lock-free traversal; present iff found at its level,
 //     fully linked, and not marked.
 //
-// Reclamation hooks follow the Record Manager vocabulary: operations are
-// bracketed by leave_qstate/enter_qstate, every traversal dereference is
-// guarded by protect() (free for epoch schemes), and retire() runs in the
-// quiescent postamble of the remover.
+// Reclamation hooks go through the RAII guard layer (guards.h): operations
+// take an accessor and are bracketed by an op_guard, every traversal
+// dereference holds a guard_ptr (free for epoch schemes), and retire()
+// runs in the quiescent postamble of the remover.
 #pragma once
 
 #include <array>
@@ -79,17 +79,21 @@ template <class K, class V, class RecordMgr>
 class lazy_skiplist {
     static_assert(!RecordMgr::supports_crash_recovery,
                   "lazy_skiplist holds locks; a neutralization signal would "
-                  "longjmp out of a critical section. Use DEBRA, EBR, HP or "
-                  "none (paper Section 5).");
+                  "longjmp out of a critical section. Use DEBRA, EBR, HP, "
+                  "HE, IBR or none (paper Section 5).");
 
   public:
     using node_t = skiplist_node<K, V>;
+    using accessor_t = typename RecordMgr::accessor_t;
+    using guard_t = typename RecordMgr::template guard_t<node_t>;
     static constexpr int MAX_LEVEL = SKIPLIST_MAX_LEVEL;
 
     explicit lazy_skiplist(RecordMgr& mgr, std::uint64_t level_seed = 0x5eed)
         : mgr_(mgr), level_seed_(level_seed) {
-        head_ = make_node(0, K{}, V{}, MAX_LEVEL, -1);
-        tail_ = make_node(0, K{}, V{}, MAX_LEVEL, +1);
+        // Single-threaded setup: raw back-end accessor for tid 0.
+        accessor_t acc(mgr_, 0);
+        head_ = make_node(acc, K{}, V{}, MAX_LEVEL, -1);
+        tail_ = make_node(acc, K{}, V{}, MAX_LEVEL, +1);
         for (int i = 0; i <= MAX_LEVEL; ++i)
             head_->next[i].store(tail_, std::memory_order_relaxed);
         head_->fully_linked.store(true, std::memory_order_relaxed);
@@ -109,148 +113,155 @@ class lazy_skiplist {
     }
 
     /// Inserts (key, value); returns false if the key is already present.
-    bool insert(int tid, const K& key, const V& value) {
+    bool insert(accessor_t acc, const K& key, const V& value) {
         // Quiescent preamble: pick the tower height and allocate.
-        const int top = random_level(tid);
-        node_t* node = make_node(tid, key, value, top, 0);
+        const int top = random_level(acc.tid());
+        node_t* node = make_node(acc, key, value, top, 0);
 
-        mgr_.leave_qstate(tid);
         bool inserted = false;
-        for (;;) {
-            window w;
-            if (!find_node(tid, key, w)) {
-                mgr_.stats().add(tid, stat::op_restarts);
-                continue;
-            }
-            if (w.found_level != -1) {
-                node_t* existing = w.succs[w.found_level];
-                if (!existing->marked.load(std::memory_order_acquire)) {
-                    // Wait for a concurrent inserter to finish linking, so
-                    // a successful "already present" answer is stable.
-                    while (!existing->fully_linked.load(
-                        std::memory_order_acquire)) {
-                        std::this_thread::yield();
+        {
+            auto op = acc.op();
+            for (;;) {
+                window w;
+                if (!find_node(acc, key, w)) {
+                    acc.note(stat::op_restarts);
+                    continue;
+                }
+                if (w.found_level != -1) {
+                    node_t* existing = w.succs[w.found_level];
+                    if (!existing->marked.load(std::memory_order_acquire)) {
+                        // Wait for a concurrent inserter to finish linking,
+                        // so a successful "already present" answer is
+                        // stable.
+                        while (!existing->fully_linked.load(
+                            std::memory_order_acquire)) {
+                            std::this_thread::yield();
+                        }
+                        break;  // present
                     }
-                    break;  // present
+                    continue;  // marked: deleter in progress; retry
                 }
-                continue;  // marked: deleter in progress; retry
-            }
-            // Lock preds bottom-up and validate the window.
-            int highest_locked = -1;
-            node_t* prev_pred = nullptr;
-            bool valid = true;
-            for (int lvl = 0; valid && lvl <= top; ++lvl) {
-                node_t* pred = w.preds[lvl];
-                if (pred != prev_pred) {
-                    pred->lock.lock();
-                    highest_locked = lvl;
-                    prev_pred = pred;
-                }
-                valid = !pred->marked.load(std::memory_order_acquire) &&
+                // Lock preds bottom-up and validate the window.
+                int highest_locked = -1;
+                node_t* prev_pred = nullptr;
+                bool valid = true;
+                for (int lvl = 0; valid && lvl <= top; ++lvl) {
+                    node_t* pred = w.preds[lvl];
+                    if (pred != prev_pred) {
+                        pred->lock.lock();
+                        highest_locked = lvl;
+                        prev_pred = pred;
+                    }
+                    valid =
+                        !pred->marked.load(std::memory_order_acquire) &&
                         !w.succs[lvl]->marked.load(std::memory_order_acquire) &&
                         pred->next[lvl].load(std::memory_order_acquire) ==
                             w.succs[lvl];
-            }
-            if (!valid) {
+                }
+                if (!valid) {
+                    unlock_preds(w, highest_locked);
+                    acc.note(stat::op_restarts);
+                    continue;
+                }
+                for (int lvl = 0; lvl <= top; ++lvl)
+                    node->next[lvl].store(w.succs[lvl],
+                                          std::memory_order_relaxed);
+                for (int lvl = 0; lvl <= top; ++lvl)
+                    w.preds[lvl]->next[lvl].store(node,
+                                                  std::memory_order_release);
+                node->fully_linked.store(true, std::memory_order_release);
                 unlock_preds(w, highest_locked);
-                mgr_.stats().add(tid, stat::op_restarts);
-                continue;
+                inserted = true;
+                break;
             }
-            for (int lvl = 0; lvl <= top; ++lvl)
-                node->next[lvl].store(w.succs[lvl], std::memory_order_relaxed);
-            for (int lvl = 0; lvl <= top; ++lvl)
-                w.preds[lvl]->next[lvl].store(node, std::memory_order_release);
-            node->fully_linked.store(true, std::memory_order_release);
-            unlock_preds(w, highest_locked);
-            inserted = true;
-            break;
         }
-        mgr_.clear_protections(tid);
-        mgr_.enter_qstate(tid);
-        if (!inserted) mgr_.template deallocate<node_t>(tid, node);
+        if (!inserted) acc.deallocate(node);
         return inserted;
     }
 
     /// Removes key; returns its value if it was present.
-    std::optional<V> erase(int tid, const K& key) {
-        mgr_.leave_qstate(tid);
+    std::optional<V> erase(accessor_t acc, const K& key) {
         std::optional<V> result;
         node_t* victim = nullptr;
         bool is_marked = false;  // we already logically deleted the victim
         int top = -1;
-        for (;;) {
-            window w;
-            if (!find_node(tid, key, w)) {
-                mgr_.stats().add(tid, stat::op_restarts);
-                continue;
-            }
-            if (!is_marked) {
-                if (w.found_level == -1) break;  // absent
-                victim = w.succs[w.found_level];
-                if (victim->top_level != w.found_level ||
-                    !victim->fully_linked.load(std::memory_order_acquire) ||
-                    victim->marked.load(std::memory_order_acquire)) {
-                    break;  // not a stable member (mid insert/delete)
+        {
+            auto op = acc.op();
+            for (;;) {
+                window w;
+                if (!find_node(acc, key, w)) {
+                    acc.note(stat::op_restarts);
+                    continue;
                 }
-                top = victim->top_level;
-                victim->lock.lock();
-                if (victim->marked.load(std::memory_order_acquire)) {
-                    victim->lock.unlock();
-                    break;  // lost the race to another deleter
+                if (!is_marked) {
+                    if (w.found_level == -1) break;  // absent
+                    victim = w.succs[w.found_level];
+                    if (victim->top_level != w.found_level ||
+                        !victim->fully_linked.load(std::memory_order_acquire) ||
+                        victim->marked.load(std::memory_order_acquire)) {
+                        break;  // not a stable member (mid insert/delete)
+                    }
+                    top = victim->top_level;
+                    victim->lock.lock();
+                    if (victim->marked.load(std::memory_order_acquire)) {
+                        victim->lock.unlock();
+                        break;  // lost the race to another deleter
+                    }
+                    victim->marked.store(true, std::memory_order_release);
+                    is_marked = true;
+                    // From here the victim is ours: no other thread retires
+                    // a marked node, so it stays safe across re-finds even
+                    // after its window guards are released.
                 }
-                victim->marked.store(true, std::memory_order_release);
-                is_marked = true;
-            }
-            // Lock preds and validate; victim stays locked throughout.
-            int highest_locked = -1;
-            node_t* prev_pred = nullptr;
-            bool valid = true;
-            for (int lvl = 0; valid && lvl <= top; ++lvl) {
-                node_t* pred = w.preds[lvl];
-                if (pred != prev_pred) {
-                    pred->lock.lock();
-                    highest_locked = lvl;
-                    prev_pred = pred;
+                // Lock preds and validate; victim stays locked throughout.
+                int highest_locked = -1;
+                node_t* prev_pred = nullptr;
+                bool valid = true;
+                for (int lvl = 0; valid && lvl <= top; ++lvl) {
+                    node_t* pred = w.preds[lvl];
+                    if (pred != prev_pred) {
+                        pred->lock.lock();
+                        highest_locked = lvl;
+                        prev_pred = pred;
+                    }
+                    valid = !pred->marked.load(std::memory_order_acquire) &&
+                            pred->next[lvl].load(std::memory_order_acquire) ==
+                                victim;
                 }
-                valid = !pred->marked.load(std::memory_order_acquire) &&
-                        pred->next[lvl].load(std::memory_order_acquire) ==
-                            victim;
-            }
-            if (!valid) {
+                if (!valid) {
+                    unlock_preds(w, highest_locked);
+                    acc.note(stat::op_restarts);
+                    continue;  // re-find; we still hold the victim's mark
+                }
+                for (int lvl = top; lvl >= 0; --lvl) {
+                    w.preds[lvl]->next[lvl].store(
+                        victim->next[lvl].load(std::memory_order_acquire),
+                        std::memory_order_release);
+                }
+                result = victim->value;
+                victim->lock.unlock();
                 unlock_preds(w, highest_locked);
-                mgr_.stats().add(tid, stat::op_restarts);
-                continue;  // re-find; we still hold the victim's mark
+                break;
             }
-            for (int lvl = top; lvl >= 0; --lvl) {
-                w.preds[lvl]->next[lvl].store(
-                    victim->next[lvl].load(std::memory_order_acquire),
-                    std::memory_order_release);
-            }
-            result = victim->value;
-            victim->lock.unlock();
-            unlock_preds(w, highest_locked);
-            break;
         }
-        mgr_.clear_protections(tid);
-        mgr_.enter_qstate(tid);
         // Quiescent postamble.
-        if (result.has_value()) mgr_.template retire<node_t>(tid, victim);
+        if (result.has_value()) acc.retire(victim);
         return result;
     }
 
     /// Lock-free membership query.
-    bool contains(int tid, const K& key) {
-        return find(tid, key).has_value();
+    bool contains(accessor_t acc, const K& key) {
+        return find(acc, key).has_value();
     }
 
     /// Lock-free lookup; returns the value if the key is a stable member.
-    std::optional<V> find(int tid, const K& key) {
-        mgr_.leave_qstate(tid);
+    std::optional<V> find(accessor_t acc, const K& key) {
         std::optional<V> result;
+        auto op = acc.op();
         for (;;) {
             window w;
-            if (!find_node(tid, key, w)) {
-                mgr_.stats().add(tid, stat::op_restarts);
+            if (!find_node(acc, key, w)) {
+                acc.note(stat::op_restarts);
                 continue;
             }
             if (w.found_level != -1) {
@@ -262,8 +273,6 @@ class lazy_skiplist {
             }
             break;
         }
-        mgr_.clear_protections(tid);
-        mgr_.enter_qstate(tid);
         return result;
     }
 
@@ -299,9 +308,15 @@ class lazy_skiplist {
     }
 
   private:
+    /// One search window: raw pred/succ pointers for the algorithm, plus
+    /// the guards that keep every recorded node safe until the window is
+    /// destroyed (each recorded slot owns its own protection claim;
+    /// duplicate nodes across levels simply hold multiple claims).
     struct window {
         node_t* preds[MAX_LEVEL + 1];
         node_t* succs[MAX_LEVEL + 1];
+        guard_t pred_g[MAX_LEVEL + 1];
+        guard_t succ_g[MAX_LEVEL + 1];
         int found_level = -1;
     };
 
@@ -314,32 +329,30 @@ class lazy_skiplist {
         return n->sentinel == 0 && n->key == key;
     }
 
-    /// HLLS findNode with per-dereference protection. Returns false when a
+    /// HLLS findNode with per-dereference guards. Returns false when a
     /// hazard protection failed (epoch schemes never fail); on success all
-    /// preds/succs are protected until the next find_node/clear.
-    bool find_node(int tid, const K& key, window& w) {
-        mgr_.clear_protections(tid);
+    /// preds/succs are guarded by the window until it is destroyed.
+    bool find_node(accessor_t acc, const K& key, window& w) {
         w.found_level = -1;
         node_t* pred = head_;
-        mgr_.protect(tid, pred);  // head is never retired
+        guard_t pred_g = acc.protect(pred);  // head is never retired
         for (int lvl = MAX_LEVEL; lvl >= 0; --lvl) {
             node_t* cur = pred->next[lvl].load(std::memory_order_acquire);
+            guard_t cur_g;
             for (;;) {
                 // Hand-over-hand: cur is safe while the unmarked pred still
                 // links to it at this level. Compiles away for epoch schemes.
                 node_t* anchor = pred;
                 std::atomic<node_t*>* link = &pred->next[lvl];
-                if (!mgr_.protect(tid, cur, [&] {
-                        return !anchor->marked.load(std::memory_order_seq_cst) &&
-                               link->load(std::memory_order_seq_cst) == cur;
-                    })) {
-                    return false;
-                }
+                cur_g = acc.protect(cur, [&] {
+                    return !anchor->marked.load(std::memory_order_seq_cst) &&
+                           link->load(std::memory_order_seq_cst) == cur;
+                });
+                if (!cur_g) return false;
                 if (!node_less(cur, key)) break;
-                // pred advances; drop one protection of the node we leave
-                // behind unless a lower level still records it.
-                if (pred != head_ && !recorded_above(w, lvl, pred))
-                    mgr_.unprotect(tid, pred);
+                // pred advances; the node left behind stays guarded only if
+                // a higher level recorded it (that slot owns its claim).
+                pred_g = std::move(cur_g);
                 pred = cur;
                 cur = pred->next[lvl].load(std::memory_order_acquire);
             }
@@ -347,18 +360,13 @@ class lazy_skiplist {
                 w.found_level = lvl;
             w.preds[lvl] = pred;
             w.succs[lvl] = cur;
+            // Record the level's endpoints with their own claims: pred is
+            // currently guarded by pred_g, so the extra claim needs no
+            // validation; cur's guard moves in directly.
+            w.pred_g[lvl] = acc.protect(pred);
+            w.succ_g[lvl] = std::move(cur_g);
         }
         return true;
-    }
-
-    /// Whether `n` is already recorded as a pred/succ at a level above
-    /// `lvl` (those protections must be kept). Levels run top-down, so only
-    /// already-filled slots (> lvl) are consulted.
-    static bool recorded_above(const window& w, int lvl, const node_t* n)
-        noexcept {
-        for (int i = lvl + 1; i <= MAX_LEVEL; ++i)
-            if (w.preds[i] == n || w.succs[i] == n) return true;
-        return false;
     }
 
     void unlock_preds(window& w, int highest_locked) noexcept {
@@ -369,9 +377,9 @@ class lazy_skiplist {
         }
     }
 
-    node_t* make_node(int tid, const K& key, const V& value, int top,
+    node_t* make_node(accessor_t acc, const K& key, const V& value, int top,
                       int sentinel) {
-        node_t* n = mgr_.template new_record<node_t>(tid);
+        node_t* n = acc.template new_record<node_t>();
         n->key = key;
         n->value = value;
         n->top_level = top;

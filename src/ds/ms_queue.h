@@ -31,14 +31,17 @@ struct queue_node {
 };
 
 /// Lock-free FIFO queue of T. `RecordMgr` must manage `queue_node<T>`.
+/// Operations take an accessor bound to a registered thread.
 template <class T, class RecordMgr>
 class ms_queue {
     static_assert(!RecordMgr::supports_crash_recovery,
                   "ms_queue has no neutralization recovery code; "
-                  "use DEBRA, EBR, HP or none");
+                  "use DEBRA, EBR, HP, HE, IBR or none");
 
   public:
     using node_t = queue_node<T>;
+    using accessor_t = typename RecordMgr::accessor_t;
+    using guard_t = typename RecordMgr::template guard_t<node_t>;
 
     explicit ms_queue(RecordMgr& mgr) : mgr_(mgr) {
         node_t* dummy = mgr_.template new_record<node_t>(0);
@@ -60,17 +63,18 @@ class ms_queue {
     }
 
     /// Appends a value. Lock-free.
-    void enqueue(int tid, const T& value) {
-        node_t* n = mgr_.template new_record<node_t>(tid);  // preamble
+    void enqueue(accessor_t acc, const T& value) {
+        node_t* n = acc.template new_record<node_t>();  // quiescent preamble
         n->value = value;
         n->next.store(nullptr, std::memory_order_relaxed);
-        mgr_.leave_qstate(tid);
+        auto op = acc.op();
         for (;;) {
             node_t* tail = tail_.load(std::memory_order_acquire);
-            if (!mgr_.protect(tid, tail, [&] {
-                    return tail_.load(std::memory_order_seq_cst) == tail;
-                })) {
-                mgr_.stats().add(tid, stat::op_restarts);
+            guard_t tail_g = acc.protect(tail, [&] {
+                return tail_.load(std::memory_order_seq_cst) == tail;
+            });
+            if (!tail_g) {
+                acc.note(stat::op_restarts);
                 continue;
             }
             node_t* next = tail->next.load(std::memory_order_acquire);
@@ -79,7 +83,6 @@ class ms_queue {
                 node_t* expected = tail;
                 tail_.compare_exchange_strong(expected, next,
                                               std::memory_order_seq_cst);
-                mgr_.unprotect(tid, tail);
                 continue;
             }
             node_t* expected_next = nullptr;
@@ -88,66 +91,56 @@ class ms_queue {
                 node_t* expected = tail;
                 tail_.compare_exchange_strong(expected, n,
                                               std::memory_order_seq_cst);
-                mgr_.unprotect(tid, tail);
                 break;
             }
-            mgr_.unprotect(tid, tail);
         }
-        mgr_.enter_qstate(tid);
     }
 
     /// Removes the oldest value, or nullopt when (momentarily) empty.
-    std::optional<T> dequeue(int tid) {
-        mgr_.leave_qstate(tid);
+    std::optional<T> dequeue(accessor_t acc) {
         std::optional<T> result;
         node_t* victim = nullptr;
-        for (;;) {
-            node_t* head = head_.load(std::memory_order_acquire);
-            if (!mgr_.protect(tid, head, [&] {
+        {
+            auto op = acc.op();
+            for (;;) {
+                node_t* head = head_.load(std::memory_order_acquire);
+                guard_t head_g = acc.protect(head, [&] {
                     return head_.load(std::memory_order_seq_cst) == head;
-                })) {
-                mgr_.stats().add(tid, stat::op_restarts);
-                continue;
-            }
-            node_t* tail = tail_.load(std::memory_order_acquire);
-            node_t* next = head->next.load(std::memory_order_acquire);
-            if (next == nullptr) {
-                mgr_.unprotect(tid, head);
-                break;  // empty
-            }
-            // Protect next: safe while head is still the head (next cannot
-            // be retired before head is dequeued).
-            if (!mgr_.protect(tid, next, [&] {
+                });
+                if (!head_g) {
+                    acc.note(stat::op_restarts);
+                    continue;
+                }
+                node_t* tail = tail_.load(std::memory_order_acquire);
+                node_t* next = head->next.load(std::memory_order_acquire);
+                if (next == nullptr) break;  // empty
+                // Guard next: safe while head is still the head (next
+                // cannot be retired before head is dequeued).
+                guard_t next_g = acc.protect(next, [&] {
                     return head_.load(std::memory_order_seq_cst) == head;
-                })) {
-                mgr_.unprotect(tid, head);
-                mgr_.stats().add(tid, stat::op_restarts);
-                continue;
+                });
+                if (!next_g) {
+                    acc.note(stat::op_restarts);
+                    continue;
+                }
+                if (head == tail) {
+                    // Tail lagging behind a non-empty queue: help it.
+                    node_t* expected = tail;
+                    tail_.compare_exchange_strong(expected, next,
+                                                  std::memory_order_seq_cst);
+                    continue;
+                }
+                const T value = next->value;  // read before the head swings
+                node_t* expected = head;
+                if (head_.compare_exchange_strong(expected, next,
+                                                  std::memory_order_seq_cst)) {
+                    result = value;
+                    victim = head;  // old dummy retires; next is new dummy
+                    break;
+                }
             }
-            if (head == tail) {
-                // Tail lagging behind a non-empty queue: help it.
-                node_t* expected = tail;
-                tail_.compare_exchange_strong(expected, next,
-                                              std::memory_order_seq_cst);
-                mgr_.unprotect(tid, head);
-                mgr_.unprotect(tid, next);
-                continue;
-            }
-            const T value = next->value;  // read before the head swings
-            node_t* expected = head;
-            if (head_.compare_exchange_strong(expected, next,
-                                              std::memory_order_seq_cst)) {
-                result = value;
-                victim = head;  // old dummy retires; next is the new dummy
-                mgr_.unprotect(tid, head);
-                mgr_.unprotect(tid, next);
-                break;
-            }
-            mgr_.unprotect(tid, head);
-            mgr_.unprotect(tid, next);
         }
-        mgr_.enter_qstate(tid);
-        if (victim != nullptr) mgr_.template retire<node_t>(tid, victim);
+        if (victim != nullptr) acc.retire(victim);
         return result;
     }
 

@@ -33,14 +33,17 @@ struct stack_node {
 };
 
 /// Lock-free stack of T. `RecordMgr` must manage `stack_node<T>`.
+/// Operations take an accessor bound to a registered thread.
 template <class T, class RecordMgr>
 class treiber_stack {
     static_assert(!RecordMgr::supports_crash_recovery,
                   "treiber_stack has no neutralization recovery code; "
-                  "use DEBRA, EBR, HP or none");
+                  "use DEBRA, EBR, HP, HE, IBR or none");
 
   public:
     using node_t = stack_node<T>;
+    using accessor_t = typename RecordMgr::accessor_t;
+    using guard_t = typename RecordMgr::template guard_t<node_t>;
 
     explicit treiber_stack(RecordMgr& mgr) : mgr_(mgr) {
         top_.store(nullptr, std::memory_order_relaxed);
@@ -59,48 +62,47 @@ class treiber_stack {
     }
 
     /// Pushes a value. Lock-free; never fails.
-    void push(int tid, const T& value) {
-        node_t* n = mgr_.template new_record<node_t>(tid);  // preamble
+    void push(accessor_t acc, const T& value) {
+        node_t* n = acc.template new_record<node_t>();  // quiescent preamble
         n->value = value;
-        mgr_.leave_qstate(tid);
+        auto op = acc.op();
         node_t* expected = top_.load(std::memory_order_acquire);
         do {
             n->next = expected;
         } while (!top_.compare_exchange_weak(expected, n,
                                              std::memory_order_seq_cst,
                                              std::memory_order_acquire));
-        mgr_.enter_qstate(tid);
     }
 
     /// Pops the most recent value, or nullopt when (momentarily) empty.
-    std::optional<T> pop(int tid) {
-        mgr_.leave_qstate(tid);
+    std::optional<T> pop(accessor_t acc) {
         std::optional<T> result;
         node_t* victim = nullptr;
-        for (;;) {
-            node_t* top = top_.load(std::memory_order_acquire);
-            if (top == nullptr) break;
-            // For HPs: announce top and verify it is still the top -- top
-            // is in the structure iff the head still points at it.
-            if (!mgr_.protect(tid, top, [&] {
+        {
+            auto op = acc.op();
+            for (;;) {
+                node_t* top = top_.load(std::memory_order_acquire);
+                if (top == nullptr) break;
+                // For HPs: announce top and verify it is still the top --
+                // top is in the structure iff the head still points at it.
+                guard_t g = acc.protect(top, [&] {
                     return top_.load(std::memory_order_seq_cst) == top;
-                })) {
-                mgr_.stats().add(tid, stat::op_restarts);
-                continue;
+                });
+                if (!g) {
+                    acc.note(stat::op_restarts);
+                    continue;
+                }
+                node_t* next = top->next;
+                node_t* expected = top;
+                if (top_.compare_exchange_strong(expected, next,
+                                                 std::memory_order_seq_cst)) {
+                    result = top->value;
+                    victim = top;
+                    break;
+                }
             }
-            node_t* next = top->next;
-            node_t* expected = top;
-            if (top_.compare_exchange_strong(expected, next,
-                                             std::memory_order_seq_cst)) {
-                result = top->value;
-                victim = top;
-                mgr_.unprotect(tid, top);
-                break;
-            }
-            mgr_.unprotect(tid, top);
         }
-        mgr_.enter_qstate(tid);
-        if (victim != nullptr) mgr_.template retire<node_t>(tid, victim);
+        if (victim != nullptr) acc.retire(victim);
         return result;
     }
 

@@ -90,32 +90,35 @@ inline int env_int(const char* name, int fallback) {
 }
 
 /// Fills `ds` with uniformly random keys until it holds `target` keys.
-/// Runs on the calling thread with tid 0; the manager must already have
-/// init_thread(0) applied.
-template <class DS>
-long long prefill_to(DS& ds, long long key_range, long long target,
+/// Runs on the calling thread through `acc`, an accessor minted from a
+/// live thread_handle.
+template <class DS, class Acc>
+long long prefill_to(DS& ds, Acc acc, long long key_range, long long target,
                      std::uint64_t seed) {
     prng rng(seed ^ 0xabcdef12345ULL);
     long long size = 0;
     while (size < target) {
         const long long key = static_cast<long long>(
             rng.next(static_cast<std::uint64_t>(key_range)));
-        if (ds.insert(0, key, key)) ++size;
+        if (ds.insert(acc, key, key)) ++size;
     }
     return size;
 }
 
 /// Runs one timed trial of the paper's workload on `ds`, whose records are
-/// managed by `mgr`. Returns throughput and reclamation metrics.
+/// managed by `mgr`. Returns throughput and reclamation metrics. Thread
+/// registration goes through the manager's RAII handles; worker `t` claims
+/// tid `t` so per-thread metrics stay tid-indexed.
 template <class DS, class Mgr>
 trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
     trial_result res;
     mgr.stats().clear();
 
-    mgr.init_thread(0);
     if (cfg.prefill) {
-        res.prefill_size =
-            prefill_to(ds, cfg.key_range, cfg.key_range / 2, cfg.seed);
+        // Scoped registration: tid 0 must be free again for worker 0.
+        auto h0 = mgr.register_thread(0);
+        res.prefill_size = prefill_to(ds, mgr.access(h0), cfg.key_range,
+                                      cfg.key_range / 2, cfg.seed);
     } else {
         // Baseline for the size invariant when the structure is reused
         // across trials (or deliberately started non-empty).
@@ -140,7 +143,8 @@ trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
     threads.reserve(static_cast<std::size_t>(cfg.num_threads));
     for (int t = 0; t < cfg.num_threads; ++t) {
         threads.emplace_back([&, t] {
-            mgr.init_thread(t);
+            auto handle = mgr.register_thread(t);
+            auto acc = mgr.access(handle);
             prng rng(cfg.seed * 1000003ULL + static_cast<std::uint64_t>(t));
             per_thread& mine = stats[static_cast<std::size_t>(t)];
             ready.arrive_and_wait();
@@ -150,16 +154,13 @@ trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
             if (t == cfg.stall_tid) {
                 // Epoch-blocking straggler (see workload_config::stall_tid).
                 while (!stop.load(std::memory_order_acquire)) {
-                    mgr.run_op(
-                        t,
-                        [&](int tt) {
-                            mgr.leave_qstate(tt);
+                    acc.run_guarded(
+                        [&] {
                             std::this_thread::sleep_for(
                                 std::chrono::milliseconds(cfg.stall_ms));
-                            mgr.enter_qstate(tt);
                             return true;
                         },
-                        [&](int) { return true; });
+                        [] { return true; });
                     ++mine.ops;
                 }
             } else {
@@ -169,28 +170,28 @@ trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
                     const std::uint64_t dice = rng.next(100);
                     if (dice < static_cast<std::uint64_t>(cfg.insert_pct)) {
                         ++mine.ins_att;
-                        if (ds.insert(t, key, key)) {
+                        if (ds.insert(acc, key, key)) {
                             ++mine.ins_ok;
                             ++mine.net_keys;
                         }
                     } else if (dice < static_cast<std::uint64_t>(
                                           cfg.insert_pct + cfg.delete_pct)) {
                         ++mine.del_att;
-                        if (ds.erase(t, key).has_value()) {
+                        if (ds.erase(acc, key).has_value()) {
                             ++mine.del_ok;
                             --mine.net_keys;
                         }
                     } else {
                         ++mine.finds;
-                        (void)ds.contains(t, key);
+                        (void)ds.contains(acc, key);
                     }
                     ++mine.ops;
                 }
             }
             done.arrive_and_wait();
-            // Threads may still be signaled by laggard scanners until every
-            // worker has passed the barrier above; only then deregister.
-            mgr.deinit_thread(t);
+            // The handle deregisters on scope exit; DEBRA+ drains in-flight
+            // neutralization signals inside deinit, so no further barrier
+            // is needed before the thread exits.
         });
     }
 

@@ -83,6 +83,11 @@ class he_global {
     void enter_qstate(int tid) noexcept { clear_all(tid); }
     bool is_quiescent(int) const noexcept { return false; }
 
+    /// Dedicated mid-operation bulk release (traversal restarts, guard
+    /// layer); HE tracks no quiescence word, but the manager still routes
+    /// bulk clears here rather than through enter_qstate.
+    void clear_hazards(int tid) noexcept { clear_all(tid); }
+
     /// Publish-or-alias, then validate on the publish path (see header
     /// comment). Returns false when validation rejects the record; the
     /// caller restarts as it would under HPs.

@@ -24,8 +24,9 @@
 //
 // Traits: quiescence_based (the interval is anchored at operation
 // boundaries) AND per_access_protection (the refresh rides the protect()
-// hook, and clear_protections retracts the interval at traversal restarts,
-// which is exactly an operation re-start for interval purposes).
+// hook). Traversal restarts (clear_hazards) deliberately do NOT retract
+// the interval: the reservation is the operation's protection and stays
+// published until enter_qstate.
 #pragma once
 
 #include <array>
@@ -84,6 +85,14 @@ class ibr_global {
     void enter_qstate(int tid) noexcept {
         res_[tid]->lower.store(ERA_NONE, std::memory_order_release);
     }
+
+    /// Mid-operation bulk release: a no-op for IBR. The interval *is* the
+    /// protection and is anchored at operation boundaries; the reservation
+    /// stays published until enter_qstate. (The seed routed this through
+    /// enter_qstate, which retracted the reservation -- flipping the
+    /// quiescence announcement mid-operation and momentarily un-reserving
+    /// records the restarting traversal could still reach.)
+    void clear_hazards(int) noexcept {}
 
     bool is_quiescent(int tid) const noexcept {
         return res_[tid]->lower.load(std::memory_order_relaxed) == ERA_NONE;

@@ -41,6 +41,7 @@ class debra_global {
     }
     void enter_qstate(int tid) noexcept { core_.enter_qstate(tid); }
     bool is_quiescent(int tid) const noexcept { return core_.is_quiescent(tid); }
+    void clear_hazards(int) noexcept {}  // no per-access state to clear
 
     /// Epoch protection covers every record reachable during the operation;
     /// no per-record work (the compiler erases these calls entirely).

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <pthread.h>
+#include <sched.h>
 
 #include <array>
 #include <atomic>
@@ -68,8 +69,7 @@ class debra_plus_global {
     ~debra_plus_global() = default;
 
     /// Must run on the thread itself (registers pthread_t and the
-    /// thread-local signal context). Pair with deinit_thread + an external
-    /// barrier before thread exit (see neutralizer.h contract).
+    /// thread-local signal context).
     void init_thread(int tid) {
         target& t = *targets_[tid];
         t.pthread = pthread_self();
@@ -80,8 +80,18 @@ class debra_plus_global {
         t.active.store(true, std::memory_order_seq_cst);
     }
 
+    /// Deregisters the calling thread as a neutralization target. Once this
+    /// returns, no scanner will pthread_kill this thread again, so the
+    /// thread may exit immediately -- the seed's external "barrier after
+    /// deinit" obligation is discharged here instead: scanners hold the
+    /// target's signal gate across their pthread_kill, and this drains it
+    /// after flipping `active` off. Any signal that raced in lands while we
+    /// are still alive and is absorbed (we are quiescent); any scanner that
+    /// arrives later re-reads `active` inside the gate and stands down.
     void deinit_thread(int tid) {
-        targets_[tid]->active.store(false, std::memory_order_seq_cst);
+        target& t = *targets_[tid];
+        t.active.store(false, std::memory_order_seq_cst);
+        t.gate.drain();
         disarm_neutralization();
     }
 
@@ -109,6 +119,7 @@ class debra_plus_global {
     }
     void enter_qstate(int tid) noexcept { core_.enter_qstate(tid); }
     bool is_quiescent(int tid) const noexcept { return core_.is_quiescent(tid); }
+    void clear_hazards(int) noexcept {}  // epoch protection: nothing per-access
 
     template <class ValidateFn>
     bool protect(int, const void*, ValidateFn&&) noexcept {
@@ -143,25 +154,51 @@ class debra_plus_global {
     const config& cfg() const noexcept { return cfg_; }
 
   private:
+    /// Tiny spinlock serializing pthread_kill against target deinit, so a
+    /// deregistering thread can prove no signal is in flight before it
+    /// exits (dead threads must never receive one). Never held while
+    /// non-quiescent: the suspecting thread acquires it inside
+    /// leave_qstate, before its own quiescent bit is cleared, so a
+    /// neutralization signal landing on the holder is absorbed rather than
+    /// longjmping out of the critical section.
+    struct signal_gate {
+        std::atomic<bool> busy{false};
+        void lock() noexcept {
+            while (busy.exchange(true, std::memory_order_acquire)) {
+                sched_yield();
+            }
+        }
+        void unlock() noexcept { busy.store(false, std::memory_order_release); }
+        /// Waits out any holder (deinit: after this, no kill is in flight).
+        void drain() noexcept {
+            lock();
+            unlock();
+        }
+    };
+
     struct target {
         std::atomic<bool> active{false};
         pthread_t pthread{};
+        signal_gate gate;
         neutral_ctx ctx;
     };
 
     /// Paper Figure 6 suspectNeutralized: signal `other` if our own limbo
     /// pressure warrants it. Returns true when `other` may be treated as
-    /// quiescent (signal delivered, or thread de-registered).
+    /// quiescent (signal delivered, or thread de-registered). The kill runs
+    /// under the target's signal gate; see deinit_thread.
     template <class PressureFn>
     bool suspect_neutralized(int tid, int other, PressureFn&& pressure) {
         if (pressure() < cfg_.suspect_threshold_blocks) return false;
         target& t = *targets_[other];
         if (!t.active.load(std::memory_order_seq_cst)) return true;
-        if (pthread_kill(t.pthread, NEUTRALIZE_SIGNAL) == 0) {
+        t.gate.lock();
+        if (t.active.load(std::memory_order_seq_cst) &&
+            pthread_kill(t.pthread, NEUTRALIZE_SIGNAL) == 0) {
             if (stats_) stats_->add(tid, stat::neutralize_signals_sent);
-            return true;
         }
-        return true;  // ESRCH: thread already gone -> quiescent forever
+        t.gate.unlock();
+        return true;  // signaled, or already deregistered: quiescent either way
     }
 
     const config cfg_;

@@ -63,6 +63,11 @@ class hp_global {
     void enter_qstate(int tid) noexcept { clear_all(tid); }
     bool is_quiescent(int) const noexcept { return false; }
 
+    /// Dedicated mid-operation bulk release (traversal restarts, guard
+    /// layer): for HPs identical to enter_qstate, but kept separate so the
+    /// manager never has to announce quiescence just to drop hazards.
+    void clear_hazards(int tid) noexcept { clear_all(tid); }
+
     /// Announce + fence + validate. On validation failure the slot is
     /// released and the caller must treat the operation as contended.
     template <class ValidateFn>

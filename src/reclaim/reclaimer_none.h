@@ -38,6 +38,7 @@ class trivial_global {
     }
     void enter_qstate(int) noexcept {}
     bool is_quiescent(int) const noexcept { return true; }
+    void clear_hazards(int) noexcept {}
 
     template <class ValidateFn>
     bool protect(int, const void*, ValidateFn&&) noexcept {

@@ -29,10 +29,19 @@
 // stamping birth_era on allocate and retire_era on retire -- the structure
 // code and the managed types are untouched, so the one-template-argument
 // swap claim extends to the era family.
+// RAII front-end: callers normally register threads with a thread_handle
+// (auto-assigned tid from the manager's lock-free registry) and operate
+// through accessor / guard_ptr / op_guard (guards.h), which bind the tid
+// once and release protections and quiescence brackets on every exit path.
+// The raw tid-taking calls below remain the documented back-end that layer
+// lowers onto.
 #pragma once
 
 #include <setjmp.h>
 
+#include <array>
+#include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <memory>
 #include <tuple>
@@ -41,7 +50,10 @@
 #include "../mem/block.h"
 #include "../mem/block_pool.h"
 #include "../util/debug_stats.h"
+#include "../util/padded.h"
+#include "guards.h"
 #include "policies.h"
+#include "thread_registry.h"
 
 namespace smr {
 
@@ -82,6 +94,13 @@ class record_manager {
     using scheme = Scheme;
     using config_t = typename Scheme::config;
 
+    // The RAII layer's types, named from the manager so data structures
+    // can spell them without including guards.h themselves.
+    using accessor_t = smr::accessor<record_manager>;
+    using handle_t = smr::thread_handle<record_manager>;
+    template <class T>
+    using guard_t = smr::guard_ptr<record_manager, T>;
+
     /// Schemes may publish non-default configs (e.g. classic EBR's
     /// scan-everything mode); otherwise value-initialize.
     static config_t default_config() {
@@ -103,17 +122,72 @@ class record_manager {
     record_manager& operator=(const record_manager&) = delete;
 
     // ---- thread lifecycle ------------------------------------------------
+    //
+    // Prefer the RAII path: register_thread() returns a thread_handle whose
+    // destructor deregisters, and access(handle) mints the accessor the
+    // data structures take. The raw init/deinit pair below remains for
+    // back-end code that coordinates tids itself.
+
+    /// Registers the calling thread under an auto-assigned tid.
+    [[nodiscard]] handle_t register_thread() { return handle_t(*this); }
+
+    /// Registers the calling thread under a caller-chosen tid (harnesses
+    /// and tests that index results by tid).
+    [[nodiscard]] handle_t register_thread(int tid) {
+        return handle_t(*this, tid);
+    }
+
+    /// The accessor bound to a live registration of this manager.
+    accessor_t access(const handle_t& h) {
+        assert(h.engaged() && "access: handle was moved-from or reset");
+        assert(&h.manager() == this && "access: handle belongs to another "
+                                       "record_manager");
+        return accessor_t(*this, h.tid());
+    }
+
+    thread_registry& registry() noexcept { return registry_; }
 
     /// Must be called on the thread that will use `tid`, before any other
     /// call with that tid. For DEBRA+ this registers the thread as a
-    /// neutralization target.
-    void init_thread(int tid) { global_.init_thread(tid); }
+    /// neutralization target. Registering a tid that is already registered
+    /// is a usage error (debug assert).
+    void init_thread(int tid) {
+        assert(tid >= 0 && tid < num_threads_ && "init_thread: tid out of range");
+        if (tid < 0 || tid >= num_threads_) return;
+        auto& st = *lifecycle_[tid];
+        assert(st.load(std::memory_order_relaxed) != LIFE_REGISTERED &&
+               "init_thread: tid is already registered (double init)");
+        st.store(LIFE_REGISTERED, std::memory_order_relaxed);
+        global_.init_thread(tid);
+    }
 
-    /// Must be called on the owning thread when it is done. For DEBRA+,
-    /// synchronize on a barrier after this before letting the thread exit
-    /// (a laggard scanner may still signal it; disarmed threads absorb the
-    /// signal, dead threads must never receive one).
-    void deinit_thread(int tid) { global_.deinit_thread(tid); }
+    /// Must be called on the owning thread when it is done. Idempotent: a
+    /// second deinit of the same registration is a no-op (the seed's
+    /// silent double-deinit corrupted DEBRA+'s neutralization target set);
+    /// deinit of a tid that was never registered is a usage error (debug
+    /// assert). Once this returns the thread may exit -- for DEBRA+ the
+    /// scheme itself drains in-flight neutralization signals (see
+    /// reclaimer_debra_plus.h), so no external barrier is needed.
+    void deinit_thread(int tid) {
+        assert(tid >= 0 && tid < num_threads_ &&
+               "deinit_thread: tid out of range");
+        if (tid < 0 || tid >= num_threads_) return;
+        auto& st = *lifecycle_[tid];
+        if (st.load(std::memory_order_relaxed) != LIFE_REGISTERED) {
+            assert(st.load(std::memory_order_relaxed) == LIFE_PARKED &&
+                   "deinit_thread: tid was never registered");
+            return;  // double deinit: idempotent by design
+        }
+        st.store(LIFE_PARKED, std::memory_order_relaxed);
+        global_.deinit_thread(tid);
+    }
+
+    /// Whether `tid` currently has a live registration.
+    bool is_thread_registered(int tid) const {
+        return tid >= 0 && tid < num_threads_ &&
+               lifecycle_[tid]->load(std::memory_order_relaxed) ==
+                   LIFE_REGISTERED;
+    }
 
     // ---- quiescence -------------------------------------------------------
 
@@ -213,13 +287,30 @@ class record_manager {
     /// Releases every per-access protection this thread holds (hazard
     /// schemes); compiles to nothing for epoch schemes. Data structures call
     /// this when restarting a traversal so abandoned hazard slots do not
-    /// accumulate.
+    /// accumulate. Routes through the scheme's dedicated hazard-clear path:
+    /// it used to piggyback on enter_qstate, which for a scheme that is both
+    /// per-access and quiescence-tracking (IBR) also retracted the
+    /// quiescence announcement mid-operation.
     void clear_protections(int tid) {
         if constexpr (per_access_protection) {
-            global_.enter_qstate(tid);  // for HPs: clears all hazard slots
+            global_.clear_hazards(tid);
         } else {
             (void)tid;
         }
+    }
+
+    // ---- guard accounting (guards.h) -------------------------------------
+    //
+    // guard_ptr reports acquisition/release of per-access protections here
+    // so op_guard / run_guarded can assert (debug builds) that no guard
+    // outlives its operation, and tests can observe leaks. Epoch-scheme
+    // guards are bare pointers and never call these.
+
+    void guard_acquired(int tid) noexcept { ++*live_guards_[tid]; }
+    void guard_released(int tid) noexcept { --*live_guards_[tid]; }
+    /// Live guard_ptrs held by `tid` (always 0 for epoch schemes).
+    int live_guard_count(int tid) const noexcept {
+        return *live_guards_[tid];
     }
 
     // ---- crash recovery (DEBRA+) ---------------------------------------------
@@ -363,10 +454,19 @@ class record_manager {
         std::apply([&](auto&... b) { (f(*b), ...); }, bundles_);
     }
 
+    /// Thread lifecycle states (satellite of the RAII layer): registered
+    /// tids may issue calls; parked tids were deinited and may re-register.
+    static constexpr unsigned char LIFE_UNREGISTERED = 0;
+    static constexpr unsigned char LIFE_REGISTERED = 1;
+    static constexpr unsigned char LIFE_PARKED = 2;
+
     const int num_threads_;
     debug_stats stats_;
     typename Scheme::global_state global_;
     std::tuple<std::unique_ptr<bundle<Ts>>...> bundles_;
+    thread_registry registry_;
+    std::array<padded<std::atomic<unsigned char>>, MAX_THREADS> lifecycle_{};
+    std::array<padded<int>, MAX_THREADS> live_guards_{};
 };
 
 }  // namespace smr

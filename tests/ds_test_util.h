@@ -58,9 +58,10 @@ using skip_mgr = record_manager<Scheme, alloc_malloc, pool_shared,
                                 ds::skiplist_node<key_t, val_t>>;
 
 /// Randomized differential test of any set implementation against
-/// std::map, single-threaded. Returns the number of operations checked.
-template <class DS>
-long differential_test(DS& ds, int tid, std::uint64_t seed, int ops,
+/// std::map, single-threaded, through an accessor minted from a live
+/// thread_handle. Returns the number of operations checked.
+template <class DS, class Acc>
+long differential_test(DS& ds, Acc acc, std::uint64_t seed, int ops,
                        key_t key_range) {
     std::map<key_t, val_t> model;
     prng rng(seed);
@@ -69,24 +70,27 @@ long differential_test(DS& ds, int tid, std::uint64_t seed, int ops,
         const key_t k =
             static_cast<key_t>(rng.next(static_cast<std::uint64_t>(key_range)));
         const auto dice = rng.next(100);
+        // The DS call runs first in each arm: the model lookup must not
+        // live across it (ellen_bst operations inline a sigsetjmp, and
+        // GCC's clobber analysis flags locals spanning one).
         if (dice < 40) {
+            const bool got = ds.insert(acc, k, k * 3);
             const bool expect = model.emplace(k, k * 3).second;
-            const bool got = ds.insert(tid, k, k * 3);
             if (expect != got) return -i - 1;
         } else if (dice < 70) {
+            const auto got = ds.erase(acc, k);
             const auto it = model.find(k);
             const std::optional<val_t> expect =
                 it == model.end() ? std::nullopt
                                   : std::optional<val_t>(it->second);
             if (it != model.end()) model.erase(it);
-            const auto got = ds.erase(tid, k);
             if (expect != got) return -i - 1;
         } else {
+            const auto got = ds.find(acc, k);
             const auto it = model.find(k);
             const std::optional<val_t> expect =
                 it == model.end() ? std::nullopt
                                   : std::optional<val_t>(it->second);
-            const auto got = ds.find(tid, k);
             if (expect != got) return -i - 1;
         }
         ++checked;

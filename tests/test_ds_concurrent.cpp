@@ -34,7 +34,8 @@ long long run_stress(DS& ds, Mgr& mgr, const stress_cfg& cfg) {
     spin_barrier start(static_cast<std::uint32_t>(cfg.threads));
     for (int t = 0; t < cfg.threads; ++t) {
         workers.emplace_back([&, t] {
-            mgr.init_thread(t);
+            auto handle = mgr.register_thread(t);
+            auto acc = mgr.access(handle);
             prng rng(1000 + static_cast<std::uint64_t>(t));
             start.arrive_and_wait();
             long long mine = 0;
@@ -43,15 +44,14 @@ long long run_stress(DS& ds, Mgr& mgr, const stress_cfg& cfg) {
                     rng.next(static_cast<std::uint64_t>(cfg.key_range)));
                 const auto dice = rng.next(100);
                 if (dice < 40) {
-                    if (ds.insert(t, k, k)) ++mine;
+                    if (ds.insert(acc, k, k)) ++mine;
                 } else if (dice < 80) {
-                    if (ds.erase(t, k).has_value()) --mine;
+                    if (ds.erase(acc, k).has_value()) --mine;
                 } else {
-                    (void)ds.contains(t, k);
+                    (void)ds.contains(acc, k);
                 }
             }
             net[static_cast<std::size_t>(t)] = mine;
-            mgr.deinit_thread(t);
         });
     }
     for (auto& w : workers) w.join();
@@ -154,11 +154,11 @@ TYPED_TEST(SkipStress, InsertOnlyThenDrainConcurrently) {
         std::vector<std::thread> workers;
         for (int t = 0; t < THREADS; ++t) {
             workers.emplace_back([&, t] {
-                mgr.init_thread(t);
+                auto handle = mgr.register_thread(t);
+                auto acc = mgr.access(handle);
                 for (key_t k = t; k < RANGE; k += THREADS) {
-                    EXPECT_TRUE(skip.insert(t, k, k));
+                    EXPECT_TRUE(skip.insert(acc, k, k));
                 }
-                mgr.deinit_thread(t);
             });
         }
         for (auto& w : workers) w.join();
@@ -172,11 +172,11 @@ TYPED_TEST(SkipStress, InsertOnlyThenDrainConcurrently) {
         std::vector<std::thread> workers;
         for (int t = 0; t < THREADS; ++t) {
             workers.emplace_back([&, t] {
-                mgr.init_thread(t);
+                auto handle = mgr.register_thread(t);
+                auto acc = mgr.access(handle);
                 for (key_t k = 0; k < RANGE; ++k) {
-                    if (skip.erase(t, k).has_value()) erased.fetch_add(1);
+                    if (skip.erase(acc, k).has_value()) erased.fetch_add(1);
                 }
-                mgr.deinit_thread(t);
             });
         }
         for (auto& w : workers) w.join();
@@ -199,20 +199,20 @@ TYPED_TEST(BstStress, DisjointKeysNeverInterfere) {
     std::vector<std::thread> workers;
     for (int t = 0; t < THREADS; ++t) {
         workers.emplace_back([&, t] {
-            mgr.init_thread(t);
+            auto handle = mgr.register_thread(t);
+            auto acc = mgr.access(handle);
             const key_t base = static_cast<key_t>(t) * 1000;
             for (int round = 0; round < 300; ++round) {
                 for (key_t k = base; k < base + 8; ++k) {
-                    if (!bst.insert(t, k, k)) failed = true;
+                    if (!bst.insert(acc, k, k)) failed = true;
                 }
                 for (key_t k = base; k < base + 8; ++k) {
-                    if (!bst.contains(t, k)) failed = true;
+                    if (!bst.contains(acc, k)) failed = true;
                 }
                 for (key_t k = base; k < base + 8; ++k) {
-                    if (!bst.erase(t, k).has_value()) failed = true;
+                    if (!bst.erase(acc, k).has_value()) failed = true;
                 }
             }
-            mgr.deinit_thread(t);
         });
     }
     for (auto& w : workers) w.join();

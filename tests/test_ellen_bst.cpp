@@ -20,13 +20,15 @@ class EllenBstTyped : public ::testing::Test {
     using mgr_t = testutil::bst_mgr<Scheme>;
     using bst_t = ds::ellen_bst<key_t, val_t, mgr_t>;
 
-    EllenBstTyped() : mgr_(2, testutil::fast_config<mgr_t>()), bst_(mgr_) {
-        mgr_.init_thread(0);
-    }
-    ~EllenBstTyped() override { mgr_.deinit_thread(0); }
+    EllenBstTyped()
+        : mgr_(2, testutil::fast_config<mgr_t>()), bst_(mgr_),
+          h0_(mgr_.register_thread(0)) {}
+
+    typename mgr_t::accessor_t acc() { return mgr_.access(h0_); }
 
     mgr_t mgr_;
     bst_t bst_;
+    typename mgr_t::handle_t h0_;  // destroyed before mgr_ (reverse order)
 };
 
 using BstSchemes =
@@ -36,81 +38,81 @@ using BstSchemes =
 TYPED_TEST_SUITE(EllenBstTyped, BstSchemes);
 
 TYPED_TEST(EllenBstTyped, EmptyTree) {
-    EXPECT_FALSE(this->bst_.contains(0, 1));
-    EXPECT_EQ(this->bst_.erase(0, 1), std::nullopt);
+    EXPECT_FALSE(this->bst_.contains(this->acc(), 1));
+    EXPECT_EQ(this->bst_.erase(this->acc(), 1), std::nullopt);
     EXPECT_EQ(this->bst_.size_slow(), 0);
     EXPECT_TRUE(this->bst_.validate_structure());
 }
 
 TYPED_TEST(EllenBstTyped, SingleInsert) {
-    EXPECT_TRUE(this->bst_.insert(0, 42, 420));
-    EXPECT_TRUE(this->bst_.contains(0, 42));
-    EXPECT_EQ(this->bst_.find(0, 42), std::optional<val_t>(420));
+    EXPECT_TRUE(this->bst_.insert(this->acc(), 42, 420));
+    EXPECT_TRUE(this->bst_.contains(this->acc(), 42));
+    EXPECT_EQ(this->bst_.find(this->acc(), 42), std::optional<val_t>(420));
     EXPECT_EQ(this->bst_.size_slow(), 1);
     EXPECT_TRUE(this->bst_.validate_structure());
 }
 
 TYPED_TEST(EllenBstTyped, InsertEraseRoundTrip) {
-    EXPECT_TRUE(this->bst_.insert(0, 5, 50));
-    EXPECT_EQ(this->bst_.erase(0, 5), std::optional<val_t>(50));
-    EXPECT_FALSE(this->bst_.contains(0, 5));
+    EXPECT_TRUE(this->bst_.insert(this->acc(), 5, 50));
+    EXPECT_EQ(this->bst_.erase(this->acc(), 5), std::optional<val_t>(50));
+    EXPECT_FALSE(this->bst_.contains(this->acc(), 5));
     EXPECT_EQ(this->bst_.size_slow(), 0);
     EXPECT_TRUE(this->bst_.validate_structure());
 }
 
 TYPED_TEST(EllenBstTyped, DuplicateInsertFails) {
-    EXPECT_TRUE(this->bst_.insert(0, 9, 90));
-    EXPECT_FALSE(this->bst_.insert(0, 9, 91));
-    EXPECT_EQ(this->bst_.find(0, 9), std::optional<val_t>(90));
+    EXPECT_TRUE(this->bst_.insert(this->acc(), 9, 90));
+    EXPECT_FALSE(this->bst_.insert(this->acc(), 9, 91));
+    EXPECT_EQ(this->bst_.find(this->acc(), 9), std::optional<val_t>(90));
 }
 
 TYPED_TEST(EllenBstTyped, EraseAbsent) {
-    this->bst_.insert(0, 1, 10);
-    EXPECT_EQ(this->bst_.erase(0, 2), std::nullopt);
+    this->bst_.insert(this->acc(), 1, 10);
+    EXPECT_EQ(this->bst_.erase(this->acc(), 2), std::nullopt);
     EXPECT_EQ(this->bst_.size_slow(), 1);
 }
 
 TYPED_TEST(EllenBstTyped, AscendingKeys) {
-    for (key_t k = 0; k < 200; ++k) EXPECT_TRUE(this->bst_.insert(0, k, k));
+    for (key_t k = 0; k < 200; ++k) EXPECT_TRUE(this->bst_.insert(this->acc(), k, k));
     EXPECT_EQ(this->bst_.size_slow(), 200);
     EXPECT_TRUE(this->bst_.validate_structure());
-    for (key_t k = 0; k < 200; ++k) EXPECT_TRUE(this->bst_.contains(0, k));
-    EXPECT_FALSE(this->bst_.contains(0, 200));
+    for (key_t k = 0; k < 200; ++k) EXPECT_TRUE(this->bst_.contains(this->acc(), k));
+    EXPECT_FALSE(this->bst_.contains(this->acc(), 200));
 }
 
 TYPED_TEST(EllenBstTyped, DescendingKeys) {
-    for (key_t k = 200; k > 0; --k) EXPECT_TRUE(this->bst_.insert(0, k, -k));
+    for (key_t k = 200; k > 0; --k) EXPECT_TRUE(this->bst_.insert(this->acc(), k, -k));
     EXPECT_EQ(this->bst_.size_slow(), 200);
     EXPECT_TRUE(this->bst_.validate_structure());
 }
 
 TYPED_TEST(EllenBstTyped, DeleteEveryOther) {
-    for (key_t k = 0; k < 100; ++k) this->bst_.insert(0, k, k);
+    for (key_t k = 0; k < 100; ++k) this->bst_.insert(this->acc(), k, k);
     for (key_t k = 0; k < 100; k += 2) {
-        EXPECT_EQ(this->bst_.erase(0, k), std::optional<val_t>(k));
+        EXPECT_EQ(this->bst_.erase(this->acc(), k), std::optional<val_t>(k));
     }
     EXPECT_EQ(this->bst_.size_slow(), 50);
     for (key_t k = 0; k < 100; ++k) {
-        EXPECT_EQ(this->bst_.contains(0, k), k % 2 == 1);
+        EXPECT_EQ(this->bst_.contains(this->acc(), k), k % 2 == 1);
     }
     EXPECT_TRUE(this->bst_.validate_structure());
 }
 
 TYPED_TEST(EllenBstTyped, DrainEntirely) {
-    for (key_t k = 0; k < 64; ++k) this->bst_.insert(0, k, k);
+    for (key_t k = 0; k < 64; ++k) this->bst_.insert(this->acc(), k, k);
     for (key_t k = 0; k < 64; ++k) {
-        EXPECT_TRUE(this->bst_.erase(0, k).has_value());
+        EXPECT_TRUE(this->bst_.erase(this->acc(), k).has_value());
     }
     EXPECT_EQ(this->bst_.size_slow(), 0);
     EXPECT_TRUE(this->bst_.validate_structure());
     // The tree still works after being emptied.
-    EXPECT_TRUE(this->bst_.insert(0, 5, 55));
-    EXPECT_TRUE(this->bst_.contains(0, 5));
+    EXPECT_TRUE(this->bst_.insert(this->acc(), 5, 55));
+    EXPECT_TRUE(this->bst_.contains(this->acc(), 5));
 }
 
 TYPED_TEST(EllenBstTyped, DifferentialAgainstStdMap) {
     const long result =
-        testutil::differential_test(this->bst_, 0, 0xbeef, 6000, 128);
+        testutil::differential_test(this->bst_, this->acc(), 0xbeef, 6000, 128);
     EXPECT_GT(result, 0) << "divergence at op " << -result - 1;
     EXPECT_TRUE(this->bst_.validate_structure());
 }
@@ -118,8 +120,8 @@ TYPED_TEST(EllenBstTyped, DifferentialAgainstStdMap) {
 TYPED_TEST(EllenBstTyped, ChurnReclaimsMemory) {
     for (int round = 0; round < 800; ++round) {
         const key_t k = round % 4;
-        this->bst_.insert(0, k, round);
-        this->bst_.erase(0, k);
+        this->bst_.insert(this->acc(), k, round);
+        this->bst_.erase(this->acc(), k);
     }
     EXPECT_EQ(this->bst_.size_slow(), 0);
     EXPECT_TRUE(this->bst_.validate_structure());
@@ -131,13 +133,13 @@ TYPED_TEST(EllenBstTyped, ChurnReclaimsMemory) {
 }
 
 TYPED_TEST(EllenBstTyped, NegativeAndExtremeKeys) {
-    EXPECT_TRUE(this->bst_.insert(0, -100, 1));
-    EXPECT_TRUE(this->bst_.insert(0, 0, 2));
-    EXPECT_TRUE(this->bst_.insert(0, 1LL << 60, 3));
-    EXPECT_TRUE(this->bst_.insert(0, -(1LL << 60), 4));
+    EXPECT_TRUE(this->bst_.insert(this->acc(), -100, 1));
+    EXPECT_TRUE(this->bst_.insert(this->acc(), 0, 2));
+    EXPECT_TRUE(this->bst_.insert(this->acc(), 1LL << 60, 3));
+    EXPECT_TRUE(this->bst_.insert(this->acc(), -(1LL << 60), 4));
     EXPECT_EQ(this->bst_.size_slow(), 4);
     EXPECT_TRUE(this->bst_.validate_structure());
-    EXPECT_EQ(this->bst_.find(0, -(1LL << 60)), std::optional<val_t>(4));
+    EXPECT_EQ(this->bst_.find(this->acc(), -(1LL << 60)), std::optional<val_t>(4));
 }
 
 }  // namespace

@@ -327,18 +327,24 @@ TEST(ReclaimEra, IbrQuiescenceTogglesReservation) {
     mgr.deinit_thread(0);
 }
 
-TEST(ReclaimEra, IbrProtectReactivatesAfterTraversalRestart) {
-    // clear_protections (a traversal restart) retracts the interval; the
-    // next protect must re-publish both bounds, not just extend upper.
+TEST(ReclaimEra, IbrTraversalRestartKeepsReservationPublished) {
+    // clear_protections (a traversal restart) must NOT retract the
+    // interval: the reservation is the operation's protection and stays
+    // published until enter_qstate. (The old behaviour -- piggybacking on
+    // enter_qstate -- flipped the quiescence announcement mid-operation
+    // and momentarily un-reserved records the restarting traversal could
+    // still reach.)
     mgr_ibr mgr(1);
     mgr.init_thread(0);
     mgr.leave_qstate(0);
-    mgr.clear_protections(0);  // per-access scheme: enters qstate
-    EXPECT_TRUE(mgr.is_quiescent(0));
+    EXPECT_FALSE(mgr.is_quiescent(0));
+    mgr.clear_protections(0);  // dedicated clear path: quiescence untouched
+    EXPECT_FALSE(mgr.is_quiescent(0));
     rec* r = mgr.new_record<rec>(0);
     EXPECT_TRUE(mgr.protect(0, r));
     EXPECT_FALSE(mgr.is_quiescent(0));
     mgr.enter_qstate(0);
+    EXPECT_TRUE(mgr.is_quiescent(0));
     mgr.deallocate<rec>(0, r);
     mgr.deinit_thread(0);
 }

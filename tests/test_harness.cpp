@@ -18,11 +18,11 @@ TEST(Harness, PrefillReachesTarget) {
     using mgr_t = testutil::bst_mgr<reclaim::reclaim_none>;
     mgr_t mgr(1);
     ds::ellen_bst<key_t, val_t, mgr_t> bst(mgr);
-    mgr.init_thread(0);
-    const long long size = harness::prefill_to(bst, 1000, 500, 42);
+    auto handle = mgr.register_thread();
+    const long long size =
+        harness::prefill_to(bst, mgr.access(handle), 1000, 500, 42);
     EXPECT_EQ(size, 500);
     EXPECT_EQ(bst.size_slow(), 500);
-    mgr.deinit_thread(0);
 }
 
 TEST(Harness, TrialRunsAndReportsThroughput) {

@@ -20,13 +20,14 @@ class HarrisListTyped : public ::testing::Test {
     using list_t = ds::harris_list<key_t, val_t, mgr_t>;
 
     HarrisListTyped()
-        : mgr_(2, testutil::fast_config<mgr_t>()), list_(mgr_) {
-        mgr_.init_thread(0);
-    }
-    ~HarrisListTyped() override { mgr_.deinit_thread(0); }
+        : mgr_(2, testutil::fast_config<mgr_t>()), list_(mgr_),
+          h0_(mgr_.register_thread(0)) {}
+
+    typename mgr_t::accessor_t acc() { return mgr_.access(h0_); }
 
     mgr_t mgr_;
     list_t list_;
+    typename mgr_t::handle_t h0_;  // destroyed before mgr_ (reverse order)
 };
 
 using ListSchemes = ::testing::Types<reclaim::reclaim_none,
@@ -35,63 +36,63 @@ using ListSchemes = ::testing::Types<reclaim::reclaim_none,
 TYPED_TEST_SUITE(HarrisListTyped, ListSchemes);
 
 TYPED_TEST(HarrisListTyped, EmptyListBehaviour) {
-    EXPECT_FALSE(this->list_.contains(0, 5));
-    EXPECT_EQ(this->list_.erase(0, 5), std::nullopt);
+    EXPECT_FALSE(this->list_.contains(this->acc(), 5));
+    EXPECT_EQ(this->list_.erase(this->acc(), 5), std::nullopt);
     EXPECT_EQ(this->list_.size_slow(), 0);
 }
 
 TYPED_TEST(HarrisListTyped, InsertFindErase) {
-    EXPECT_TRUE(this->list_.insert(0, 10, 100));
-    EXPECT_TRUE(this->list_.contains(0, 10));
-    EXPECT_EQ(this->list_.find(0, 10), std::optional<val_t>(100));
+    EXPECT_TRUE(this->list_.insert(this->acc(), 10, 100));
+    EXPECT_TRUE(this->list_.contains(this->acc(), 10));
+    EXPECT_EQ(this->list_.find(this->acc(), 10), std::optional<val_t>(100));
     EXPECT_EQ(this->list_.size_slow(), 1);
-    EXPECT_EQ(this->list_.erase(0, 10), std::optional<val_t>(100));
-    EXPECT_FALSE(this->list_.contains(0, 10));
+    EXPECT_EQ(this->list_.erase(this->acc(), 10), std::optional<val_t>(100));
+    EXPECT_FALSE(this->list_.contains(this->acc(), 10));
     EXPECT_EQ(this->list_.size_slow(), 0);
 }
 
 TYPED_TEST(HarrisListTyped, DuplicateInsertFails) {
-    EXPECT_TRUE(this->list_.insert(0, 7, 70));
-    EXPECT_FALSE(this->list_.insert(0, 7, 71));
-    EXPECT_EQ(this->list_.find(0, 7), std::optional<val_t>(70));
+    EXPECT_TRUE(this->list_.insert(this->acc(), 7, 70));
+    EXPECT_FALSE(this->list_.insert(this->acc(), 7, 71));
+    EXPECT_EQ(this->list_.find(this->acc(), 7), std::optional<val_t>(70));
 }
 
 TYPED_TEST(HarrisListTyped, EraseAbsentKey) {
-    this->list_.insert(0, 1, 1);
-    EXPECT_EQ(this->list_.erase(0, 2), std::nullopt);
+    this->list_.insert(this->acc(), 1, 1);
+    EXPECT_EQ(this->list_.erase(this->acc(), 2), std::nullopt);
     EXPECT_EQ(this->list_.size_slow(), 1);
 }
 
 TYPED_TEST(HarrisListTyped, ManyKeysSortedInsertion) {
     for (key_t k = 0; k < 100; ++k) {
-        EXPECT_TRUE(this->list_.insert(0, k, k));
+        EXPECT_TRUE(this->list_.insert(this->acc(), k, k));
     }
     EXPECT_EQ(this->list_.size_slow(), 100);
     for (key_t k = 0; k < 100; ++k) {
-        EXPECT_TRUE(this->list_.contains(0, k));
+        EXPECT_TRUE(this->list_.contains(this->acc(), k));
     }
-    EXPECT_FALSE(this->list_.contains(0, 100));
+    EXPECT_FALSE(this->list_.contains(this->acc(), 100));
 }
 
 TYPED_TEST(HarrisListTyped, ReverseOrderInsertion) {
     for (key_t k = 50; k > 0; --k) {
-        EXPECT_TRUE(this->list_.insert(0, k, -k));
+        EXPECT_TRUE(this->list_.insert(this->acc(), k, -k));
     }
     for (key_t k = 1; k <= 50; ++k) {
-        EXPECT_EQ(this->list_.find(0, k), std::optional<val_t>(-k));
+        EXPECT_EQ(this->list_.find(this->acc(), k), std::optional<val_t>(-k));
     }
 }
 
 TYPED_TEST(HarrisListTyped, ReinsertAfterErase) {
-    EXPECT_TRUE(this->list_.insert(0, 3, 30));
-    EXPECT_EQ(this->list_.erase(0, 3), std::optional<val_t>(30));
-    EXPECT_TRUE(this->list_.insert(0, 3, 33));
-    EXPECT_EQ(this->list_.find(0, 3), std::optional<val_t>(33));
+    EXPECT_TRUE(this->list_.insert(this->acc(), 3, 30));
+    EXPECT_EQ(this->list_.erase(this->acc(), 3), std::optional<val_t>(30));
+    EXPECT_TRUE(this->list_.insert(this->acc(), 3, 33));
+    EXPECT_EQ(this->list_.find(this->acc(), 3), std::optional<val_t>(33));
 }
 
 TYPED_TEST(HarrisListTyped, DifferentialAgainstStdMap) {
     const long result =
-        testutil::differential_test(this->list_, 0, 0xfeed, 4000, 64);
+        testutil::differential_test(this->list_, this->acc(), 0xfeed, 4000, 64);
     EXPECT_GT(result, 0) << "divergence at op " << -result - 1;
 }
 
@@ -100,8 +101,8 @@ TYPED_TEST(HarrisListTyped, ChurnReclaimsMemory) {
     // for schemes that reclaim (everything except none).
     for (int round = 0; round < 2500; ++round) {
         const key_t k = round % 8;
-        this->list_.insert(0, k, round);
-        this->list_.erase(0, k);
+        this->list_.insert(this->acc(), k, round);
+        this->list_.erase(this->acc(), k);
     }
     EXPECT_EQ(this->list_.size_slow(), 0);
     if (std::string(TypeParam::name) != "none") {

@@ -30,18 +30,20 @@ class HashMapScheme : public ::testing::Test {
     using mgr_t = testutil::list_mgr<Scheme>;
     using map_t = ds::hash_map<key_t, val_t, mgr_t>;
 
-    HashMapScheme() : mgr_(4, fast_config<mgr_t>()), map_(mgr_, 32) {
-        mgr_.init_thread(0);
-    }
-    ~HashMapScheme() override { mgr_.deinit_thread(0); }
+    HashMapScheme()
+        : mgr_(4, fast_config<mgr_t>()), map_(mgr_, 32),
+          h0_(mgr_.register_thread(0)) {}
+
+    typename mgr_t::accessor_t acc() { return mgr_.access(h0_); }
 
     mgr_t mgr_;
     map_t map_;
+    typename mgr_t::handle_t h0_;  // destroyed before mgr_ (reverse order)
 };
 TYPED_TEST_SUITE(HashMapScheme, HashMapSchemes);
 
 TYPED_TEST(HashMapScheme, SingleThreadedDifferential) {
-    EXPECT_EQ(testutil::differential_test(this->map_, 0, 0x5eed, 6000, 256),
+    EXPECT_EQ(testutil::differential_test(this->map_, this->acc(), 0x5eed, 6000, 256),
               6000);
 }
 
@@ -50,28 +52,29 @@ TYPED_TEST(HashMapScheme, ConcurrentDisjointSlices) {
     // and the map must be empty afterwards. Failures here mean a bucket
     // lost an update or reclaimed a reachable node.
     constexpr int THREADS = 4;
+    this->h0_.reset();  // free tid 0 for the workers
     std::atomic<int> failures{0};
     std::vector<std::thread> workers;
     for (int t = 0; t < THREADS; ++t) {
         workers.emplace_back([&, t] {
-            this->mgr_.init_thread(t);
+            auto handle = this->mgr_.register_thread(t);
+            auto acc = this->mgr_.access(handle);
             const key_t base = t * 100000;
             for (int round = 0; round < 300; ++round) {
                 for (key_t k = base; k < base + 16; ++k) {
-                    if (!this->map_.insert(t, k, k * 2)) ++failures;
+                    if (!this->map_.insert(acc, k, k * 2)) ++failures;
                 }
                 for (key_t k = base; k < base + 16; ++k) {
-                    if (this->map_.find(t, k) != std::optional<val_t>(k * 2))
+                    if (this->map_.find(acc, k) != std::optional<val_t>(k * 2))
                         ++failures;
                 }
                 for (key_t k = base; k < base + 16; ++k) {
-                    if (!this->map_.erase(t, k).has_value()) ++failures;
+                    if (!this->map_.erase(acc, k).has_value()) ++failures;
                 }
                 for (key_t k = base; k < base + 16; ++k) {
-                    if (this->map_.contains(t, k)) ++failures;
+                    if (this->map_.contains(acc, k)) ++failures;
                 }
             }
-            this->mgr_.deinit_thread(t);
         });
     }
     for (auto& w : workers) w.join();
@@ -90,6 +93,7 @@ TYPED_TEST(HashMapScheme, ConcurrentContendedMixPreservesSize) {
     cfg.delete_pct = 40;
     cfg.trial_ms = 60;
     cfg.seed = 99;
+    this->h0_.reset();  // run_trial registers its own handles, tid 0 first
     const auto r = harness::run_trial(this->map_, this->mgr_, cfg);
     EXPECT_TRUE(r.size_invariant_holds())
         << "final=" << r.final_size << " expected=" << r.expected_final_size;
@@ -102,8 +106,8 @@ TYPED_TEST(HashMapScheme, ChurnRecyclesNodesAcrossBuckets) {
     // the shared manager pool.
     for (int i = 0; i < 4000; ++i) {
         const key_t k = i % 64;
-        this->map_.insert(0, k, k);
-        this->map_.erase(0, k);
+        this->map_.insert(this->acc(), k, k);
+        this->map_.erase(this->acc(), k);
     }
     EXPECT_EQ(this->map_.size_slow(), 0);
     EXPECT_GT(this->mgr_.stats().total(stat::records_pooled) +

@@ -19,13 +19,15 @@ class SkiplistTyped : public ::testing::Test {
     using mgr_t = testutil::skip_mgr<Scheme>;
     using skip_t = ds::lazy_skiplist<key_t, val_t, mgr_t>;
 
-    SkiplistTyped() : mgr_(2, testutil::fast_config<mgr_t>()), skip_(mgr_) {
-        mgr_.init_thread(0);
-    }
-    ~SkiplistTyped() override { mgr_.deinit_thread(0); }
+    SkiplistTyped()
+        : mgr_(2, testutil::fast_config<mgr_t>()), skip_(mgr_),
+          h0_(mgr_.register_thread(0)) {}
+
+    typename mgr_t::accessor_t acc() { return mgr_.access(h0_); }
 
     mgr_t mgr_;
     skip_t skip_;
+    typename mgr_t::handle_t h0_;  // destroyed before mgr_ (reverse order)
 };
 
 using SkipSchemes = ::testing::Types<reclaim::reclaim_none,
@@ -34,51 +36,51 @@ using SkipSchemes = ::testing::Types<reclaim::reclaim_none,
 TYPED_TEST_SUITE(SkiplistTyped, SkipSchemes);
 
 TYPED_TEST(SkiplistTyped, EmptyList) {
-    EXPECT_FALSE(this->skip_.contains(0, 1));
-    EXPECT_EQ(this->skip_.erase(0, 1), std::nullopt);
+    EXPECT_FALSE(this->skip_.contains(this->acc(), 1));
+    EXPECT_EQ(this->skip_.erase(this->acc(), 1), std::nullopt);
     EXPECT_EQ(this->skip_.size_slow(), 0);
     EXPECT_TRUE(this->skip_.validate_structure());
 }
 
 TYPED_TEST(SkiplistTyped, InsertFindErase) {
-    EXPECT_TRUE(this->skip_.insert(0, 11, 110));
-    EXPECT_EQ(this->skip_.find(0, 11), std::optional<val_t>(110));
-    EXPECT_EQ(this->skip_.erase(0, 11), std::optional<val_t>(110));
-    EXPECT_FALSE(this->skip_.contains(0, 11));
+    EXPECT_TRUE(this->skip_.insert(this->acc(), 11, 110));
+    EXPECT_EQ(this->skip_.find(this->acc(), 11), std::optional<val_t>(110));
+    EXPECT_EQ(this->skip_.erase(this->acc(), 11), std::optional<val_t>(110));
+    EXPECT_FALSE(this->skip_.contains(this->acc(), 11));
     EXPECT_TRUE(this->skip_.validate_structure());
 }
 
 TYPED_TEST(SkiplistTyped, DuplicateInsertFails) {
-    EXPECT_TRUE(this->skip_.insert(0, 4, 40));
-    EXPECT_FALSE(this->skip_.insert(0, 4, 41));
-    EXPECT_EQ(this->skip_.find(0, 4), std::optional<val_t>(40));
+    EXPECT_TRUE(this->skip_.insert(this->acc(), 4, 40));
+    EXPECT_FALSE(this->skip_.insert(this->acc(), 4, 41));
+    EXPECT_EQ(this->skip_.find(this->acc(), 4), std::optional<val_t>(40));
 }
 
 TYPED_TEST(SkiplistTyped, TowersSpanLevels) {
     // With enough keys, some towers exceed level 0; every level must remain
     // a sorted sub-chain (validate_structure checks this).
     for (key_t k = 0; k < 500; ++k) {
-        EXPECT_TRUE(this->skip_.insert(0, k, k));
+        EXPECT_TRUE(this->skip_.insert(this->acc(), k, k));
     }
     EXPECT_EQ(this->skip_.size_slow(), 500);
     EXPECT_TRUE(this->skip_.validate_structure());
 }
 
 TYPED_TEST(SkiplistTyped, EraseEveryThird) {
-    for (key_t k = 0; k < 300; ++k) this->skip_.insert(0, k, k);
+    for (key_t k = 0; k < 300; ++k) this->skip_.insert(this->acc(), k, k);
     for (key_t k = 0; k < 300; k += 3) {
-        EXPECT_EQ(this->skip_.erase(0, k), std::optional<val_t>(k));
+        EXPECT_EQ(this->skip_.erase(this->acc(), k), std::optional<val_t>(k));
     }
     EXPECT_EQ(this->skip_.size_slow(), 200);
     EXPECT_TRUE(this->skip_.validate_structure());
     for (key_t k = 0; k < 300; ++k) {
-        EXPECT_EQ(this->skip_.contains(0, k), k % 3 != 0);
+        EXPECT_EQ(this->skip_.contains(this->acc(), k), k % 3 != 0);
     }
 }
 
 TYPED_TEST(SkiplistTyped, DifferentialAgainstStdMap) {
     const long result =
-        testutil::differential_test(this->skip_, 0, 0xcafe, 5000, 100);
+        testutil::differential_test(this->skip_, this->acc(), 0xcafe, 5000, 100);
     EXPECT_GT(result, 0) << "divergence at op " << -result - 1;
     EXPECT_TRUE(this->skip_.validate_structure());
 }
@@ -86,8 +88,8 @@ TYPED_TEST(SkiplistTyped, DifferentialAgainstStdMap) {
 TYPED_TEST(SkiplistTyped, ChurnReclaimsMemory) {
     for (int round = 0; round < 2500; ++round) {
         const key_t k = round % 5;
-        this->skip_.insert(0, k, round);
-        this->skip_.erase(0, k);
+        this->skip_.insert(this->acc(), k, round);
+        this->skip_.erase(this->acc(), k);
     }
     EXPECT_EQ(this->skip_.size_slow(), 0);
     EXPECT_TRUE(this->skip_.validate_structure());
@@ -99,14 +101,14 @@ TYPED_TEST(SkiplistTyped, ChurnReclaimsMemory) {
 }
 
 TYPED_TEST(SkiplistTyped, ReinsertionAfterDrain) {
-    for (key_t k = 0; k < 50; ++k) this->skip_.insert(0, k, k);
-    for (key_t k = 0; k < 50; ++k) this->skip_.erase(0, k);
+    for (key_t k = 0; k < 50; ++k) this->skip_.insert(this->acc(), k, k);
+    for (key_t k = 0; k < 50; ++k) this->skip_.erase(this->acc(), k);
     EXPECT_EQ(this->skip_.size_slow(), 0);
     for (key_t k = 0; k < 50; ++k) {
-        EXPECT_TRUE(this->skip_.insert(0, k, k + 1));
+        EXPECT_TRUE(this->skip_.insert(this->acc(), k, k + 1));
     }
     EXPECT_EQ(this->skip_.size_slow(), 50);
-    EXPECT_EQ(this->skip_.find(0, 10), std::optional<val_t>(11));
+    EXPECT_EQ(this->skip_.find(this->acc(), 10), std::optional<val_t>(11));
     EXPECT_TRUE(this->skip_.validate_structure());
 }
 

@@ -29,12 +29,13 @@ TEST(ReclamationSafety, DebraLimboBoundedInSteadyState) {
     using mgr_t = testutil::bst_mgr<reclaim::reclaim_debra>;
     mgr_t mgr(1, testutil::fast_config<mgr_t>());
     ds::ellen_bst<key_t, val_t, mgr_t> bst(mgr);
-    mgr.init_thread(0);
+    auto handle = mgr.register_thread();
+    auto acc = mgr.access(handle);
     long long max_limbo = 0;
     for (int round = 0; round < 5000; ++round) {
         const key_t k = round % 32;
-        bst.insert(0, k, k);
-        bst.erase(0, k);
+        bst.insert(acc, k, k);
+        bst.erase(acc, k);
         const long long limbo =
             mgr.total_limbo_size<ds::bst_node<key_t, val_t>>() +
             mgr.total_limbo_size<ds::bst_info<key_t, val_t>>();
@@ -44,7 +45,6 @@ TEST(ReclamationSafety, DebraLimboBoundedInSteadyState) {
     // is a generous bound; an unbounded leak would blow far past it.
     EXPECT_LT(max_limbo, 10LL * mgr_t::BLOCK_SIZE);
     EXPECT_GT(mgr.stats().total(stat::records_pooled), 0u);
-    mgr.deinit_thread(0);
 }
 
 TEST(ReclamationSafety, StalledThreadFreezesDebraButNotDebraPlus) {
@@ -59,31 +59,28 @@ TEST(ReclamationSafety, StalledThreadFreezesDebraButNotDebraPlus) {
 
         std::atomic<bool> stalled{false}, release{false};
         std::thread staller([&] {
-            mgr.init_thread(1);
-            mgr.run_op(
-                1,
-                [&](int t) {
-                    mgr.leave_qstate(t);
+            auto handle = mgr.register_thread(1);
+            mgr.access(handle).run_guarded(
+                [&] {
                     stalled.store(true, std::memory_order_release);
                     while (!release.load(std::memory_order_acquire)) {
                         std::this_thread::yield();
                     }
-                    mgr.enter_qstate(t);
                     return true;
                 },
-                [&](int) { return true; });
-            mgr.deinit_thread(1);
+                [] { return true; });
         });
         while (!stalled.load(std::memory_order_acquire)) {
             std::this_thread::yield();
         }
 
-        mgr.init_thread(0);
+        auto handle = mgr.register_thread(0);
+        auto acc = mgr.access(handle);
         long long max_limbo = 0;
         for (int round = 0; round < 4000; ++round) {
             const key_t k = round % 32;
-            bst.insert(0, k, k);
-            bst.erase(0, k);
+            bst.insert(acc, k, k);
+            bst.erase(acc, k);
             const long long limbo =
                 mgr.template total_limbo_size<ds::bst_node<key_t, val_t>>() +
                 mgr.template total_limbo_size<ds::bst_info<key_t, val_t>>();
@@ -91,7 +88,6 @@ TEST(ReclamationSafety, StalledThreadFreezesDebraButNotDebraPlus) {
         }
         release.store(true, std::memory_order_release);
         staller.join();
-        mgr.deinit_thread(0);
         return max_limbo;
     };
 
@@ -118,34 +114,33 @@ TEST(ReclamationSafety, DebraPlusNeutralizesDuringRealBstOperations) {
     std::vector<std::thread> workers;
     for (int t = 0; t < 2; ++t) {
         workers.emplace_back([&, t] {
-            mgr.init_thread(t);
+            auto handle = mgr.register_thread(t);
+            auto acc = mgr.access(handle);
             prng rng(77 + static_cast<std::uint64_t>(t));
             long long mine = 0;
             while (!stop.load(std::memory_order_acquire)) {
                 const key_t k = static_cast<key_t>(rng.next(48));
                 const auto dice = rng.next(100);
                 if (dice < 35) {
-                    if (bst.insert(t, k, k)) ++mine;
+                    if (bst.insert(acc, k, k)) ++mine;
                 } else if (dice < 70) {
-                    if (bst.erase(t, k).has_value()) --mine;
+                    if (bst.erase(acc, k).has_value()) --mine;
                 } else {
                     // Regression: searches are non-quiescent too, and a
                     // neutralization signal during one must land in find's
-                    // own run_op recovery, not a stale jmp environment.
-                    (void)bst.contains(t, k);
+                    // own run_guarded recovery, not a stale jmp environment.
+                    (void)bst.contains(acc, k);
                 }
             }
             net.fetch_add(mine);
-            mgr.deinit_thread(t);
         });
     }
     workers.emplace_back([&] {
-        mgr.init_thread(2);
+        auto handle = mgr.register_thread(2);
+        auto acc = mgr.access(handle);
         while (!stop.load(std::memory_order_acquire)) {
-            mgr.run_op(
-                2,
-                [&](int t) {
-                    mgr.leave_qstate(t);
+            acc.run_guarded(
+                [&] {
                     // Stall long enough to be suspected.
                     const auto deadline =
                         std::chrono::steady_clock::now() +
@@ -154,12 +149,10 @@ TEST(ReclamationSafety, DebraPlusNeutralizesDuringRealBstOperations) {
                            !stop.load(std::memory_order_acquire)) {
                         std::this_thread::yield();
                     }
-                    mgr.enter_qstate(t);
                     return true;
                 },
-                [&](int) { return true; });
+                [] { return true; });
         }
-        mgr.deinit_thread(2);
     });
 
     std::this_thread::sleep_for(std::chrono::milliseconds(400));
@@ -187,29 +180,29 @@ TEST(ReclamationSafety, HpListTraversalNeverSeesRecycledNode) {
     std::vector<std::thread> workers;
     for (int t = 0; t < 2; ++t) {
         workers.emplace_back([&, t] {
-            mgr.init_thread(t);
+            auto handle = mgr.register_thread(t);
+            auto acc = mgr.access(handle);
             prng rng(5 + static_cast<std::uint64_t>(t));
             while (!stop.load(std::memory_order_acquire)) {
                 const key_t k = static_cast<key_t>(rng.next(RANGE));
                 if (rng.chance_percent(50)) {
-                    list.insert(t, k, k * 7);
+                    list.insert(acc, k, k * 7);
                 } else {
-                    list.erase(t, k);
+                    list.erase(acc, k);
                 }
             }
-            mgr.deinit_thread(t);
         });
     }
     for (int t = 2; t < THREADS; ++t) {
         workers.emplace_back([&, t] {
-            mgr.init_thread(t);
+            auto handle = mgr.register_thread(t);
+            auto acc = mgr.access(handle);
             prng rng(99 + static_cast<std::uint64_t>(t));
             while (!stop.load(std::memory_order_acquire)) {
                 const key_t k = static_cast<key_t>(rng.next(RANGE));
-                const auto v = list.find(t, k);
+                const auto v = list.find(acc, k);
                 if (v.has_value() && *v != k * 7) bad_values.fetch_add(1);
             }
-            mgr.deinit_thread(t);
         });
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(400));
@@ -234,19 +227,19 @@ TEST(ReclamationSafety, HpBstOwnDescriptorSurvivesHelping) {
     std::vector<std::thread> workers;
     for (int t = 0; t < THREADS; ++t) {
         workers.emplace_back([&, t] {
-            mgr.init_thread(t);
+            auto handle = mgr.register_thread(t);
+            auto acc = mgr.access(handle);
             prng rng(7 + static_cast<std::uint64_t>(t));
             long long mine = 0;
             while (!stop.load(std::memory_order_acquire)) {
                 const key_t k = static_cast<key_t>(rng.next(512));
                 if (rng.chance_percent(50)) {
-                    if (bst.insert(t, k, k)) ++mine;
+                    if (bst.insert(acc, k, k)) ++mine;
                 } else {
-                    if (bst.erase(t, k).has_value()) --mine;
+                    if (bst.erase(acc, k).has_value()) --mine;
                 }
             }
             net.fetch_add(mine);
-            mgr.deinit_thread(t);
         });
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(500));
@@ -265,12 +258,11 @@ TEST(ReclamationSafety, SchemeSwapIsOneTypeAlias) {
         using mgr_t = testutil::bst_mgr<scheme>;
         mgr_t mgr(1, testutil::fast_config<mgr_t>());
         ds::ellen_bst<key_t, val_t, mgr_t> bst(mgr);
-        mgr.init_thread(0);
-        for (key_t k = 0; k < 100; ++k) bst.insert(0, k, k);
-        for (key_t k = 0; k < 100; k += 2) bst.erase(0, k);
-        const long long size = bst.size_slow();
-        mgr.deinit_thread(0);
-        return size;
+        auto handle = mgr.register_thread();
+        auto acc = mgr.access(handle);
+        for (key_t k = 0; k < 100; ++k) bst.insert(acc, k, k);
+        for (key_t k = 0; k < 100; k += 2) bst.erase(acc, k);
+        return bst.size_slow();
     };
     if (!testutil::kLeakChecked) {
         // 'none' leaks every retired record by design; keep it out of

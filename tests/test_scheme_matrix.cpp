@@ -113,6 +113,18 @@ TYPED_TEST(SchemeMatrix, SchemeConceptConformance) {
     using mgr_t = testutil::list_mgr<S>;
     static_assert(mgr_t::quiescence_based == S::quiescence_based);
     static_assert(mgr_t::per_access_protection == S::per_access_protection);
+    // Every scheme global must expose the dedicated hazard-clear hook the
+    // guard layer routes bulk releases through (no-op for epoch schemes).
+    static_assert(requires(typename S::global_state& g) { g.clear_hazards(0); });
+    // The RAII layer instantiates for every scheme, and its guard_ptr is a
+    // bare pointer exactly when the scheme has no per-access protection.
+    using node_t = ds::list_node<key_t, val_t>;
+    using guard_t = typename mgr_t::template guard_t<node_t>;
+    static_assert(!std::is_copy_constructible_v<guard_t>);
+    if constexpr (!S::per_access_protection) {
+        static_assert(std::is_trivially_destructible_v<guard_t>);
+        static_assert(sizeof(guard_t) == sizeof(node_t*));
+    }
     SUCCEED();
 }
 
@@ -175,20 +187,24 @@ TYPED_TEST(SchemeMatrix, DifferentialAgainstStdMap) {
     {
         using mgr_t = testutil::bst_mgr<S>;
         mgr_t mgr(1, fast_config<mgr_t>());
-        mgr.init_thread(0);
         ds::ellen_bst<key_t, val_t, mgr_t> bst(mgr);
-        EXPECT_EQ(testutil::differential_test(bst, 0, 7, OPS, 128), OPS);
-        mgr.deinit_thread(0);
+        auto handle = mgr.register_thread();
+        EXPECT_EQ(testutil::differential_test(bst, mgr.access(handle), 7,
+                                              OPS, 128),
+                  OPS);
     }
     if constexpr (!S::supports_crash_recovery) {
         using mgr_t = testutil::list_mgr<S>;
         mgr_t mgr(1, fast_config<mgr_t>());
-        mgr.init_thread(0);
         ds::harris_list<key_t, val_t, mgr_t> list(mgr);
-        EXPECT_EQ(testutil::differential_test(list, 0, 11, OPS, 128), OPS);
         ds::hash_map<key_t, val_t, mgr_t> map(mgr, 16);
-        EXPECT_EQ(testutil::differential_test(map, 0, 13, OPS, 128), OPS);
-        mgr.deinit_thread(0);
+        auto handle = mgr.register_thread();
+        EXPECT_EQ(testutil::differential_test(list, mgr.access(handle), 11,
+                                              OPS, 128),
+                  OPS);
+        EXPECT_EQ(testutil::differential_test(map, mgr.access(handle), 13,
+                                              OPS, 128),
+                  OPS);
     }
 }
 
@@ -210,12 +226,13 @@ TYPED_TEST(SchemeMatrix, TreiberStack) {
         std::vector<std::thread> workers;
         for (int t = 0; t < THREADS; ++t) {
             workers.emplace_back([&, t] {
-                mgr.init_thread(t);
+                auto handle = mgr.register_thread(t);
+                auto acc = mgr.access(handle);
                 long long my_sum = 0, my_count = 0;
                 for (int i = 0; i < PER_THREAD; ++i) {
-                    stack.push(t, t * PER_THREAD + i);
+                    stack.push(acc, t * PER_THREAD + i);
                     if (i % 4 != 0) {
-                        if (auto v = stack.pop(t)) {
+                        if (auto v = stack.pop(acc)) {
                             my_sum += *v;
                             ++my_count;
                         }
@@ -223,13 +240,13 @@ TYPED_TEST(SchemeMatrix, TreiberStack) {
                 }
                 popped_sum.fetch_add(my_sum);
                 popped_count.fetch_add(my_count);
-                mgr.deinit_thread(t);
             });
         }
         for (auto& w : workers) w.join();
-        mgr.init_thread(0);
+        auto drain_handle = mgr.register_thread();
+        auto drain_acc = mgr.access(drain_handle);
         long long drain_sum = 0, drain_count = 0;
-        while (auto v = stack.pop(0)) {
+        while (auto v = stack.pop(drain_acc)) {
             drain_sum += *v;
             ++drain_count;
         }
@@ -239,7 +256,6 @@ TYPED_TEST(SchemeMatrix, TreiberStack) {
         for (long long v = 0; v < total; ++v) expected_sum += v;
         EXPECT_EQ(popped_sum.load() + drain_sum, expected_sum);
         expect_limbo_bounded(mgr, 1);
-        mgr.deinit_thread(0);
     }
 }
 
@@ -260,28 +276,28 @@ TYPED_TEST(SchemeMatrix, MsQueue) {
         std::vector<std::thread> workers;
         for (int p = 0; p < 2; ++p) {
             workers.emplace_back([&, p] {
-                mgr.init_thread(p);
+                auto handle = mgr.register_thread(p);
+                auto acc = mgr.access(handle);
                 for (int i = 0; i < PER_PRODUCER; ++i) {
-                    queue.enqueue(p, p * PER_PRODUCER + i);
+                    queue.enqueue(acc, p * PER_PRODUCER + i);
                 }
                 producers_left.fetch_sub(1);
-                mgr.deinit_thread(p);
             });
         }
         workers.emplace_back([&] {
-            mgr.init_thread(2);
+            auto handle = mgr.register_thread(2);
+            auto acc = mgr.access(handle);
             for (;;) {
-                auto v = queue.dequeue(2);
+                auto v = queue.dequeue(acc);
                 if (v) {
                     consumed_sum.fetch_add(*v);
                     consumed_count.fetch_add(1);
                 } else if (producers_left.load() == 0) {
-                    if (!queue.dequeue(2)) break;
+                    if (!queue.dequeue(acc)) break;
                 } else {
                     std::this_thread::yield();
                 }
             }
-            mgr.deinit_thread(2);
         });
         for (auto& w : workers) w.join();
         const long long total = 2LL * PER_PRODUCER;
