@@ -1,19 +1,28 @@
-// bench_common.h -- shared scaffolding for the paper-reproduction
-// benchmark binaries (one binary per table/figure; see DESIGN.md Section 4).
+// bench_common.h -- shared scaffolding for the smr_bench scenario driver
+// (see DESIGN.md Section 4 for the scenario-to-paper mapping and Section 5
+// for the driver architecture).
 //
-// Every experiment sweeps {reclamation scheme} x {thread count} over a
-// prefilled data structure and prints one table row per point, mirroring
-// the curves of the paper's Figures 8-10. Environment knobs rescale the
-// defaults to paper-length runs:
+// Until PR 3 this header backed 15 single-experiment binaries, each with
+// its own main() and printf tables; those are now registry entries of one
+// driver (bench/smr_bench). What lives here is the part every runner
+// translation unit shares:
 //
-//   SMR_TRIAL_MS   per-trial duration (default 100; paper used 2000)
-//   SMR_TRIALS     trials per point, averaged (default 1; paper used 8)
-//   SMR_THREADS    comma-separated thread counts (default "1,2,4,8")
-//   SMR_KEYRANGE_LARGE  the large BST key range (default 1000000 as in the
-//                       paper; reduce for quick runs)
+//   * the benchmarked key/value types,
+//   * one adapter per data structure, naming the record_manager
+//     instantiation and constructing the structure (the adapter is where
+//     "which record types does this structure need?" is answered once),
+//   * the memory-policy axis of the paper's evaluation: overhead
+//     (Experiment 1: bump allocator + discard pool, reclamation pays its
+//     bookkeeping but gains nothing), reclaim (Experiment 2: bump + the
+//     paper's object pool), malloc (Experiment 3: system malloc + pool),
+//   * the scheme/policy dispatch templates that turn the driver's runtime
+//     (--ds, --scheme) strings into template instantiations, including
+//     the compile-time exclusion of DEBRA+ from structures that carry no
+//     neutralization recovery code (paper Section 5).
 //
-// Every trial also checks the harness size invariant; a reclamation bug
-// aborts the benchmark rather than printing corrupt numbers.
+// Run parameters come from harness::bench_config (bench_config.h), the
+// single env + CLI resolution chain; this header deliberately contains no
+// environment parsing of its own.
 #pragma once
 
 #include <cstdio>
@@ -23,9 +32,13 @@
 
 #include "ds/ellen_bst.h"
 #include "ds/harris_list.h"
+#include "ds/hash_map.h"
 #include "ds/lazy_skiplist.h"
+#include "harness/bench_config.h"
 #include "harness/workload.h"
 #include "recordmgr/record_manager.h"
+#include "reclaim/era/reclaimer_he.h"
+#include "reclaim/era/reclaimer_ibr.h"
 #include "reclaim/reclaimer_debra.h"
 #include "reclaim/reclaimer_debra_plus.h"
 #include "reclaim/reclaimer_hp.h"
@@ -36,153 +49,233 @@ namespace smr::bench {
 using key_t = long long;
 using val_t = long long;
 
-struct bench_env {
-    int trial_ms;
-    int trials;
-    std::vector<int> thread_counts;
-    long long keyrange_large;
+/// The memory-policy axis (allocator x pool) of the paper's three
+/// experiments.
+enum class policy_kind { overhead, reclaim, malloc_pool };
 
-    static bench_env from_env() {
-        bench_env e;
-        e.trial_ms = harness::env_int("SMR_TRIAL_MS", 100);
-        e.trials = harness::env_int("SMR_TRIALS", 1);
-        e.keyrange_large = harness::env_int("SMR_KEYRANGE_LARGE", 1000000);
-        const char* ts = std::getenv("SMR_THREADS");
-        std::string spec = ts != nullptr ? ts : "1,2,4,8";
-        std::size_t pos = 0;
-        while (pos < spec.size()) {
-            std::size_t comma = spec.find(',', pos);
-            if (comma == std::string::npos) comma = spec.size();
-            const int t = std::atoi(spec.substr(pos, comma - pos).c_str());
-            // Drop unparsable or non-positive entries: a 0-thread trial
-            // would crash the harness.
-            if (t > 0) e.thread_counts.push_back(t);
-            pos = comma + 1;
-        }
-        if (e.thread_counts.empty()) e.thread_counts = {1, 2, 4, 8};
-        return e;
+inline const char* policy_name(policy_kind p) {
+    switch (p) {
+        case policy_kind::overhead: return "overhead";
+        case policy_kind::reclaim: return "reclaim";
+        case policy_kind::malloc_pool: return "malloc";
     }
-};
+    return "?";
+}
 
+/// The paper's two operation mixes (Section 7), reused by scenarios.
 struct op_mix {
-    const char* name;
+    std::string name;
     int insert_pct;
     int delete_pct;
 };
+inline const op_mix MIX_50_50 = {"50i-50d", 50, 50};
+inline const op_mix MIX_25_25_50 = {"25i-25d-50s", 25, 25};
 
-/// The paper's two operation mixes (Section 7, Experiment 1).
-inline constexpr op_mix MIX_50_50 = {"50i-50d", 50, 50};
-inline constexpr op_mix MIX_25_25_50 = {"25i-25d-50s", 25, 25};
-
-// ---- per-structure trial runners -------------------------------------------
+// ---- data structure adapters ----------------------------------------------
 //
-// Each runner constructs a fresh manager + structure, prefills, runs the
-// timed trial `env.trials` times, and returns the averaged result. The
-// scheme/allocator/pool combination is entirely in the template arguments:
-// the one-line-change claim of paper Section 6, exercised for real.
+// An adapter binds a CLI name to the structure's record_manager
+// instantiation and its constructor shape. `supports_neutralization` is
+// the paper's applicability predicate for DEBRA+: only structures with
+// recovery code may instantiate a crash-recovery scheme (the others
+// static_assert against it, so the exclusion must happen here, at compile
+// time, not by catching a failure at run time).
 
-inline void check_invariant(const harness::trial_result& r, const char* what) {
-    if (!r.size_invariant_holds()) {
-        std::fprintf(stderr,
-                     "FATAL: size invariant violated in %s: final=%lld "
-                     "expected=%lld\n",
-                     what, r.final_size, r.expected_final_size);
-        std::abort();
-    }
-}
-
-template <class Scheme, class AllocTag, class PoolTag>
-harness::trial_result run_bst_point(const bench_env& env, const op_mix& mix,
-                                    long long key_range, int threads,
-                                    int stall_tid = -1, int stall_ms = 10) {
-    using mgr_t = record_manager<Scheme, AllocTag, PoolTag,
-                                 ds::bst_node<key_t, val_t>,
+struct ds_ellen_bst {
+    static constexpr const char* name = "ellen_bst";
+    static constexpr bool supports_neutralization = true;
+    template <class Scheme, class Alloc, class Pool>
+    using mgr_t = record_manager<Scheme, Alloc, Pool, ds::bst_node<key_t, val_t>,
                                  ds::bst_info<key_t, val_t>>;
-    harness::trial_result acc;
-    for (int trial = 0; trial < env.trials; ++trial) {
-        mgr_t mgr(threads);
-        ds::ellen_bst<key_t, val_t, mgr_t> bst(mgr);
-        harness::workload_config cfg;
-        cfg.num_threads = threads;
-        cfg.key_range = key_range;
-        cfg.insert_pct = mix.insert_pct;
-        cfg.delete_pct = mix.delete_pct;
-        cfg.trial_ms = env.trial_ms;
-        cfg.seed = 1 + static_cast<std::uint64_t>(trial);
-        cfg.stall_tid = stall_tid;
-        cfg.stall_ms = stall_ms;
-        auto r = harness::run_trial(bst, mgr, cfg);
-        check_invariant(r, "bst");
-        if (trial == 0) {
-            acc = r;
-        } else {
-            acc.total_ops += r.total_ops;
-            acc.seconds += r.seconds;
-            acc.neutralize_sent += r.neutralize_sent;
-            if (r.allocated_bytes > 0) acc.allocated_bytes += r.allocated_bytes;
-            acc.limbo_records += r.limbo_records;
-        }
+    static constexpr int num_record_types = 2;
+    template <class Mgr>
+    static ds::ellen_bst<key_t, val_t, Mgr> construct(Mgr& mgr,
+                                                      long long /*range*/) {
+        return ds::ellen_bst<key_t, val_t, Mgr>(mgr);
     }
-    return acc;
+};
+
+struct ds_lazy_skiplist {
+    static constexpr const char* name = "lazy_skiplist";
+    static constexpr bool supports_neutralization = false;
+    template <class Scheme, class Alloc, class Pool>
+    using mgr_t =
+        record_manager<Scheme, Alloc, Pool, ds::skiplist_node<key_t, val_t>>;
+    static constexpr int num_record_types = 1;
+    template <class Mgr>
+    static ds::lazy_skiplist<key_t, val_t, Mgr> construct(Mgr& mgr,
+                                                          long long /*range*/) {
+        return ds::lazy_skiplist<key_t, val_t, Mgr>(mgr);
+    }
+};
+
+struct ds_harris_list {
+    static constexpr const char* name = "harris_list";
+    static constexpr bool supports_neutralization = false;
+    template <class Scheme, class Alloc, class Pool>
+    using mgr_t =
+        record_manager<Scheme, Alloc, Pool, ds::list_node<key_t, val_t>>;
+    static constexpr int num_record_types = 1;
+    template <class Mgr>
+    static ds::harris_list<key_t, val_t, Mgr> construct(Mgr& mgr,
+                                                        long long /*range*/) {
+        return ds::harris_list<key_t, val_t, Mgr>(mgr);
+    }
+};
+
+struct ds_hash_map {
+    static constexpr const char* name = "hash_map";
+    static constexpr bool supports_neutralization = false;
+    template <class Scheme, class Alloc, class Pool>
+    using mgr_t =
+        record_manager<Scheme, Alloc, Pool, ds::list_node<key_t, val_t>>;
+    static constexpr int num_record_types = 1;
+    template <class Mgr>
+    static ds::hash_map<key_t, val_t, Mgr> construct(Mgr& mgr,
+                                                     long long range) {
+        // ~8 keys per bucket at the harness's half-full steady state.
+        const long long buckets = range / 16;
+        return ds::hash_map<key_t, val_t, Mgr>(
+            mgr, static_cast<std::size_t>(
+                     buckets < 16 ? 16 : buckets > (1 << 20) ? (1 << 20)
+                                                             : buckets));
+    }
+};
+
+// ---- trial execution -------------------------------------------------------
+
+/// Outcome of asking the dispatch layer for one (ds, scheme, policy) point.
+enum class point_status {
+    ok,
+    unsupported,   // legal request, combination excluded by design
+    unknown_name,  // no such scheme
+};
+
+/// One timed trial of `cfg` on a freshly constructed manager + structure.
+template <class Adapter, class Scheme, class Alloc, class Pool>
+harness::trial_result run_one_trial(const harness::workload_config& cfg) {
+    using mgr_t = typename Adapter::template mgr_t<Scheme, Alloc, Pool>;
+    mgr_t mgr(cfg.num_threads);
+    auto structure = Adapter::construct(mgr, cfg.key_range);
+    return harness::run_trial(structure, mgr, cfg);
 }
 
-template <class Scheme, class AllocTag, class PoolTag>
-harness::trial_result run_skiplist_point(const bench_env& env,
-                                         const op_mix& mix,
-                                         long long key_range, int threads) {
-    using mgr_t = record_manager<Scheme, AllocTag, PoolTag,
-                                 ds::skiplist_node<key_t, val_t>>;
-    harness::trial_result acc;
-    for (int trial = 0; trial < env.trials; ++trial) {
-        mgr_t mgr(threads);
-        ds::lazy_skiplist<key_t, val_t, mgr_t> skip(mgr);
-        harness::workload_config cfg;
-        cfg.num_threads = threads;
-        cfg.key_range = key_range;
-        cfg.insert_pct = mix.insert_pct;
-        cfg.delete_pct = mix.delete_pct;
-        cfg.trial_ms = env.trial_ms;
-        cfg.seed = 1 + static_cast<std::uint64_t>(trial);
-        auto r = harness::run_trial(skip, mgr, cfg);
-        check_invariant(r, "skiplist");
-        if (trial == 0) {
-            acc = r;
-        } else {
-            acc.total_ops += r.total_ops;
-            acc.seconds += r.seconds;
+template <class Adapter, class Scheme>
+point_status run_with_policy(policy_kind policy,
+                             const harness::workload_config& cfg,
+                             harness::trial_result* out, std::string* note) {
+    if constexpr (Scheme::supports_crash_recovery &&
+                  !Adapter::supports_neutralization) {
+        (void)policy;
+        (void)cfg;
+        (void)out;
+        if (note != nullptr) {
+            *note = std::string(Scheme::name) + " needs neutralization " +
+                    "recovery code, which only ellen_bst carries (paper " +
+                    "Section 5)";
         }
+        return point_status::unsupported;
+    } else {
+        switch (policy) {
+            case policy_kind::overhead:
+                *out = run_one_trial<Adapter, Scheme, alloc_bump,
+                                     pool_discarding>(cfg);
+                break;
+            case policy_kind::reclaim:
+                *out = run_one_trial<Adapter, Scheme, alloc_bump,
+                                     pool_shared>(cfg);
+                break;
+            case policy_kind::malloc_pool:
+                *out = run_one_trial<Adapter, Scheme, alloc_malloc,
+                                     pool_shared>(cfg);
+                break;
+        }
+        return point_status::ok;
     }
-    return acc;
 }
 
-// ---- table printing -----------------------------------------------------------
+/// Runtime scheme name -> template instantiation, for one adapter. The
+/// CLI names are the schemes' canonical names except 2GE-IBR, which is
+/// plain "ibr" on the command line.
+template <class Adapter>
+point_status run_for_scheme(const std::string& scheme, policy_kind policy,
+                            const harness::workload_config& cfg,
+                            harness::trial_result* out, std::string* note) {
+    if (scheme == "none") {
+        return run_with_policy<Adapter, reclaim::reclaim_none>(policy, cfg,
+                                                               out, note);
+    }
+    if (scheme == "ebr") {
+        return run_with_policy<Adapter, reclaim::reclaim_ebr>(policy, cfg,
+                                                              out, note);
+    }
+    if (scheme == "debra") {
+        return run_with_policy<Adapter, reclaim::reclaim_debra>(policy, cfg,
+                                                                out, note);
+    }
+    if (scheme == "debra+") {
+        return run_with_policy<Adapter, reclaim::reclaim_debra_plus>(
+            policy, cfg, out, note);
+    }
+    if (scheme == "hp") {
+        return run_with_policy<Adapter, reclaim::reclaim_hp>(policy, cfg, out,
+                                                             note);
+    }
+    if (scheme == "he") {
+        return run_with_policy<Adapter, reclaim::reclaim_he>(policy, cfg, out,
+                                                             note);
+    }
+    if (scheme == "ibr") {
+        return run_with_policy<Adapter, reclaim::reclaim_ibr>(policy, cfg,
+                                                              out, note);
+    }
+    if (note != nullptr) {
+        *note = "unknown scheme '" + scheme +
+                "' (known: none, ebr, debra, debra+, hp, he, ibr)";
+    }
+    return point_status::unknown_name;
+}
 
-inline void print_table_header(const std::vector<const char*>& schemes) {
+// ---- table printing --------------------------------------------------------
+//
+// The driver keeps the per-binary era's human-readable tables on stdout
+// (scheme columns, thread rows, ratios against the first column) next to
+// the JSON document.
+
+inline void print_table_header(const std::vector<std::string>& schemes) {
     std::printf("%8s", "threads");
-    for (const char* s : schemes) std::printf("%10s", s);
+    for (const auto& s : schemes) std::printf("%10s", s.c_str());
     std::printf("  |");
     for (std::size_t i = 1; i < schemes.size(); ++i) {
-        std::printf("  %s/%s", schemes[i], schemes[0]);
+        std::printf("  %s/%s", schemes[i].c_str(), schemes[0].c_str());
     }
     std::printf("\n");
 }
 
 inline void print_table_row(int threads, const std::vector<double>& mops) {
     std::printf("%8d", threads);
-    for (double m : mops) std::printf("%10.3f", m);
+    for (double m : mops) {
+        if (m < 0) {
+            std::printf("%10s", "-");  // unsupported cell
+        } else {
+            std::printf("%10.3f", m);
+        }
+    }
     std::printf("  |");
     for (std::size_t i = 1; i < mops.size(); ++i) {
-        std::printf("  %8.2f", mops[0] > 0 ? mops[i] / mops[0] : 0.0);
+        std::printf("  %8.2f", mops[0] > 0 && mops[i] >= 0
+                                   ? mops[i] / mops[0]
+                                   : 0.0);
     }
     std::printf("\n");
 }
 
-inline void print_banner(const char* title, const bench_env& env) {
+inline void print_banner(const std::string& title,
+                         const harness::bench_config& cfg) {
     std::printf("==========================================================\n");
-    std::printf("%s\n", title);
+    std::printf("%s\n", title.c_str());
     std::printf("trial_ms=%d trials=%d (env: SMR_TRIAL_MS SMR_TRIALS "
-                "SMR_THREADS SMR_KEYRANGE_LARGE)\n",
-                env.trial_ms, env.trials);
+                "SMR_THREADS SMR_KEYRANGE_LARGE; flags override)\n",
+                cfg.trial_ms, cfg.trials);
     std::printf("==========================================================\n");
 }
 

@@ -1,0 +1,16 @@
+// The Ellen BST's scheme x policy instantiation matrix (the only
+// structure that also instantiates DEBRA+ -- it alone carries
+// neutralization recovery code).
+#include "runners.h"
+
+namespace smr::bench {
+
+point_status run_point_ellen_bst(const std::string& scheme,
+                                 policy_kind policy,
+                                 const harness::workload_config& cfg,
+                                 harness::trial_result* out,
+                                 std::string* note) {
+    return run_for_scheme<ds_ellen_bst>(scheme, policy, cfg, out, note);
+}
+
+}  // namespace smr::bench

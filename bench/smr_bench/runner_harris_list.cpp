@@ -1,0 +1,14 @@
+// The Harris list's scheme x policy instantiation matrix.
+#include "runners.h"
+
+namespace smr::bench {
+
+point_status run_point_harris_list(const std::string& scheme,
+                                   policy_kind policy,
+                                   const harness::workload_config& cfg,
+                                   harness::trial_result* out,
+                                   std::string* note) {
+    return run_for_scheme<ds_harris_list>(scheme, policy, cfg, out, note);
+}
+
+}  // namespace smr::bench

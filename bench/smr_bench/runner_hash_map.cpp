@@ -1,0 +1,15 @@
+// The hash map's scheme x policy instantiation matrix (Harris-list
+// buckets; one shared record_manager for every bucket).
+#include "runners.h"
+
+namespace smr::bench {
+
+point_status run_point_hash_map(const std::string& scheme,
+                                policy_kind policy,
+                                const harness::workload_config& cfg,
+                                harness::trial_result* out,
+                                std::string* note) {
+    return run_for_scheme<ds_hash_map>(scheme, policy, cfg, out, note);
+}
+
+}  // namespace smr::bench

@@ -1,0 +1,15 @@
+// The lazy skip list's scheme x policy instantiation matrix (DEBRA+ is
+// rejected at dispatch: the structure holds locks, paper Section 5).
+#include "runners.h"
+
+namespace smr::bench {
+
+point_status run_point_lazy_skiplist(const std::string& scheme,
+                                     policy_kind policy,
+                                     const harness::workload_config& cfg,
+                                     harness::trial_result* out,
+                                     std::string* note) {
+    return run_for_scheme<ds_lazy_skiplist>(scheme, policy, cfg, out, note);
+}
+
+}  // namespace smr::bench

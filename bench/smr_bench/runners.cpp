@@ -1,0 +1,42 @@
+// runners.cpp -- structure-name dispatch for the driver.
+#include "runners.h"
+
+namespace smr::bench {
+
+point_status run_point(const std::string& ds, const std::string& scheme,
+                       policy_kind policy,
+                       const harness::workload_config& cfg,
+                       harness::trial_result* out, std::string* note) {
+    if (ds == ds_ellen_bst::name) {
+        return run_point_ellen_bst(scheme, policy, cfg, out, note);
+    }
+    if (ds == ds_lazy_skiplist::name) {
+        return run_point_lazy_skiplist(scheme, policy, cfg, out, note);
+    }
+    if (ds == ds_harris_list::name) {
+        return run_point_harris_list(scheme, policy, cfg, out, note);
+    }
+    if (ds == ds_hash_map::name) {
+        return run_point_hash_map(scheme, policy, cfg, out, note);
+    }
+    if (note != nullptr) {
+        *note = "unknown data structure '" + ds +
+                "' (known: ellen_bst, lazy_skiplist, harris_list, hash_map)";
+    }
+    return point_status::unknown_name;
+}
+
+const std::vector<std::string>& known_structures() {
+    static const std::vector<std::string> v = {
+        ds_ellen_bst::name, ds_lazy_skiplist::name, ds_harris_list::name,
+        ds_hash_map::name};
+    return v;
+}
+
+const std::vector<std::string>& known_schemes() {
+    static const std::vector<std::string> v = {"none", "ebr",  "debra",
+                                               "debra+", "hp", "he", "ibr"};
+    return v;
+}
+
+}  // namespace smr::bench

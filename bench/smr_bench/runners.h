@@ -1,0 +1,45 @@
+// runners.h -- the driver's runtime -> template bridge, per structure.
+//
+// Each data structure's scheme x policy instantiation matrix lives in its
+// own translation unit (runner_<ds>.cpp) so the four heavy template
+// expansions compile in parallel; this header is the string-keyed front
+// door the driver calls. See bench_common.h for the dispatch templates
+// these TUs instantiate.
+#pragma once
+
+#include <string>
+
+#include "bench_common.h"
+
+namespace smr::bench {
+
+point_status run_point_ellen_bst(const std::string& scheme, policy_kind,
+                                 const harness::workload_config&,
+                                 harness::trial_result* out,
+                                 std::string* note);
+point_status run_point_lazy_skiplist(const std::string& scheme, policy_kind,
+                                     const harness::workload_config&,
+                                     harness::trial_result* out,
+                                     std::string* note);
+point_status run_point_harris_list(const std::string& scheme, policy_kind,
+                                   const harness::workload_config&,
+                                   harness::trial_result* out,
+                                   std::string* note);
+point_status run_point_hash_map(const std::string& scheme, policy_kind,
+                                const harness::workload_config&,
+                                harness::trial_result* out,
+                                std::string* note);
+
+/// Dispatch on the structure's CLI name. Returns unknown_name for a
+/// structure the driver doesn't know.
+point_status run_point(const std::string& ds, const std::string& scheme,
+                       policy_kind policy,
+                       const harness::workload_config& cfg,
+                       harness::trial_result* out, std::string* note);
+
+/// The structures run_point accepts, in presentation order.
+const std::vector<std::string>& known_structures();
+/// The schemes run_for_scheme accepts, in presentation order.
+const std::vector<std::string>& known_schemes();
+
+}  // namespace smr::bench

@@ -1,40 +1,37 @@
-// exp5_guard_overhead -- A/B benchmark proving the RAII guard layer is
-// zero-cost against the raw record_manager vocabulary on the BST hot path.
+// scenario_guard_overhead.cpp -- A/B benchmark proving the RAII guard
+// layer is zero-cost against the raw record_manager vocabulary on the BST
+// search hot path (formerly the exp5_guard_overhead binary; PR 2).
 //
-// The data structures now speak accessor/guard_ptr/op_guard exclusively,
-// so the raw side of the A/B is a faithful re-implementation of the BST
+// The data structures speak accessor/guard_ptr/op_guard exclusively, so
+// the raw side of the A/B is a faithful re-implementation of the BST
 // search hot path (the seed's ellen_bst::find) against the raw tid-taking
 // back-end: run_op + leave_qstate/enter_qstate + protect/unprotect +
 // clear_protections, hand-paired exactly as before the API redesign. Both
 // sides traverse the same prefilled tree with the same key stream.
 //
-// For epoch schemes (DEBRA) the guard layer must erase entirely: guard_ptr
-// is a bare pointer and op() compiles to the same two announcement writes.
-// For HP the guard destructor replaces the hand-written unprotect; the
-// delta budget (default 2%) covers noise.
+// For epoch schemes (DEBRA) the guard layer must erase entirely:
+// guard_ptr is a bare pointer and op() compiles to the same two
+// announcement writes. For HP the guard destructor replaces the
+// hand-written unprotect; the delta budget covers noise.
 //
-//   SMR_TRIAL_MS     per-phase duration   (default 200)
-//   SMR_TRIALS       phase repetitions    (default 3; best-of is compared)
-//   SMR_THREADS      thread counts        (default "1,2,4,8"; first entry
-//                                          is used)
-//   SMR_GUARD_DELTA_PCT  acceptance threshold in percent (default 2)
-//
-// Exit status: 0 when |delta| <= threshold for every scheme, 1 otherwise.
+// Knobs: --trial-ms / --trials (min 3 so the paired median is meaningful)
+// / --threads (first entry); SMR_GUARD_DELTA_PCT sets the acceptance
+// threshold in percent (default 2). Verdict ok=false (exit 1) when the
+// median paired delta exceeds the threshold for any scheme.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
-#include "bench_common.h"
+#include "harness/report.h"
+#include "scenarios.h"
 #include "util/barrier.h"
 #include "util/timing.h"
 
-namespace {
+namespace smr::bench {
 
-using namespace smr;
-using bench::key_t;
-using bench::val_t;
+namespace {
 
 constexpr long long KEY_RANGE = 1 << 16;
 
@@ -152,8 +149,8 @@ double timed_phase(Mgr& mgr, Tree& tree, int threads, int trial_ms,
 }
 
 template <class Scheme>
-phase_result run_scheme(const char* name, int threads, int trial_ms,
-                        int trials) {
+phase_result run_scheme_ab(const char* name, int threads, int trial_ms,
+                           int trials) {
     using mgr_t = record_manager<Scheme, alloc_malloc, pool_shared,
                                  ds::bst_node<key_t, val_t>,
                                  ds::bst_info<key_t, val_t>>;
@@ -180,8 +177,7 @@ phase_result run_scheme(const char* name, int threads, int trial_ms,
         if (r > 0) deltas.push_back((r - g) / r * 100.0);
     }
     std::sort(deltas.begin(), deltas.end());
-    best.delta_pct =
-        deltas.empty() ? 0.0 : deltas[deltas.size() / 2];
+    best.delta_pct = deltas.empty() ? 0.0 : deltas[deltas.size() / 2];
     std::printf("%-8s %2d thr   guard %8.3f Mops/s   raw %8.3f Mops/s   "
                 "median paired delta %+6.2f%%\n",
                 name, threads, best.guard_mops, best.raw_mops,
@@ -191,27 +187,57 @@ phase_result run_scheme(const char* name, int threads, int trial_ms,
 
 }  // namespace
 
-int main() {
-    const auto env = smr::bench::bench_env::from_env();
-    const int trial_ms = smr::harness::env_int("SMR_TRIAL_MS", 200);
-    const int trials = smr::harness::env_int("SMR_TRIALS", 3);
-    const int threshold = smr::harness::env_int("SMR_GUARD_DELTA_PCT", 2);
-    const int threads = env.thread_counts.front();
+int run_guard_overhead(const scenario& sc, const harness::bench_config& cfg,
+                       harness::json* doc) {
+    const int threshold = harness::env_int("SMR_GUARD_DELTA_PCT", 2);
+    const int threads = cfg.thread_counts.front();
+    const int trials = cfg.trials < 3 ? 3 : cfg.trials;
 
-    std::printf("exp5: guard-layer overhead vs raw API, BST search hot path "
-                "(%lld keys, %d ms x %d trials, threshold %d%%)\n",
-                KEY_RANGE, trial_ms, trials, threshold);
+    std::printf("guard_overhead: guard layer vs raw API, BST search hot "
+                "path (%lld keys, %d ms x %d trials, threshold %d%%)\n",
+                KEY_RANGE, cfg.trial_ms, trials, threshold);
 
-    const auto debra = run_scheme<smr::reclaim::reclaim_debra>(
-        "debra", threads, trial_ms, trials);
-    const auto hp = run_scheme<smr::reclaim::reclaim_hp>("hp", threads,
-                                                         trial_ms, trials);
+    struct named_result {
+        const char* scheme;
+        phase_result r;
+    };
+    const named_result results[] = {
+        {"debra", run_scheme_ab<reclaim::reclaim_debra>("debra", threads,
+                                                        cfg.trial_ms,
+                                                        trials)},
+        {"hp", run_scheme_ab<reclaim::reclaim_hp>("hp", threads,
+                                                  cfg.trial_ms, trials)},
+    };
 
     bool ok = true;
-    for (const auto& r : {debra, hp}) {
-        if (r.delta_pct > threshold) ok = false;
+    harness::json points = harness::json::array();
+    for (const auto& nr : results) {
+        if (nr.r.delta_pct > threshold) ok = false;
+        harness::json p = harness::json::object();
+        p.set("scheme", nr.scheme);
+        p.set("threads", threads);
+        p.set("guard_mops", nr.r.guard_mops);
+        p.set("raw_mops", nr.r.raw_mops);
+        p.set("median_paired_delta_pct", nr.r.delta_pct);
+        p.set("threshold_pct", threshold);
+        points.push_back(std::move(p));
     }
     std::printf("%s: guard layer is%s within %d%% of the raw API\n",
                 ok ? "PASS" : "FAIL", ok ? "" : " NOT", threshold);
+
+    harness::json config = harness::json::object();
+    config.set("key_range", KEY_RANGE);
+    config.set("threshold_pct", threshold);
+    harness::json th = harness::json::array();
+    for (int t : cfg.thread_counts) th.push_back(t);
+    config.set("trial_ms", cfg.trial_ms);
+    config.set("trials", trials);
+    config.set("threads", std::move(th));
+    config.set("seed", static_cast<long long>(cfg.seed));
+    *doc = harness::make_run_document(sc.kind(), sc.name, sc.summary,
+                                      sc.paper_ref, std::move(config),
+                                      std::move(points), true, ok);
     return ok ? 0 : 1;
 }
+
+}  // namespace smr::bench

@@ -1,0 +1,80 @@
+// scenarios.h -- the workload scenario registry of the smr_bench driver.
+//
+// A scenario is a named, fully parameterized workload: which structures
+// and schemes it sweeps by default, which memory policy it uses, how keys
+// are drawn, and how the op mix evolves over the trial. The paper's
+// figures and tables are scenarios (their env-knob defaults preserved);
+// so are the post-paper ones (Zipf, sliding hotspot, bursty phases).
+// `--ds` / `--scheme` / `--threads` override a scenario's defaults at run
+// time; the scenario only decides what happens when you don't ask.
+//
+// Scenarios whose shape is not "sweep a timed mix" (the trait table, the
+// threshold ablations, the guard A/B) provide a custom run function
+// instead; they share the CLI, the banner, and the JSON envelope.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/json.h"
+
+namespace smr::bench {
+
+struct workload_shape {
+    harness::key_dist_config dist;
+    /// Non-empty: the phased schedule cycles for trial_ms and `mixes` is
+    /// ignored. Empty: one table per entry of `mixes`.
+    std::vector<harness::phase_spec> phases;
+    std::vector<op_mix> mixes = {MIX_50_50};
+    /// Key ranges to sweep; entry 0 is replaced by the configured
+    /// SMR_KEYRANGE_LARGE / --keyrange ("the paper's large range").
+    std::vector<long long> key_ranges = {10000};
+    /// One thread stalls non-quiescently instead of running the mix
+    /// (Figure 9's preemption pathology); needs >= 2 threads per point.
+    bool stall_straggler = false;
+    int stall_ms = 5;
+    /// Default thread sweep runs past the host's core count (Figure 9
+    /// left). Only applies when neither --threads nor SMR_THREADS is set.
+    bool oversubscribe = false;
+};
+
+struct scenario;
+
+/// Custom scenarios implement this instead of the generic sweep. Returns
+/// the process exit code; fills *doc with the full JSON document.
+using custom_run_fn = int (*)(const scenario&, const harness::bench_config&,
+                              harness::json* doc);
+
+struct scenario {
+    std::string name;
+    std::string summary;
+    std::string paper_ref;  // figure/table mapping, or "beyond the paper"
+    std::vector<std::string> ds;
+    std::vector<std::string> schemes;
+    policy_kind policy = policy_kind::reclaim;
+    workload_shape shape;
+    custom_run_fn custom = nullptr;  // nullptr = generic workload sweep
+
+    const char* kind() const {
+        return custom == nullptr ? "workload" : custom_kind;
+    }
+    const char* custom_kind = "workload";
+};
+
+/// All registered scenarios, registration order (paper order first).
+const std::vector<scenario>& all_scenarios();
+
+const scenario* find_scenario(const std::string& name);
+
+// Custom run functions (special_scenarios.cpp / scenario_guard_overhead.cpp).
+int run_table2_traits(const scenario&, const harness::bench_config&,
+                      harness::json* doc);
+int run_ablation_blockpool(const scenario&, const harness::bench_config&,
+                           harness::json* doc);
+int run_ablation_thresholds(const scenario&, const harness::bench_config&,
+                            harness::json* doc);
+int run_guard_overhead(const scenario&, const harness::bench_config&,
+                       harness::json* doc);
+
+}  // namespace smr::bench

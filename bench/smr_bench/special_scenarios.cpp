@@ -1,0 +1,324 @@
+// special_scenarios.cpp -- registry entries whose shape is not "sweep a
+// timed mix": the paper's qualitative scheme table and the two Section-4/5
+// ablations. Each keeps the stdout report of the binary it replaced and
+// adds the JSON envelope (kind "table" / "ablation"; point shape is
+// scenario-specific, the envelope is schema-checked like every run).
+#include <cstdio>
+
+#include "harness/report.h"
+#include "scenarios.h"
+
+namespace smr::bench {
+
+namespace {
+
+/// Shared tail: wrap scenario-specific points into the run envelope.
+int finish(const scenario& sc, const harness::bench_config& cfg,
+           harness::json config, harness::json points, bool ok,
+           harness::json* doc) {
+    harness::json th = harness::json::array();
+    for (int t : cfg.thread_counts) th.push_back(t);
+    config.set("trial_ms", cfg.trial_ms);
+    config.set("trials", cfg.trials);
+    config.set("threads", std::move(th));
+    config.set("seed", static_cast<long long>(cfg.seed));
+    *doc = harness::make_run_document(sc.kind(), sc.name, sc.summary,
+                                      sc.paper_ref, std::move(config),
+                                      std::move(points), ok, ok);
+    return ok ? 0 : 1;
+}
+
+// ---- table2_traits ---------------------------------------------------------
+
+struct trait_row {
+    const char* scheme;
+    const char* per_access;
+    const char* per_op;
+    const char* per_retired;
+    bool fault_tolerant;
+    const char* termination;
+    const char* retired_to_retired;
+    const char* source;  // "traits" = generated from code, "paper" = cited
+};
+
+template <class Scheme>
+trait_row traits_row(const char* per_access, const char* per_op,
+                     const char* per_retired, const char* termination,
+                     const char* retired_to_retired) {
+    return {Scheme::name,       per_access, per_op, per_retired,
+            Scheme::is_fault_tolerant, termination, retired_to_retired,
+            "traits"};
+}
+
+void print_trait_row(const trait_row& r) {
+    std::printf("%-10s %-12s %-10s %-12s %-6s %-22s %-10s%s\n", r.scheme,
+                r.per_access, r.per_op, r.per_retired,
+                r.fault_tolerant ? "yes" : "no", r.termination,
+                r.retired_to_retired,
+                std::string_view(r.source) == "paper" ? "  (paper row)" : "");
+}
+
+}  // namespace
+
+int run_table2_traits(const scenario& sc, const harness::bench_config& cfg,
+                      harness::json* doc) {
+    std::printf("Figure 2 reproduction: summary of reclamation schemes\n");
+    std::printf("(implemented rows generated from compile-time traits)\n\n");
+    std::printf("%-10s %-12s %-10s %-12s %-6s %-22s %-10s\n", "scheme",
+                "per-access", "per-op", "per-retired", "FT", "termination",
+                "ret->ret");
+    std::printf("%.100s\n",
+                "---------------------------------------------------------"
+                "-------------------------------------------");
+    const trait_row rows[] = {
+        // Implemented in this repository: generated from traits.
+        traits_row<reclaim::reclaim_none>("-", "-", "-", "wait-free", "yes"),
+        traits_row<reclaim::reclaim_ebr>("-", "mods", "mods", "lock-free",
+                                         "yes"),
+        traits_row<reclaim::reclaim_debra>("-", "mods", "mods", "wait-free",
+                                           "yes"),
+        traits_row<reclaim::reclaim_debra_plus>(
+            "-", "mods", "mods", "wait-free (if signals)", "yes"),
+        traits_row<reclaim::reclaim_hp>("mods", "-", "mods",
+                                        "lock-free/wait-free", "NO"),
+        traits_row<reclaim::reclaim_he>("mods", "-", "mods", "lock-free",
+                                        "yes"),
+        traits_row<reclaim::reclaim_ibr>("-", "mods", "mods", "lock-free",
+                                         "yes"),
+        // Surveyed by the paper; substrates unavailable here (DESIGN.md
+        // Section 6): reproduced verbatim for completeness.
+        {"RC", "mods", "-", "mods", false, "lock-free", "yes", "paper"},
+        {"B&C", "mods", "-", "mods", true, "lock-free", "yes", "paper"},
+        {"TS", "-", "-", "mods", false, "blocking", "NO", "paper"},
+        {"ST(HTM)", "mods", "mods", "mods", true, "lock-free", "NO", "paper"},
+        {"DTA", "mods", "mods", "mods", true, "lock-free", "yes", "paper"},
+        {"QS", "mods", "mods", "mods", false, "lock-free (rooster)", "NO",
+         "paper"},
+        {"OA", "mods", "mods", "mods", true, "wait-free", "yes", "paper"},
+    };
+
+    harness::json points = harness::json::array();
+    for (const auto& r : rows) {
+        print_trait_row(r);
+        harness::json p = harness::json::object();
+        p.set("scheme", r.scheme);
+        p.set("per_access", r.per_access);
+        p.set("per_op", r.per_op);
+        p.set("per_retired", r.per_retired);
+        p.set("fault_tolerant", r.fault_tolerant);
+        p.set("termination", r.termination);
+        p.set("retired_to_retired", r.retired_to_retired);
+        p.set("source", r.source);
+        points.push_back(std::move(p));
+    }
+
+    std::printf("\ncompile-time trait cross-check:\n");
+    std::printf("  debra+.supports_crash_recovery = %s\n",
+                reclaim::reclaim_debra_plus::supports_crash_recovery
+                    ? "true"
+                    : "false");
+    std::printf("  hp.per_access_protection       = %s\n",
+                reclaim::reclaim_hp::per_access_protection ? "true"
+                                                           : "false");
+    std::printf("  debra.quiescence_based         = %s\n",
+                reclaim::reclaim_debra::quiescence_based ? "true" : "false");
+
+    return finish(sc, cfg, harness::json::object(), std::move(points), true,
+                  doc);
+}
+
+// ---- ablation_blockpool ----------------------------------------------------
+
+int run_ablation_blockpool(const scenario& sc,
+                           const harness::bench_config& cfg,
+                           harness::json* doc) {
+    print_banner("Ablation (Section 4): bounded per-thread block pool\n"
+                 "BST 50i-50d keyrange 1e4 under DEBRA; block traffic "
+                 "absorbed by the 16-block cache",
+                 cfg);
+
+    using mgr_t = ds_ellen_bst::mgr_t<reclaim::reclaim_debra, alloc_bump,
+                                      pool_shared>;
+    const int threads = cfg.thread_counts.back();
+    mgr_t mgr(threads);
+    auto bst = ds_ellen_bst::construct(mgr, 10000);
+    harness::workload_config wl;
+    wl.num_threads = threads;
+    wl.key_range = 10000;
+    wl.trial_ms = cfg.trial_ms * 4;  // longer trial: steady-state traffic
+    wl.seed = cfg.seed;
+    const auto r = harness::run_trial(bst, mgr, wl);
+    const bool ok = r.size_invariant_holds();
+    if (!ok) {
+        std::fprintf(stderr,
+                     "smr_bench: SIZE INVARIANT VIOLATED in "
+                     "ablation_blockpool: final=%lld expected=%lld\n",
+                     r.final_size, r.expected_final_size);
+    }
+
+    const auto allocated = mgr.stats().total(stat::blocks_allocated);
+    const auto recycled = mgr.stats().total(stat::blocks_recycled);
+    const auto total = allocated + recycled;
+    std::printf("\nthreads=%d trial_ms=%d throughput=%.3f Mops/s\n", threads,
+                wl.trial_ms, r.mops_per_sec());
+    std::printf("block acquisitions:        %llu\n",
+                static_cast<unsigned long long>(total));
+    std::printf("  served by 16-block pool: %llu\n",
+                static_cast<unsigned long long>(recycled));
+    std::printf("  heap allocations:        %llu\n",
+                static_cast<unsigned long long>(allocated));
+    double saved_pct = 0;
+    if (total > 0) {
+        saved_pct = 100.0 * static_cast<double>(recycled) /
+                    static_cast<double>(total);
+        std::printf("reduction in block allocations: %.3f%%  (paper: "
+                    ">99.9%%)\n",
+                    saved_pct);
+    }
+
+    harness::json points = harness::json::array();
+    harness::json p = harness::json::object();
+    p.set("sweep", "blockpool");
+    p.set("threads", threads);
+    p.set("throughput_mops", r.mops_per_sec());
+    p.set("blocks_allocated", allocated);
+    p.set("blocks_recycled", recycled);
+    p.set("reduction_pct", saved_pct);
+    p.set("invariant_ok", ok);
+    points.push_back(std::move(p));
+    return finish(sc, cfg, harness::json::object(), std::move(points), ok,
+                  doc);
+}
+
+// ---- ablation_thresholds ---------------------------------------------------
+
+int run_ablation_thresholds(const scenario& sc,
+                            const harness::bench_config& cfg,
+                            harness::json* doc) {
+    print_banner("Ablation (Section 4/5): CHECK_THRESH, INCR_THRESH, "
+                 "suspect threshold\nBST 50i-50d keyrange 1e4",
+                 cfg);
+    const int threads = cfg.thread_counts.back();
+    harness::json points = harness::json::array();
+    bool ok = true;
+
+    const auto record_invariant = [&](const harness::trial_result& r,
+                                      const char* what) {
+        if (!r.size_invariant_holds()) {
+            ok = false;
+            std::fprintf(stderr,
+                         "smr_bench: SIZE INVARIANT VIOLATED in %s: "
+                         "final=%lld expected=%lld\n",
+                         what, r.final_size, r.expected_final_size);
+        }
+    };
+
+    using mgr_t =
+        ds_ellen_bst::mgr_t<reclaim::reclaim_debra, alloc_bump, pool_shared>;
+    std::printf("\n-- DEBRA: CHECK_THRESH sweep (INCR_THRESH=100, "
+                "threads=%d) --\n",
+                threads);
+    std::printf("%12s %12s %16s %14s %12s\n", "check_thresh", "Mops/s",
+                "announce_checks", "epochs_adv", "limbo_recs");
+    for (int check : {1, 3, 10, 30, 100}) {
+        reclaim::epoch_config ec;
+        ec.check_thresh = check;
+        ec.incr_thresh = 100;
+        mgr_t mgr(threads, ec);
+        auto bst = ds_ellen_bst::construct(mgr, 10000);
+        harness::workload_config wl;
+        wl.num_threads = threads;
+        wl.key_range = 10000;
+        wl.trial_ms = cfg.trial_ms;
+        wl.seed = cfg.seed;
+        const auto r = harness::run_trial(bst, mgr, wl);
+        record_invariant(r, "check_thresh sweep");
+        const auto checks = mgr.stats().total(stat::announcement_checks);
+        std::printf("%12d %12.3f %16llu %14llu %12lld\n", check,
+                    r.mops_per_sec(),
+                    static_cast<unsigned long long>(checks),
+                    static_cast<unsigned long long>(r.epochs_advanced),
+                    r.limbo_records);
+        harness::json p = harness::json::object();
+        p.set("sweep", "check_thresh");
+        p.set("value", check);
+        p.set("threads", threads);
+        p.set("throughput_mops", r.mops_per_sec());
+        p.set("announcement_checks", checks);
+        p.set("epochs_advanced", r.epochs_advanced);
+        p.set("limbo_records", r.limbo_records);
+        points.push_back(std::move(p));
+    }
+
+    std::printf("\n-- DEBRA: INCR_THRESH sweep (CHECK_THRESH=3, "
+                "threads=1) --\n");
+    std::printf("%12s %12s %14s %12s\n", "incr_thresh", "Mops/s",
+                "epochs_adv", "rotations");
+    for (int incr : {1, 10, 100, 1000}) {
+        reclaim::epoch_config ec;
+        ec.check_thresh = 3;
+        ec.incr_thresh = incr;
+        mgr_t mgr(1, ec);
+        auto bst = ds_ellen_bst::construct(mgr, 10000);
+        harness::workload_config wl;
+        wl.num_threads = 1;
+        wl.key_range = 10000;
+        wl.trial_ms = cfg.trial_ms;
+        wl.seed = cfg.seed;
+        const auto r = harness::run_trial(bst, mgr, wl);
+        record_invariant(r, "incr_thresh sweep");
+        const auto rotations = mgr.stats().total(stat::rotations);
+        std::printf("%12d %12.3f %14llu %12llu\n", incr, r.mops_per_sec(),
+                    static_cast<unsigned long long>(r.epochs_advanced),
+                    static_cast<unsigned long long>(rotations));
+        harness::json p = harness::json::object();
+        p.set("sweep", "incr_thresh");
+        p.set("value", incr);
+        p.set("threads", 1);
+        p.set("throughput_mops", r.mops_per_sec());
+        p.set("epochs_advanced", r.epochs_advanced);
+        p.set("rotations", rotations);
+        points.push_back(std::move(p));
+    }
+
+    using mgrp_t = ds_ellen_bst::mgr_t<reclaim::reclaim_debra_plus,
+                                       alloc_bump, pool_shared>;
+    const int tp = threads < 2 ? 2 : threads;
+    std::printf("\n-- DEBRA+: suspect threshold sweep (one stalling "
+                "straggler, threads=%d) --\n",
+                tp);
+    std::printf("%16s %12s %12s %12s\n", "suspect_blocks", "Mops/s",
+                "signals", "limbo_recs");
+    for (int suspect : {1, 2, 8, 32, 1 << 20}) {
+        reclaim::debra_plus_config pc;
+        pc.suspect_threshold_blocks = suspect;
+        mgrp_t mgr(tp, pc);
+        auto bst = ds_ellen_bst::construct(mgr, 10000);
+        harness::workload_config wl;
+        wl.num_threads = tp;
+        wl.key_range = 10000;
+        wl.trial_ms = cfg.trial_ms;
+        wl.seed = cfg.seed;
+        wl.stall_tid = tp - 1;
+        wl.stall_ms = 5;
+        const auto r = harness::run_trial(bst, mgr, wl);
+        record_invariant(r, "suspect sweep");
+        std::printf("%16d %12.3f %12llu %12lld\n", suspect,
+                    r.mops_per_sec(),
+                    static_cast<unsigned long long>(r.neutralize_sent),
+                    r.limbo_records);
+        harness::json p = harness::json::object();
+        p.set("sweep", "suspect_threshold_blocks");
+        p.set("value", suspect);
+        p.set("threads", tp);
+        p.set("throughput_mops", r.mops_per_sec());
+        p.set("neutralize_sent", r.neutralize_sent);
+        p.set("limbo_records", r.limbo_records);
+        points.push_back(std::move(p));
+    }
+
+    return finish(sc, cfg, harness::json::object(), std::move(points), ok,
+                  doc);
+}
+
+}  // namespace smr::bench

@@ -1,0 +1,194 @@
+// bench_config.h -- one source of truth for benchmark run parameters.
+//
+// Before the smr_bench driver existed, every bench binary re-parsed the
+// SMR_* environment knobs through bench_common.h, and the parsing had
+// started to drift (different fallbacks, different validation). This
+// header owns the full resolution chain:
+//
+//   built-in defaults  <-  SMR_* environment  <-  command-line flags
+//
+// bench_config::from_env() gives env-over-defaults (what the remaining
+// standalone binaries use); apply_args() layers CLI flags on top (what
+// smr_bench uses), so `SMR_TRIAL_MS=500 smr_bench --trial-ms=50` runs
+// 50ms trials and both paths share one validator.
+//
+// Environment knobs (unchanged from the per-binary era):
+//   SMR_TRIAL_MS        per-trial duration, ms  (default 100)
+//   SMR_TRIALS          trials per point        (default 1)
+//   SMR_THREADS         comma list, e.g. "1,2,4,8"
+//   SMR_KEYRANGE_LARGE  the paper's large BST key range (default 1000000)
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace smr::harness {
+
+/// Environment-variable knob: integer with fallback.
+inline int env_int(const char* name, int fallback) {
+    const char* v = std::getenv(name);
+    return v != nullptr ? std::atoi(v) : fallback;
+}
+
+/// Splits a comma-separated list, dropping empty tokens. The one
+/// tokenizer behind every list-valued knob and flag.
+inline std::vector<std::string> split_list(const std::string& spec) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) comma = spec.size();
+        if (comma > pos) out.push_back(spec.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/// Parses a comma-separated list of positive ints ("1,2,4,8"). Entries
+/// that fail to parse or are non-positive are dropped (a 0-thread trial
+/// would crash the harness); an empty result means nothing was usable.
+inline std::vector<int> parse_int_list(const std::string& spec) {
+    std::vector<int> out;
+    for (const std::string& tok : split_list(spec)) {
+        char* end = nullptr;
+        const long v = std::strtol(tok.c_str(), &end, 10);
+        if (end != nullptr && *end == '\0' && v > 0 && v <= 1 << 20) {
+            out.push_back(static_cast<int>(v));
+        }
+    }
+    return out;
+}
+
+struct bench_config {
+    // Trial shape (env + CLI).
+    int trial_ms = 100;
+    int trials = 1;
+    std::vector<int> thread_counts = {1, 2, 4, 8};
+    long long keyrange_large = 1000000;
+    std::uint64_t seed = 1;
+
+    // Driver selection (CLI only; empty = scenario defaults).
+    std::string scenario;
+    std::vector<std::string> ds_filter;
+    std::vector<std::string> scheme_filter;
+    std::string json_path;  // "", or a path, or "-" for stdout
+    bool list = false;
+    bool help = false;
+
+    /// Whether --threads/SMR_THREADS was given explicitly (oversubscription
+    /// scenarios pick their own sweep only when the user didn't).
+    bool threads_explicit = false;
+
+    /// Built-in defaults overlaid with the SMR_* environment.
+    static bench_config from_env() {
+        bench_config c;
+        c.trial_ms = env_int("SMR_TRIAL_MS", c.trial_ms);
+        c.trials = env_int("SMR_TRIALS", c.trials);
+        c.keyrange_large = env_int("SMR_KEYRANGE_LARGE",
+                                   static_cast<int>(c.keyrange_large));
+        if (const char* ts = std::getenv("SMR_THREADS"); ts != nullptr) {
+            auto parsed = parse_int_list(ts);
+            if (!parsed.empty()) {
+                c.thread_counts = std::move(parsed);
+                c.threads_explicit = true;
+            }
+        }
+        c.normalize();
+        return c;
+    }
+
+    /// Layers command-line flags over this config. Flags use
+    /// --name=value; --list/--help are bare. Returns false and sets *err
+    /// on an unknown flag or unusable value.
+    bool apply_args(int argc, char** argv, std::string* err) {
+        const auto fail = [&](const std::string& msg) {
+            if (err != nullptr) *err = msg;
+            return false;
+        };
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            std::string name = arg, value;
+            if (const auto eq = arg.find('='); eq != std::string::npos) {
+                name = arg.substr(0, eq);
+                value = arg.substr(eq + 1);
+            }
+            const auto int_value = [&](int lo, int hi, int* out) {
+                char* end = nullptr;
+                const long v = std::strtol(value.c_str(), &end, 10);
+                if (value.empty() || end == nullptr || *end != '\0' ||
+                    v < lo || v > hi) {
+                    return false;
+                }
+                *out = static_cast<int>(v);
+                return true;
+            };
+            if (name == "--list") {
+                list = true;
+            } else if (name == "--help" || name == "-h") {
+                help = true;
+            } else if (name == "--scenario") {
+                if (value.empty()) return fail("--scenario needs a name");
+                scenario = value;
+            } else if (name == "--ds") {
+                ds_filter = split_list(value);
+                if (ds_filter.empty()) {
+                    return fail("--ds needs a comma-separated list");
+                }
+            } else if (name == "--scheme") {
+                scheme_filter = split_list(value);
+                if (scheme_filter.empty()) {
+                    return fail("--scheme needs a comma-separated list");
+                }
+            } else if (name == "--threads") {
+                auto parsed = parse_int_list(value);
+                if (parsed.empty()) {
+                    return fail("--threads: no usable positive entries in '" +
+                                value + "'");
+                }
+                thread_counts = std::move(parsed);
+                threads_explicit = true;
+            } else if (name == "--trial-ms") {
+                if (!int_value(1, 1 << 24, &trial_ms)) {
+                    return fail("--trial-ms: need an integer in [1, 2^24]");
+                }
+            } else if (name == "--trials") {
+                if (!int_value(1, 1 << 16, &trials)) {
+                    return fail("--trials: need an integer in [1, 65536]");
+                }
+            } else if (name == "--keyrange") {
+                int kr = 0;
+                if (!int_value(1, 1 << 30, &kr)) {
+                    return fail("--keyrange: need an integer in [1, 2^30]");
+                }
+                keyrange_large = kr;
+            } else if (name == "--seed") {
+                int s = 0;
+                if (!int_value(0, 1 << 30, &s)) {
+                    return fail("--seed: need an integer in [0, 2^30]");
+                }
+                seed = static_cast<std::uint64_t>(s);
+            } else if (name == "--json") {
+                if (value.empty()) {
+                    return fail("--json needs a path (or '-' for stdout)");
+                }
+                json_path = value;
+            } else {
+                return fail("unknown flag '" + arg + "' (try --help)");
+            }
+        }
+        normalize();
+        return true;
+    }
+
+    /// Shared validation: both the env and CLI paths land here.
+    void normalize() {
+        if (trial_ms <= 0) trial_ms = 100;
+        if (trials <= 0) trials = 1;
+        if (keyrange_large < 1) keyrange_large = 1;
+        if (thread_counts.empty()) thread_counts = {1, 2, 4, 8};
+    }
+};
+
+}  // namespace smr::harness

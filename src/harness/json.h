@@ -1,0 +1,452 @@
+// json.h -- minimal JSON document model for benchmark result emission.
+//
+// The driver (bench/smr_bench) emits one machine-readable document per run
+// so perf trajectories can be tracked across commits; the schema check and
+// the round-trip tests parse those documents back. Throughput is
+// irrelevant here (one document per *run*, not per operation), so this is
+// a small value tree, not a streaming writer: build with json::object() /
+// json::array(), serialize with dump(), read back with json::parse().
+//
+// Deliberately not a general-purpose JSON library: no comments, no
+// \uXXXX escape *generation* (parse-side surrogate pairs are decoded to
+// UTF-8), numbers are int64 or double, object keys keep insertion order
+// so emitted documents diff cleanly.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smr::harness {
+
+class json {
+  public:
+    enum class kind { null, boolean, integer, real, string, array, object };
+
+    json() : kind_(kind::null) {}
+    json(std::nullptr_t) : kind_(kind::null) {}
+    json(bool b) : kind_(kind::boolean), bool_(b) {}
+    json(int v) : kind_(kind::integer), int_(v) {}
+    json(long v) : kind_(kind::integer), int_(v) {}
+    json(long long v) : kind_(kind::integer), int_(v) {}
+    json(unsigned v) : kind_(kind::integer), int_(v) {}
+    json(unsigned long v)
+        : kind_(kind::integer), int_(static_cast<long long>(v)) {}
+    json(unsigned long long v)
+        : kind_(kind::integer), int_(static_cast<long long>(v)) {}
+    json(double v) : kind_(kind::real), real_(v) {}
+    json(const char* s) : kind_(kind::string), str_(s) {}
+    json(std::string s) : kind_(kind::string), str_(std::move(s)) {}
+
+    static json array() {
+        json j;
+        j.kind_ = kind::array;
+        return j;
+    }
+    static json object() {
+        json j;
+        j.kind_ = kind::object;
+        return j;
+    }
+
+    kind type() const noexcept { return kind_; }
+    bool is_null() const noexcept { return kind_ == kind::null; }
+    bool is_object() const noexcept { return kind_ == kind::object; }
+    bool is_array() const noexcept { return kind_ == kind::array; }
+    bool is_string() const noexcept { return kind_ == kind::string; }
+    bool is_bool() const noexcept { return kind_ == kind::boolean; }
+    bool is_integer() const noexcept { return kind_ == kind::integer; }
+    /// Any JSON number (integer or real).
+    bool is_number() const noexcept {
+        return kind_ == kind::integer || kind_ == kind::real;
+    }
+
+    bool as_bool() const { return bool_; }
+    long long as_int() const {
+        return kind_ == kind::real ? static_cast<long long>(real_) : int_;
+    }
+    double as_double() const {
+        return kind_ == kind::integer ? static_cast<double>(int_) : real_;
+    }
+    const std::string& as_string() const { return str_; }
+
+    // ---- array ----
+    json& push_back(json v) {
+        items_.push_back(std::move(v));
+        return items_.back();
+    }
+    std::size_t size() const noexcept {
+        return kind_ == kind::object ? members_.size() : items_.size();
+    }
+    const json& operator[](std::size_t i) const { return items_[i]; }
+    const std::vector<json>& items() const noexcept { return items_; }
+
+    // ---- object ----
+    /// Insert-or-assign; keys keep first-insertion order.
+    json& set(const std::string& key, json v) {
+        for (auto& [k, val] : members_) {
+            if (k == key) {
+                val = std::move(v);
+                return val;
+            }
+        }
+        members_.emplace_back(key, std::move(v));
+        return members_.back().second;
+    }
+    const json* find(const std::string& key) const {
+        for (const auto& [k, v] : members_) {
+            if (k == key) return &v;
+        }
+        return nullptr;
+    }
+    bool contains(const std::string& key) const {
+        return find(key) != nullptr;
+    }
+    const std::vector<std::pair<std::string, json>>& members() const noexcept {
+        return members_;
+    }
+
+    // ---- serialization ----
+
+    std::string dump(int indent = 0) const {
+        std::string out;
+        write(out, indent, 0);
+        return out;
+    }
+
+    /// Strict parse of a complete document (trailing garbage rejected).
+    static std::optional<json> parse(const std::string& text) {
+        parser p{text.data(), text.data() + text.size()};
+        json v;
+        if (!p.value(v)) return std::nullopt;
+        p.skip_ws();
+        if (p.cur != p.end) return std::nullopt;
+        return v;
+    }
+
+    friend bool operator==(const json& a, const json& b) {
+        if (a.kind_ != b.kind_) {
+            // integer 3 and real 3.0 round-trip differently; treat equal
+            // numbers as equal regardless of representation.
+            if (a.is_number() && b.is_number()) {
+                return a.as_double() == b.as_double();
+            }
+            return false;
+        }
+        switch (a.kind_) {
+            case kind::null: return true;
+            case kind::boolean: return a.bool_ == b.bool_;
+            case kind::integer: return a.int_ == b.int_;
+            case kind::real: return a.real_ == b.real_;
+            case kind::string: return a.str_ == b.str_;
+            case kind::array: return a.items_ == b.items_;
+            case kind::object: return a.members_ == b.members_;
+        }
+        return false;
+    }
+
+  private:
+    static void write_escaped(std::string& out, const std::string& s) {
+        out += '"';
+        for (unsigned char c : s) {
+            switch (c) {
+                case '"': out += "\\\""; break;
+                case '\\': out += "\\\\"; break;
+                case '\n': out += "\\n"; break;
+                case '\r': out += "\\r"; break;
+                case '\t': out += "\\t"; break;
+                case '\b': out += "\\b"; break;
+                case '\f': out += "\\f"; break;
+                default:
+                    if (c < 0x20) {
+                        char buf[8];
+                        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                        out += buf;
+                    } else {
+                        out += static_cast<char>(c);  // UTF-8 passthrough
+                    }
+            }
+        }
+        out += '"';
+    }
+
+    void write(std::string& out, int indent, int depth) const {
+        const auto newline = [&](int d) {
+            if (indent > 0) {
+                out += '\n';
+                out.append(static_cast<std::size_t>(indent * d), ' ');
+            }
+        };
+        switch (kind_) {
+            case kind::null: out += "null"; break;
+            case kind::boolean: out += bool_ ? "true" : "false"; break;
+            case kind::integer: {
+                char buf[32];
+                std::snprintf(buf, sizeof buf, "%lld", int_);
+                out += buf;
+                break;
+            }
+            case kind::real: {
+                if (!std::isfinite(real_)) {
+                    out += "null";  // JSON has no NaN/Inf
+                    break;
+                }
+                char buf[40];
+                std::snprintf(buf, sizeof buf, "%.17g", real_);
+                out += buf;
+                break;
+            }
+            case kind::string: write_escaped(out, str_); break;
+            case kind::array: {
+                out += '[';
+                for (std::size_t i = 0; i < items_.size(); ++i) {
+                    if (i > 0) out += ',';
+                    newline(depth + 1);
+                    items_[i].write(out, indent, depth + 1);
+                }
+                if (!items_.empty()) newline(depth);
+                out += ']';
+                break;
+            }
+            case kind::object: {
+                out += '{';
+                for (std::size_t i = 0; i < members_.size(); ++i) {
+                    if (i > 0) out += ',';
+                    newline(depth + 1);
+                    write_escaped(out, members_[i].first);
+                    out += indent > 0 ? ": " : ":";
+                    members_[i].second.write(out, indent, depth + 1);
+                }
+                if (!members_.empty()) newline(depth);
+                out += '}';
+                break;
+            }
+        }
+    }
+
+    struct parser {
+        const char* cur;
+        const char* end;
+
+        void skip_ws() {
+            while (cur != end && (*cur == ' ' || *cur == '\t' ||
+                                  *cur == '\n' || *cur == '\r')) {
+                ++cur;
+            }
+        }
+        bool consume(char c) {
+            skip_ws();
+            if (cur == end || *cur != c) return false;
+            ++cur;
+            return true;
+        }
+        bool literal(const char* s) {
+            const char* p = cur;
+            while (*s != '\0') {
+                if (p == end || *p != *s) return false;
+                ++p;
+                ++s;
+            }
+            cur = p;
+            return true;
+        }
+
+        bool value(json& out) {
+            skip_ws();
+            if (cur == end) return false;
+            switch (*cur) {
+                case 'n': return literal("null") && (out = json(), true);
+                case 't': return literal("true") && (out = json(true), true);
+                case 'f': return literal("false") && (out = json(false), true);
+                case '"': return string_value(out);
+                case '[': return array_value(out);
+                case '{': return object_value(out);
+                default: return number_value(out);
+            }
+        }
+
+        bool hex4(unsigned& v) {
+            v = 0;
+            for (int i = 0; i < 4; ++i) {
+                if (cur == end || !std::isxdigit(
+                                      static_cast<unsigned char>(*cur))) {
+                    return false;
+                }
+                const char c = *cur++;
+                v = v * 16 +
+                    static_cast<unsigned>(
+                        c <= '9' ? c - '0' : (c | 0x20) - 'a' + 10);
+            }
+            return true;
+        }
+
+        static void append_utf8(std::string& s, unsigned cp) {
+            if (cp < 0x80) {
+                s += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+                s += static_cast<char>(0xC0 | (cp >> 6));
+                s += static_cast<char>(0x80 | (cp & 0x3F));
+            } else if (cp < 0x10000) {
+                s += static_cast<char>(0xE0 | (cp >> 12));
+                s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                s += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+                s += static_cast<char>(0xF0 | (cp >> 18));
+                s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+                s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                s += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+        }
+
+        bool string_raw(std::string& s) {
+            if (!consume('"')) return false;
+            while (cur != end && *cur != '"') {
+                if (*cur == '\\') {
+                    ++cur;
+                    if (cur == end) return false;
+                    switch (*cur) {
+                        case '"': s += '"'; break;
+                        case '\\': s += '\\'; break;
+                        case '/': s += '/'; break;
+                        case 'n': s += '\n'; break;
+                        case 'r': s += '\r'; break;
+                        case 't': s += '\t'; break;
+                        case 'b': s += '\b'; break;
+                        case 'f': s += '\f'; break;
+                        case 'u': {
+                            ++cur;
+                            unsigned hi = 0;
+                            if (!hex4(hi)) return false;
+                            unsigned cp = hi;
+                            if (hi >= 0xD800 && hi <= 0xDBFF) {
+                                // surrogate pair
+                                if (cur + 1 >= end || cur[0] != '\\' ||
+                                    cur[1] != 'u') {
+                                    return false;
+                                }
+                                cur += 2;
+                                unsigned lo = 0;
+                                if (!hex4(lo) || lo < 0xDC00 || lo > 0xDFFF) {
+                                    return false;
+                                }
+                                cp = 0x10000 + ((hi - 0xD800) << 10) +
+                                     (lo - 0xDC00);
+                            }
+                            append_utf8(s, cp);
+                            continue;  // cur already past the escape
+                        }
+                        default: return false;
+                    }
+                    ++cur;
+                } else if (static_cast<unsigned char>(*cur) < 0x20) {
+                    return false;  // raw control char in string
+                } else {
+                    s += *cur++;
+                }
+            }
+            return consume('"');
+        }
+
+        bool string_value(json& out) {
+            std::string s;
+            if (!string_raw(s)) return false;
+            out = json(std::move(s));
+            return true;
+        }
+
+        bool number_value(json& out) {
+            const char* start = cur;
+            if (cur != end && *cur == '-') ++cur;
+            if (cur == end ||
+                !std::isdigit(static_cast<unsigned char>(*cur))) {
+                return false;
+            }
+            bool is_real = false;
+            while (cur != end &&
+                   std::isdigit(static_cast<unsigned char>(*cur))) {
+                ++cur;
+            }
+            if (cur != end && *cur == '.') {
+                is_real = true;
+                ++cur;
+                if (cur == end ||
+                    !std::isdigit(static_cast<unsigned char>(*cur))) {
+                    return false;
+                }
+                while (cur != end &&
+                       std::isdigit(static_cast<unsigned char>(*cur))) {
+                    ++cur;
+                }
+            }
+            if (cur != end && (*cur == 'e' || *cur == 'E')) {
+                is_real = true;
+                ++cur;
+                if (cur != end && (*cur == '+' || *cur == '-')) ++cur;
+                if (cur == end ||
+                    !std::isdigit(static_cast<unsigned char>(*cur))) {
+                    return false;
+                }
+                while (cur != end &&
+                       std::isdigit(static_cast<unsigned char>(*cur))) {
+                    ++cur;
+                }
+            }
+            const std::string text(start, cur);
+            if (is_real) {
+                out = json(std::strtod(text.c_str(), nullptr));
+            } else {
+                out = json(static_cast<long long>(
+                    std::strtoll(text.c_str(), nullptr, 10)));
+            }
+            return true;
+        }
+
+        bool array_value(json& out) {
+            if (!consume('[')) return false;
+            out = json::array();
+            skip_ws();
+            if (consume(']')) return true;
+            for (;;) {
+                json v;
+                if (!value(v)) return false;
+                out.push_back(std::move(v));
+                if (consume(']')) return true;
+                if (!consume(',')) return false;
+            }
+        }
+
+        bool object_value(json& out) {
+            if (!consume('{')) return false;
+            out = json::object();
+            skip_ws();
+            if (consume('}')) return true;
+            for (;;) {
+                skip_ws();
+                std::string key;
+                if (!string_raw(key)) return false;
+                if (!consume(':')) return false;
+                json v;
+                if (!value(v)) return false;
+                out.set(key, std::move(v));
+                if (consume('}')) return true;
+                if (!consume(',')) return false;
+            }
+        }
+    };
+
+    kind kind_;
+    bool bool_ = false;
+    long long int_ = 0;
+    double real_ = 0;
+    std::string str_;
+    std::vector<json> items_;
+    std::vector<std::pair<std::string, json>> members_;
+};
+
+}  // namespace smr::harness

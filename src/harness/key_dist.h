@@ -1,0 +1,164 @@
+// key_dist.h -- key distributions for the workload scenario engine.
+//
+// The paper's evaluation draws keys uniformly (Section 7); real key
+// streams rarely do. The scenario engine makes the distribution a
+// first-class workload parameter:
+//
+//   uniform   the paper's shape: every key equally likely.
+//   zipf      rank-skewed popularity (YCSB's zipfian): rank r is drawn
+//             with probability proportional to 1/r^theta. Gray et al.'s
+//             O(1) inversion needs only two constants precomputed in
+//             O(key_range) at trial setup. Rank 0 *is* key 0 -- hot keys
+//             cluster at the low end of the keyspace, which deliberately
+//             concentrates structural contention (leftmost BST path, one
+//             skip-list lane) the way a real skewed workload would.
+//   hotspot   a contiguous window covering hot_fraction of the keyspace
+//             receives hot_op_pct% of operations; the window's base
+//             *slides* forward every slide_ms, modeling a moving working
+//             set (time-ordered scans, cache churn). The trial's control
+//             thread advances the shared window; workers only read it.
+//
+// Split into shared state (per trial: Zipf constants, the sliding window
+// base) and a per-thread sampler (stateless beyond its prng reference) so
+// the hot path stays allocation- and contention-free.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+#include "../util/prng.h"
+
+namespace smr::harness {
+
+enum class key_dist_kind { uniform, zipf, hotspot };
+
+inline const char* key_dist_kind_name(key_dist_kind k) {
+    switch (k) {
+        case key_dist_kind::uniform: return "uniform";
+        case key_dist_kind::zipf: return "zipf";
+        case key_dist_kind::hotspot: return "hotspot";
+    }
+    return "?";
+}
+
+struct key_dist_config {
+    key_dist_kind kind = key_dist_kind::uniform;
+    /// Zipf skew in [0, 1). 0 degenerates to uniform; YCSB's default is
+    /// 0.99. Values outside the supported range are clamped by
+    /// key_dist_shared (the Gray inversion requires theta != 1).
+    double zipf_theta = 0.99;
+    /// Hotspot: window size as a fraction of the key range, in (0, 1].
+    double hot_fraction = 0.01;
+    /// Hotspot: percentage of operations whose key lands in the window.
+    int hot_op_pct = 90;
+    /// Hotspot: the window base advances by one window width this often.
+    /// <= 0 pins the window (a static hotspot).
+    int slide_ms = 20;
+};
+
+/// Per-trial distribution state, shared by all workers. Construct once
+/// (Zipf's zeta sum is O(key_range)); the control thread calls
+/// on_tick(elapsed_ms) to slide the hotspot window.
+class key_dist_shared {
+  public:
+    key_dist_shared(const key_dist_config& cfg, long long key_range)
+        : cfg_(cfg), range_(key_range < 1 ? 1 : key_range) {
+        if (cfg_.kind == key_dist_kind::zipf) {
+            // Clamp theta into the Gray-inversion domain. theta == 0 is
+            // served by the uniform branch of next().
+            if (cfg_.zipf_theta < 0) cfg_.zipf_theta = 0;
+            if (cfg_.zipf_theta > 0.9999) cfg_.zipf_theta = 0.9999;
+            if (cfg_.zipf_theta > 0) {
+                const double theta = cfg_.zipf_theta;
+                const double n = static_cast<double>(range_);
+                double zeta2 = 0, zetan = 0;
+                for (long long i = 1; i <= range_; ++i) {
+                    const double term = 1.0 / std::pow(static_cast<double>(i),
+                                                       theta);
+                    zetan += term;
+                    if (i <= 2) zeta2 += term;
+                }
+                zetan_ = zetan;
+                alpha_ = 1.0 / (1.0 - theta);
+                eta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta)) /
+                       (1.0 - zeta2 / zetan);
+                half_pow_theta_ = 1.0 + std::pow(0.5, theta);
+            }
+        }
+        if (cfg_.kind == key_dist_kind::hotspot) {
+            if (cfg_.hot_fraction <= 0) cfg_.hot_fraction = 0.01;
+            if (cfg_.hot_fraction > 1) cfg_.hot_fraction = 1;
+            if (cfg_.hot_op_pct < 0) cfg_.hot_op_pct = 0;
+            if (cfg_.hot_op_pct > 100) cfg_.hot_op_pct = 100;
+            window_ = static_cast<long long>(
+                static_cast<double>(range_) * cfg_.hot_fraction);
+            if (window_ < 1) window_ = 1;
+        }
+    }
+
+    const key_dist_config& config() const noexcept { return cfg_; }
+    long long key_range() const noexcept { return range_; }
+    long long hot_window_size() const noexcept { return window_; }
+    long long hot_window_base() const noexcept {
+        return hot_base_.load(std::memory_order_relaxed);
+    }
+
+    /// Control-thread clock tick: slides the hotspot window when due.
+    /// Workers never call this.
+    void on_tick(long long elapsed_ms) {
+        if (cfg_.kind != key_dist_kind::hotspot || cfg_.slide_ms <= 0) return;
+        const long long slides = elapsed_ms / cfg_.slide_ms;
+        if (slides == slides_done_) return;
+        slides_done_ = slides;
+        hot_base_.store((slides * window_) % range_,
+                        std::memory_order_relaxed);
+    }
+
+    /// Draws one key in [0, key_range) using the calling worker's rng.
+    long long next(prng& rng) const {
+        switch (cfg_.kind) {
+            case key_dist_kind::uniform:
+                break;
+            case key_dist_kind::zipf: {
+                if (cfg_.zipf_theta <= 0) break;  // uniform degenerate
+                // Gray et al. quantile inversion (the YCSB generator).
+                const double u =
+                    static_cast<double>(rng.next()) /
+                    static_cast<double>(~0ULL);
+                const double uz = u * zetan_;
+                if (uz < 1.0) return 0;
+                if (uz < half_pow_theta_) return 1;
+                const long long k = static_cast<long long>(
+                    static_cast<double>(range_) *
+                    std::pow(eta_ * u - eta_ + 1.0, alpha_));
+                return k >= range_ ? range_ - 1 : k;
+            }
+            case key_dist_kind::hotspot: {
+                if (rng.next(100) <
+                    static_cast<std::uint64_t>(cfg_.hot_op_pct)) {
+                    const long long base =
+                        hot_base_.load(std::memory_order_relaxed);
+                    return (base + static_cast<long long>(rng.next(
+                                       static_cast<std::uint64_t>(window_)))) %
+                           range_;
+                }
+                break;  // cold draw: uniform over the whole range
+            }
+        }
+        return static_cast<long long>(
+            rng.next(static_cast<std::uint64_t>(range_)));
+    }
+
+  private:
+    key_dist_config cfg_;
+    long long range_;
+    // Zipf constants (Gray inversion).
+    double zetan_ = 0, alpha_ = 0, eta_ = 0, half_pow_theta_ = 0;
+    // Hotspot window.
+    long long window_ = 1;
+    long long slides_done_ = 0;
+    std::atomic<long long> hot_base_{0};
+};
+
+}  // namespace smr::harness

@@ -1,0 +1,273 @@
+// report.h -- the smr_bench JSON result schema, in code.
+//
+// One run of the driver emits exactly one JSON document. This header owns
+// both sides of that contract: building the document from trial_results
+// (point_to_json / make_run_document) and checking that a document
+// honours the schema (validate_run_document -- used by the driver before
+// writing, by the unit tests for round-trip checks, and by the CI smoke
+// job on the uploaded artifact). Keeping builder and validator adjacent
+// is what stops the schema from drifting.
+//
+// Document shape (schema_version 1):
+//   {
+//     "smr_bench_version": 1,
+//     "kind": "workload" | "table" | "ablation" | "guard_overhead",
+//     "scenario": {"name", "summary", "paper_ref"},
+//     "config":   {"trial_ms", "trials", "threads": [..], "seed", ...},
+//     "host":     {"hardware_threads"},
+//     "points":   [ ...one object per (ds, scheme, threads, trial)... ],
+//     "verdict":  {"ok", "size_invariant_ok", "points"}
+//   }
+// Workload points carry throughput, the op breakdown, the reclamation
+// counters harvested from debug_stats, per-phase op counts, and the size-
+// invariant verdict. Custom scenarios (kind != "workload") emit their own
+// point shape but share the envelope, so downstream tooling can always
+// read scenario/config/verdict.
+#pragma once
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json.h"
+#include "workload.h"
+
+namespace smr::harness {
+
+inline constexpr int SMR_BENCH_SCHEMA_VERSION = 1;
+
+struct point_meta {
+    std::string ds;
+    std::string scheme;
+    std::string policy;  // "overhead" / "reclaim" / "malloc"
+    int threads = 0;
+    int trial = 0;
+};
+
+inline json point_to_json(const point_meta& m, const trial_result& r) {
+    json p = json::object();
+    p.set("ds", m.ds);
+    p.set("scheme", m.scheme);
+    p.set("policy", m.policy);
+    p.set("threads", m.threads);
+    p.set("trial", m.trial);
+    p.set("throughput_mops", r.mops_per_sec());
+    p.set("seconds", r.seconds);
+    p.set("total_ops", r.total_ops);
+
+    json ops = json::object();
+    ops.set("finds", r.finds);
+    ops.set("inserts_attempted", r.inserts_attempted);
+    ops.set("inserts_succeeded", r.inserts_succeeded);
+    ops.set("deletes_attempted", r.deletes_attempted);
+    ops.set("deletes_succeeded", r.deletes_succeeded);
+    p.set("ops", std::move(ops));
+
+    json rec = json::object();
+    rec.set("records_retired", r.records_retired);
+    rec.set("records_pooled", r.records_pooled);
+    rec.set("records_allocated", r.records_allocated);
+    rec.set("records_reused", r.records_reused);
+    rec.set("epochs_advanced", r.epochs_advanced);
+    rec.set("neutralize_sent", r.neutralize_sent);
+    rec.set("neutralize_received", r.neutralize_received);
+    rec.set("hp_scans", r.hp_scans);
+    rec.set("era_scans", r.era_scans);
+    rec.set("op_restarts", r.op_restarts);
+    rec.set("limbo_records", r.limbo_records);
+    rec.set("allocated_bytes", r.allocated_bytes);
+    p.set("reclamation", std::move(rec));
+
+    json phases = json::array();
+    for (long long ops_in_phase : r.phase_ops) phases.push_back(ops_in_phase);
+    p.set("phase_ops", std::move(phases));
+
+    json inv = json::object();
+    inv.set("ok", r.size_invariant_holds());
+    inv.set("final_size", r.final_size);
+    inv.set("expected_final_size", r.expected_final_size);
+    p.set("invariant", std::move(inv));
+    return p;
+}
+
+/// Assembles the run envelope. `config` is scenario-specific (the driver
+/// fills trial_ms/trials/threads/seed plus distribution and phase info);
+/// `points` is the per-point array; `all_ok` is the run verdict beyond
+/// the size invariant (custom scenarios fold their own pass criteria in).
+inline json make_run_document(const std::string& kind,
+                              const std::string& scenario_name,
+                              const std::string& summary,
+                              const std::string& paper_ref, json config,
+                              json points, bool size_invariant_ok,
+                              bool all_ok) {
+    json doc = json::object();
+    doc.set("smr_bench_version", SMR_BENCH_SCHEMA_VERSION);
+    doc.set("kind", kind);
+    json sc = json::object();
+    sc.set("name", scenario_name);
+    sc.set("summary", summary);
+    sc.set("paper_ref", paper_ref);
+    doc.set("scenario", std::move(sc));
+    doc.set("config", std::move(config));
+    json host = json::object();
+    host.set("hardware_threads",
+             static_cast<long long>(std::thread::hardware_concurrency()));
+    doc.set("host", std::move(host));
+    const long long n = static_cast<long long>(points.size());
+    doc.set("points", std::move(points));
+    json verdict = json::object();
+    verdict.set("ok", all_ok);
+    verdict.set("size_invariant_ok", size_invariant_ok);
+    verdict.set("points", n);
+    doc.set("verdict", std::move(verdict));
+    return doc;
+}
+
+namespace report_detail {
+
+inline bool require(bool cond, const std::string& what, std::string* err) {
+    if (!cond && err != nullptr && err->empty()) *err = what;
+    return cond;
+}
+
+inline bool check_keys(const json& obj, const char* where,
+                       const std::vector<std::pair<const char*, json::kind>>&
+                           keys,
+                       std::string* err) {
+    if (!require(obj.is_object(), std::string(where) + " must be an object",
+                 err)) {
+        return false;
+    }
+    for (const auto& [key, kind] : keys) {
+        const json* v = obj.find(key);
+        if (!require(v != nullptr,
+                     std::string(where) + " missing key '" + key + "'",
+                     err)) {
+            return false;
+        }
+        const bool type_ok =
+            v->type() == kind ||
+            // Either number representation satisfies a numeric slot.
+            (kind == json::kind::real && v->is_number()) ||
+            (kind == json::kind::integer && v->is_integer());
+        if (!require(type_ok,
+                     std::string(where) + " key '" + key +
+                         "' has the wrong type",
+                     err)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace report_detail
+
+/// Schema check for a full run document. Strict on the envelope for every
+/// kind; strict on point shape for kind == "workload".
+inline bool validate_run_document(const json& doc, std::string* err) {
+    using report_detail::check_keys;
+    using report_detail::require;
+    using k = json::kind;
+    if (err != nullptr) err->clear();
+
+    if (!check_keys(doc, "document",
+                    {{"smr_bench_version", k::integer},
+                     {"kind", k::string},
+                     {"scenario", k::object},
+                     {"config", k::object},
+                     {"host", k::object},
+                     {"points", k::array},
+                     {"verdict", k::object}},
+                    err)) {
+        return false;
+    }
+    if (!require(doc.find("smr_bench_version")->as_int() ==
+                     SMR_BENCH_SCHEMA_VERSION,
+                 "unsupported smr_bench_version", err)) {
+        return false;
+    }
+    if (!check_keys(*doc.find("scenario"), "scenario",
+                    {{"name", k::string},
+                     {"summary", k::string},
+                     {"paper_ref", k::string}},
+                    err)) {
+        return false;
+    }
+    if (!check_keys(*doc.find("config"), "config",
+                    {{"trial_ms", k::integer},
+                     {"trials", k::integer},
+                     {"threads", k::array},
+                     {"seed", k::integer}},
+                    err)) {
+        return false;
+    }
+    if (!check_keys(*doc.find("host"), "host",
+                    {{"hardware_threads", k::integer}}, err)) {
+        return false;
+    }
+    if (!check_keys(*doc.find("verdict"), "verdict",
+                    {{"ok", k::boolean},
+                     {"size_invariant_ok", k::boolean},
+                     {"points", k::integer}},
+                    err)) {
+        return false;
+    }
+    const json& points = *doc.find("points");
+    if (!require(doc.find("verdict")->find("points")->as_int() ==
+                     static_cast<long long>(points.size()),
+                 "verdict.points disagrees with points array length", err)) {
+        return false;
+    }
+    if (doc.find("kind")->as_string() != "workload") return true;
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const std::string where = "points[" + std::to_string(i) + "]";
+        const json& p = points[i];
+        if (!check_keys(p, where.c_str(),
+                        {{"ds", k::string},
+                         {"scheme", k::string},
+                         {"policy", k::string},
+                         {"threads", k::integer},
+                         {"trial", k::integer},
+                         {"throughput_mops", k::real},
+                         {"seconds", k::real},
+                         {"total_ops", k::integer},
+                         {"ops", k::object},
+                         {"reclamation", k::object},
+                         {"phase_ops", k::array},
+                         {"invariant", k::object}},
+                        err)) {
+            return false;
+        }
+        if (!check_keys(*p.find("ops"), (where + ".ops").c_str(),
+                        {{"finds", k::integer},
+                         {"inserts_attempted", k::integer},
+                         {"inserts_succeeded", k::integer},
+                         {"deletes_attempted", k::integer},
+                         {"deletes_succeeded", k::integer}},
+                        err)) {
+            return false;
+        }
+        if (!check_keys(*p.find("reclamation"),
+                        (where + ".reclamation").c_str(),
+                        {{"records_retired", k::integer},
+                         {"limbo_records", k::integer},
+                         {"epochs_advanced", k::integer},
+                         {"era_scans", k::integer},
+                         {"hp_scans", k::integer},
+                         {"neutralize_sent", k::integer}},
+                        err)) {
+            return false;
+        }
+        if (!check_keys(*p.find("invariant"), (where + ".invariant").c_str(),
+                        {{"ok", k::boolean},
+                         {"final_size", k::integer},
+                         {"expected_final_size", k::integer}},
+                        err)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace smr::harness

@@ -1,0 +1,89 @@
+// schedule.h -- phased operation schedules for the scenario engine.
+//
+// The paper's trials run one fixed op mix for the whole interval. Real
+// workloads shift: a load phase, then a read-mostly phase; bursts of
+// churn against a quiet background. A schedule is a list of phases, each
+// with its own insert/delete mix, duration, and optional per-op think
+// time (bursty phases); the schedule cycles until the trial clock runs
+// out.
+//
+// Phase switching is driven by the trial's control thread (the one that
+// already owns the trial clock): it publishes the current phase index in
+// an atomic that workers read once per operation -- a relaxed load of a
+// rarely-written cache line, so the hot path cost is nil and no worker
+// ever reads the clock. phase_at() is the pure lookup used by both the
+// control thread and the unit tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace smr::harness {
+
+struct phase_spec {
+    std::string name;
+    int insert_pct = 50;
+    int delete_pct = 50;  // remainder of 100 is contains()
+    int duration_ms = 50;
+    /// Bursty phases: each worker sleeps this long after every operation,
+    /// modeling a low-duty-cycle client. 0 = full speed.
+    int pause_us = 0;
+};
+
+/// Total length of one cycle through the schedule, in ms.
+inline long long schedule_cycle_ms(const std::vector<phase_spec>& phases) {
+    long long sum = 0;
+    for (const auto& p : phases) sum += p.duration_ms > 0 ? p.duration_ms : 0;
+    return sum;
+}
+
+/// Index of the phase active at `elapsed_ms`, cycling. Returns 0 for an
+/// empty or zero-length schedule (callers treat phase 0 as "the" phase).
+inline int phase_at(const std::vector<phase_spec>& phases,
+                    long long elapsed_ms) {
+    const long long cycle = schedule_cycle_ms(phases);
+    if (phases.empty() || cycle <= 0 || elapsed_ms < 0) return 0;
+    long long t = elapsed_ms % cycle;
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        const long long d = phases[i].duration_ms > 0
+                                ? phases[i].duration_ms
+                                : 0;
+        if (t < d) return static_cast<int>(i);
+        t -= d;
+    }
+    return static_cast<int>(phases.size()) - 1;  // unreachable; belt+braces
+}
+
+/// A schedule is runnable when every phase has positive duration and a
+/// mix that sums to at most 100.
+inline bool schedule_valid(const std::vector<phase_spec>& phases,
+                           std::string* why = nullptr) {
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        const auto& p = phases[i];
+        if (p.duration_ms <= 0) {
+            if (why != nullptr) {
+                *why = "phase " + std::to_string(i) + " (" + p.name +
+                       "): duration_ms must be positive";
+            }
+            return false;
+        }
+        if (p.insert_pct < 0 || p.delete_pct < 0 ||
+            p.insert_pct + p.delete_pct > 100) {
+            if (why != nullptr) {
+                *why = "phase " + std::to_string(i) + " (" + p.name +
+                       "): op mix must satisfy 0 <= insert+delete <= 100";
+            }
+            return false;
+        }
+        if (p.pause_us < 0) {
+            if (why != nullptr) {
+                *why = "phase " + std::to_string(i) + " (" + p.name +
+                       "): pause_us must be non-negative";
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace smr::harness

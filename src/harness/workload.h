@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +29,9 @@
 #include "../util/debug_stats.h"
 #include "../util/prng.h"
 #include "../util/timing.h"
+#include "bench_config.h"
+#include "key_dist.h"
+#include "schedule.h"
 
 namespace smr::harness {
 
@@ -46,6 +50,12 @@ struct workload_config {
     /// manager; neutralizable schemes recover via run_op.
     int stall_tid = -1;
     int stall_ms = 10;
+    /// Key distribution (default: the paper's uniform draw).
+    key_dist_config dist;
+    /// Phased schedule. Empty = one phase of {insert_pct, delete_pct} for
+    /// the whole trial (the paper's shape). Non-empty = the phases cycle
+    /// for trial_ms, overriding insert_pct/delete_pct.
+    std::vector<phase_spec> phases;
 };
 
 struct trial_result {
@@ -74,6 +84,10 @@ struct trial_result {
     long long limbo_records = 0;     // still waiting to be freed at the end
     long long allocated_bytes = -1;  // bump allocators only (Figure 9 right)
 
+    /// Operations completed while each schedule phase was active, summed
+    /// over workers (index = phase index; one entry for phase-less runs).
+    std::vector<long long> phase_ops;
+
     double mops_per_sec() const {
         return seconds > 0 ? total_ops / seconds / 1e6 : 0.0;
     }
@@ -82,12 +96,9 @@ struct trial_result {
     }
 };
 
-/// Environment-variable knobs so the same binaries serve both quick CI runs
-/// and paper-length experiments (see DESIGN.md Substitutions).
-inline int env_int(const char* name, int fallback) {
-    const char* v = std::getenv(name);
-    return v != nullptr ? std::atoi(v) : fallback;
-}
+// env_int and the rest of the knob-resolution chain live in
+// bench_config.h (see DESIGN.md Substitutions); included here so existing
+// harness users keep reaching harness::env_int through this header.
 
 /// Fills `ds` with uniformly random keys until it holds `target` keys.
 /// Runs on the calling thread through `acc`, an accessor minted from a
@@ -113,6 +124,15 @@ template <class DS, class Mgr>
 trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
     trial_result res;
     mgr.stats().clear();
+    assert(schedule_valid(cfg.phases) && "run_trial: invalid phase schedule");
+
+    // Scenario-engine state: the shared key distribution and the current
+    // schedule phase. Workers read both with relaxed loads; only the
+    // control thread (below) writes them, on its clock ticks.
+    key_dist_shared dist(cfg.dist, cfg.key_range);
+    const std::size_t num_phases =
+        cfg.phases.empty() ? 1 : cfg.phases.size();
+    std::atomic<int> phase_idx{0};
 
     if (cfg.prefill) {
         // Scoped registration: tid 0 must be free again for worker 0.
@@ -136,8 +156,10 @@ trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
         long long ins_att = 0, ins_ok = 0;
         long long del_att = 0, del_ok = 0;
         long long net_keys = 0;
+        std::vector<long long> phase_ops;
     };
     std::vector<per_thread> stats(static_cast<std::size_t>(cfg.num_threads));
+    for (auto& s : stats) s.phase_ops.assign(num_phases, 0);
 
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(cfg.num_threads));
@@ -165,17 +187,28 @@ trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
                 }
             } else {
                 while (!stop.load(std::memory_order_acquire)) {
-                    const long long key = static_cast<long long>(rng.next(
-                        static_cast<std::uint64_t>(cfg.key_range)));
+                    int ins_pct = cfg.insert_pct;
+                    int del_pct = cfg.delete_pct;
+                    int pause_us = 0;
+                    const int pi =
+                        phase_idx.load(std::memory_order_relaxed);
+                    if (!cfg.phases.empty()) {
+                        const phase_spec& ph =
+                            cfg.phases[static_cast<std::size_t>(pi)];
+                        ins_pct = ph.insert_pct;
+                        del_pct = ph.delete_pct;
+                        pause_us = ph.pause_us;
+                    }
+                    const long long key = dist.next(rng);
                     const std::uint64_t dice = rng.next(100);
-                    if (dice < static_cast<std::uint64_t>(cfg.insert_pct)) {
+                    if (dice < static_cast<std::uint64_t>(ins_pct)) {
                         ++mine.ins_att;
                         if (ds.insert(acc, key, key)) {
                             ++mine.ins_ok;
                             ++mine.net_keys;
                         }
-                    } else if (dice < static_cast<std::uint64_t>(
-                                          cfg.insert_pct + cfg.delete_pct)) {
+                    } else if (dice < static_cast<std::uint64_t>(ins_pct +
+                                                                 del_pct)) {
                         ++mine.del_att;
                         if (ds.erase(acc, key).has_value()) {
                             ++mine.del_ok;
@@ -186,6 +219,12 @@ trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
                         (void)ds.contains(acc, key);
                     }
                     ++mine.ops;
+                    ++mine.phase_ops[static_cast<std::size_t>(pi)];
+                    if (pause_us > 0) {
+                        // Bursty phase: think time between operations.
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(pause_us));
+                    }
                 }
             }
             done.arrive_and_wait();
@@ -198,14 +237,35 @@ trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
     ready.arrive_and_wait();
     stopwatch timer;
     start.store(true, std::memory_order_release);
-    std::this_thread::sleep_for(std::chrono::milliseconds(cfg.trial_ms));
+    const bool needs_ticks =
+        !cfg.phases.empty() ||
+        (cfg.dist.kind == key_dist_kind::hotspot && cfg.dist.slide_ms > 0);
+    if (!needs_ticks) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(cfg.trial_ms));
+    } else {
+        // Control loop: 1ms clock ticks publish the current phase and
+        // slide the hotspot window. Workers never read the clock.
+        for (;;) {
+            const long long elapsed_ms =
+                static_cast<long long>(timer.elapsed_seconds() * 1000.0);
+            if (elapsed_ms >= cfg.trial_ms) break;
+            phase_idx.store(phase_at(cfg.phases, elapsed_ms),
+                            std::memory_order_relaxed);
+            dist.on_tick(elapsed_ms);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    }
     stop.store(true, std::memory_order_release);
     done.arrive_and_wait();
     res.seconds = timer.elapsed_seconds();
     for (auto& th : threads) th.join();
 
     long long net = 0;
+    res.phase_ops.assign(num_phases, 0);
     for (const auto& s : stats) {
+        for (std::size_t p = 0; p < num_phases; ++p) {
+            res.phase_ops[p] += s.phase_ops[p];
+        }
         res.total_ops += s.ops;
         res.finds += s.finds;
         res.inserts_attempted += s.ins_att;

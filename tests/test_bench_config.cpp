@@ -1,0 +1,154 @@
+// Tests for the unified benchmark configuration chain
+// (harness/bench_config.h): built-in defaults, SMR_* environment overlay,
+// CLI flags overriding both, shared int-list parsing/validation, and flag
+// error reporting. This is the satellite fix for the env-parsing drift
+// between bench_common.h and the driver: both now resolve through the
+// code under test here.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/bench_config.h"
+
+namespace smr {
+namespace {
+
+using harness::bench_config;
+using harness::parse_int_list;
+
+/// setenv/unsetenv scope guard so tests cannot leak knobs into each other.
+class env_guard {
+  public:
+    env_guard(const char* name, const char* value) : name_(name) {
+        ::setenv(name, value, 1);
+    }
+    ~env_guard() { ::unsetenv(name_); }
+
+  private:
+    const char* name_;
+};
+
+bench_config from_args(std::initializer_list<const char*> args,
+                       bool* ok = nullptr, std::string* err = nullptr) {
+    std::vector<char*> argv = {const_cast<char*>("smr_bench")};
+    for (const char* a : args) argv.push_back(const_cast<char*>(a));
+    bench_config c = bench_config::from_env();
+    std::string local_err;
+    const bool parsed = c.apply_args(static_cast<int>(argv.size()),
+                                     argv.data(),
+                                     err != nullptr ? err : &local_err);
+    if (ok != nullptr) *ok = parsed;
+    return c;
+}
+
+TEST(BenchConfig, ParseIntListAcceptsAndFilters) {
+    EXPECT_EQ(parse_int_list("1,2,4,8"), (std::vector<int>{1, 2, 4, 8}));
+    EXPECT_EQ(parse_int_list("16"), (std::vector<int>{16}));
+    // Garbage, non-positive, and empty entries are dropped, not crashed on
+    // (the seed's bench once aborted on "0" thread counts).
+    EXPECT_EQ(parse_int_list("0,-3,2,banana,4x,,8"),
+              (std::vector<int>{2, 8}));
+    EXPECT_TRUE(parse_int_list("").empty());
+    EXPECT_TRUE(parse_int_list("zero,none").empty());
+}
+
+TEST(BenchConfig, DefaultsWithoutEnvironment) {
+    ::unsetenv("SMR_TRIAL_MS");
+    ::unsetenv("SMR_TRIALS");
+    ::unsetenv("SMR_THREADS");
+    ::unsetenv("SMR_KEYRANGE_LARGE");
+    const bench_config c = bench_config::from_env();
+    EXPECT_EQ(c.trial_ms, 100);
+    EXPECT_EQ(c.trials, 1);
+    EXPECT_EQ(c.thread_counts, (std::vector<int>{1, 2, 4, 8}));
+    EXPECT_EQ(c.keyrange_large, 1000000);
+    EXPECT_FALSE(c.threads_explicit);
+}
+
+TEST(BenchConfig, EnvironmentOverridesDefaults) {
+    env_guard g1("SMR_TRIAL_MS", "250");
+    env_guard g2("SMR_THREADS", "3,6");
+    env_guard g3("SMR_KEYRANGE_LARGE", "5000");
+    const bench_config c = bench_config::from_env();
+    EXPECT_EQ(c.trial_ms, 250);
+    EXPECT_EQ(c.thread_counts, (std::vector<int>{3, 6}));
+    EXPECT_EQ(c.keyrange_large, 5000);
+    EXPECT_TRUE(c.threads_explicit);
+}
+
+TEST(BenchConfig, UnusableEnvironmentFallsBack) {
+    env_guard g1("SMR_THREADS", "0,junk,-2");
+    env_guard g2("SMR_TRIAL_MS", "-50");
+    const bench_config c = bench_config::from_env();
+    // Shared validation (normalize) repairs both paths identically.
+    EXPECT_EQ(c.thread_counts, (std::vector<int>{1, 2, 4, 8}));
+    EXPECT_FALSE(c.threads_explicit);
+    EXPECT_EQ(c.trial_ms, 100);
+}
+
+TEST(BenchConfig, FlagsOverrideEnvironment) {
+    env_guard g1("SMR_TRIAL_MS", "250");
+    env_guard g2("SMR_THREADS", "3,6");
+    bool ok = false;
+    const bench_config c = from_args(
+        {"--trial-ms=40", "--threads=2,4", "--scenario=zipf_churn",
+         "--trials=5", "--keyrange=777", "--seed=9",
+         "--json=/tmp/out.json"},
+        &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(c.trial_ms, 40);
+    EXPECT_EQ(c.thread_counts, (std::vector<int>{2, 4}));
+    EXPECT_TRUE(c.threads_explicit);
+    EXPECT_EQ(c.trials, 5);
+    EXPECT_EQ(c.scenario, "zipf_churn");
+    EXPECT_EQ(c.keyrange_large, 777);
+    EXPECT_EQ(c.seed, 9u);
+    EXPECT_EQ(c.json_path, "/tmp/out.json");
+}
+
+TEST(BenchConfig, FilterFlagsSplitNames) {
+    bool ok = false;
+    const bench_config c =
+        from_args({"--ds=ellen_bst,hash_map", "--scheme=debra"}, &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(c.ds_filter,
+              (std::vector<std::string>{"ellen_bst", "hash_map"}));
+    EXPECT_EQ(c.scheme_filter, (std::vector<std::string>{"debra"}));
+}
+
+TEST(BenchConfig, BareFlags) {
+    bool ok = false;
+    EXPECT_TRUE(from_args({"--list"}, &ok).list);
+    ASSERT_TRUE(ok);
+    EXPECT_TRUE(from_args({"--help"}, &ok).help);
+    EXPECT_TRUE(from_args({"-h"}, &ok).help);
+}
+
+TEST(BenchConfig, BadFlagsAreReportedNotIgnored) {
+    bool ok = true;
+    std::string err;
+
+    from_args({"--frobnicate=1"}, &ok, &err);
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("unknown flag"), std::string::npos);
+
+    from_args({"--trial-ms=0"}, &ok, &err);
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("--trial-ms"), std::string::npos);
+
+    from_args({"--trial-ms=abc"}, &ok, &err);
+    EXPECT_FALSE(ok);
+
+    from_args({"--threads=0,junk"}, &ok, &err);
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("--threads"), std::string::npos);
+
+    from_args({"--scenario"}, &ok, &err);
+    EXPECT_FALSE(ok);
+
+    from_args({"--json="}, &ok, &err);
+    EXPECT_FALSE(ok);
+}
+
+}  // namespace
+}  // namespace smr

@@ -1,0 +1,199 @@
+// Tests for the JSON layer of the scenario engine: harness/json.h value
+// round-trips (escaping, nesting, numbers, unicode escapes), parser
+// strictness, and the smr_bench run-document schema (harness/report.h) --
+// a document built from a trial_result must validate, and any missing
+// required key must be caught.
+#include <gtest/gtest.h>
+
+#include "harness/json.h"
+#include "harness/report.h"
+
+namespace smr {
+namespace {
+
+using harness::json;
+
+json roundtrip(const json& j, int indent) {
+    auto parsed = json::parse(j.dump(indent));
+    EXPECT_TRUE(parsed.has_value()) << "unparsable: " << j.dump(indent);
+    return parsed.value_or(json());
+}
+
+TEST(BenchJson, ScalarRoundTrip) {
+    EXPECT_EQ(roundtrip(json(), 0), json());
+    EXPECT_EQ(roundtrip(json(true), 0), json(true));
+    EXPECT_EQ(roundtrip(json(false), 2), json(false));
+    EXPECT_EQ(roundtrip(json(0), 0), json(0));
+    EXPECT_EQ(roundtrip(json(-123456789012345LL), 0),
+              json(-123456789012345LL));
+    EXPECT_EQ(roundtrip(json(3.25), 0), json(3.25));
+    EXPECT_EQ(roundtrip(json(1e-9), 0), json(1e-9));
+    EXPECT_EQ(roundtrip(json("plain"), 0), json("plain"));
+}
+
+TEST(BenchJson, StringEscapingRoundTrip) {
+    const std::string nasty =
+        "quote\" backslash\\ newline\n tab\t cr\r bell\x07 utf8 \xC3\xA9";
+    EXPECT_EQ(roundtrip(json(nasty), 0).as_string(), nasty);
+    // Escaped control characters serialize as \uXXXX.
+    EXPECT_NE(json(std::string("\x01")).dump().find("\\u0001"),
+              std::string::npos);
+}
+
+TEST(BenchJson, ParserDecodesUnicodeEscapes) {
+    auto v = json::parse("\"caf\\u00e9 \\ud83d\\ude00\"");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->as_string(), "caf\xC3\xA9 \xF0\x9F\x98\x80");
+}
+
+TEST(BenchJson, NestedStructureRoundTrip) {
+    json doc = json::object();
+    doc.set("a", 1);
+    json arr = json::array();
+    arr.push_back("x");
+    arr.push_back(json());
+    json inner = json::object();
+    inner.set("deep", 2.5);
+    arr.push_back(std::move(inner));
+    doc.set("list", std::move(arr));
+    doc.set("flag", false);
+
+    for (int indent : {0, 2, 4}) {
+        const json back = roundtrip(doc, indent);
+        EXPECT_EQ(back, doc);
+        EXPECT_EQ(back.find("list")->items()[2].find("deep")->as_double(),
+                  2.5);
+    }
+    // Insertion order survives (documents diff cleanly across runs).
+    EXPECT_EQ(doc.members()[0].first, "a");
+    EXPECT_EQ(doc.members()[1].first, "list");
+}
+
+TEST(BenchJson, ParserRejectsMalformedInput) {
+    for (const char* bad :
+         {"", "{", "[1,", "{\"a\" 1}", "{\"a\":1,}", "[1 2]", "tru",
+          "\"unterminated", "{\"a\":1} trailing", "01a", "\"bad\\escape\"",
+          "\"\\ud800\"" /* lone surrogate */, "{\"raw\n\":1}"}) {
+        EXPECT_FALSE(json::parse(bad).has_value()) << "accepted: " << bad;
+    }
+}
+
+// ---- run-document schema ---------------------------------------------------
+
+harness::json sample_document() {
+    harness::trial_result r;
+    r.seconds = 0.1;
+    r.total_ops = 1000;
+    r.finds = 400;
+    r.inserts_attempted = 300;
+    r.inserts_succeeded = 200;
+    r.deletes_attempted = 300;
+    r.deletes_succeeded = 200;
+    r.prefill_size = 500;
+    r.final_size = 500;
+    r.expected_final_size = 500;
+    r.records_retired = 200;
+    r.limbo_records = 17;
+    r.phase_ops = {600, 400};
+
+    harness::point_meta meta;
+    meta.ds = "ellen_bst";
+    meta.scheme = "debra";
+    meta.policy = "reclaim";
+    meta.threads = 2;
+    meta.trial = 0;
+
+    harness::json points = harness::json::array();
+    points.push_back(harness::point_to_json(meta, r));
+
+    harness::json config = harness::json::object();
+    config.set("trial_ms", 20);
+    config.set("trials", 1);
+    harness::json th = harness::json::array();
+    th.push_back(2);
+    config.set("threads", std::move(th));
+    config.set("seed", 1);
+
+    return harness::make_run_document("workload", "unit_test", "summary",
+                                      "Figure N", std::move(config),
+                                      std::move(points), true, true);
+}
+
+TEST(BenchJson, RunDocumentValidatesAndRoundTrips) {
+    const harness::json doc = sample_document();
+    std::string err;
+    EXPECT_TRUE(harness::validate_run_document(doc, &err)) << err;
+
+    // The document survives serialization: what CI reads back from the
+    // artifact is schema-valid too, and identical.
+    auto back = json::parse(doc.dump(2));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(harness::validate_run_document(*back, &err)) << err;
+    EXPECT_EQ(*back, doc);
+
+    // Spot-check the measured values survived.
+    const json& p = (*back->find("points"))[0];
+    EXPECT_EQ(p.find("total_ops")->as_int(), 1000);
+    EXPECT_EQ(p.find("reclamation")->find("limbo_records")->as_int(), 17);
+    EXPECT_EQ(p.find("phase_ops")->size(), 2u);
+    EXPECT_TRUE(p.find("invariant")->find("ok")->as_bool());
+    EXPECT_DOUBLE_EQ(p.find("throughput_mops")->as_double(), 0.01);
+}
+
+TEST(BenchJson, SchemaCatchesMissingOrMistypedKeys) {
+    std::string err;
+    // Drop each required envelope key in turn.
+    for (const char* key : {"smr_bench_version", "kind", "scenario",
+                            "config", "host", "points", "verdict"}) {
+        harness::json doc = sample_document();
+        harness::json stripped = harness::json::object();
+        for (const auto& [k, v] : doc.members()) {
+            if (k != key) stripped.set(k, v);
+        }
+        EXPECT_FALSE(harness::validate_run_document(stripped, &err))
+            << "missing '" << key << "' accepted";
+        EXPECT_NE(err.find(key), std::string::npos) << err;
+    }
+
+    // Workload points are checked strictly.
+    {
+        harness::json doc = sample_document();
+        harness::json& p =
+            const_cast<harness::json&>((*doc.find("points"))[0]);
+        p.set("throughput_mops", "fast");  // wrong type
+        EXPECT_FALSE(harness::validate_run_document(doc, &err));
+        EXPECT_NE(err.find("throughput_mops"), std::string::npos) << err;
+    }
+
+    // verdict.points must agree with the array length.
+    {
+        harness::json doc = sample_document();
+        harness::json& v = const_cast<harness::json&>(*doc.find("verdict"));
+        v.set("points", 99);
+        EXPECT_FALSE(harness::validate_run_document(doc, &err));
+    }
+
+    // Wrong schema version is rejected.
+    {
+        harness::json doc = sample_document();
+        doc.set("smr_bench_version", harness::SMR_BENCH_SCHEMA_VERSION + 1);
+        EXPECT_FALSE(harness::validate_run_document(doc, &err));
+    }
+
+    // Non-workload kinds only need the envelope.
+    {
+        harness::json doc = sample_document();
+        doc.set("kind", "table");
+        harness::json loose_points = harness::json::array();
+        harness::json row = harness::json::object();
+        row.set("scheme", "debra");
+        loose_points.push_back(std::move(row));
+        doc.set("points", std::move(loose_points));
+        harness::json& v = const_cast<harness::json&>(*doc.find("verdict"));
+        v.set("points", 1);
+        EXPECT_TRUE(harness::validate_run_document(doc, &err)) << err;
+    }
+}
+
+}  // namespace
+}  // namespace smr

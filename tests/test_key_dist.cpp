@@ -1,0 +1,192 @@
+// Tests for the scenario engine's key distributions (harness/key_dist.h):
+// Zipf statistical sanity (frequency ordering, mass concentration,
+// parameter edge cases), hotspot containment and sliding, and the uniform
+// baseline. Statistical assertions use fixed seeds and generous margins,
+// so they are deterministic, not flaky.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/key_dist.h"
+
+namespace smr {
+namespace {
+
+using harness::key_dist_config;
+using harness::key_dist_kind;
+using harness::key_dist_shared;
+
+std::vector<long long> histogram(const key_dist_shared& dist,
+                                 long long range, int draws,
+                                 std::uint64_t seed = 42) {
+    std::vector<long long> counts(static_cast<std::size_t>(range), 0);
+    prng rng(seed);
+    for (int i = 0; i < draws; ++i) {
+        const long long k = dist.next(rng);
+        EXPECT_GE(k, 0);
+        EXPECT_LT(k, range);
+        ++counts[static_cast<std::size_t>(k)];
+    }
+    return counts;
+}
+
+TEST(KeyDist, UniformCoversRangeEvenly) {
+    key_dist_config cfg;  // default: uniform
+    key_dist_shared dist(cfg, 100);
+    const auto counts = histogram(dist, 100, 200000);
+    // Expected 2000 per bucket; a uniform draw stays well within 2x.
+    for (long long c : counts) {
+        EXPECT_GT(c, 1000);
+        EXPECT_LT(c, 4000);
+    }
+}
+
+TEST(KeyDist, ZipfRankFrequencyOrdering) {
+    key_dist_config cfg;
+    cfg.kind = key_dist_kind::zipf;
+    cfg.zipf_theta = 0.9;
+    key_dist_shared dist(cfg, 1000);
+    const auto counts = histogram(dist, 1000, 300000);
+    // Rank 0 is the hottest key and popularity decays with rank:
+    // check strict dominance across decades, not adjacent ranks (noise).
+    EXPECT_GT(counts[0], counts[9]);
+    EXPECT_GT(counts[9], counts[99]);
+    EXPECT_GT(counts[99], counts[999]);
+    // Zipf(0.9) over 1000 keys puts roughly half the mass on the top
+    // dozen ranks; require at least a third to catch a broken skew.
+    long long top12 = 0, total = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        total += counts[i];
+        if (i < 12) top12 += counts[i];
+    }
+    EXPECT_GT(top12 * 3, total);
+}
+
+TEST(KeyDist, ZipfHigherThetaConcentratesMore) {
+    const auto mass_on_top10 = [](double theta) {
+        key_dist_config cfg;
+        cfg.kind = key_dist_kind::zipf;
+        cfg.zipf_theta = theta;
+        key_dist_shared dist(cfg, 1000);
+        prng rng(7);
+        long long top = 0;
+        for (int i = 0; i < 100000; ++i) {
+            if (dist.next(rng) < 10) ++top;
+        }
+        return top;
+    };
+    EXPECT_GT(mass_on_top10(0.99), mass_on_top10(0.5));
+}
+
+TEST(KeyDist, ZipfThetaZeroDegeneratesToUniform) {
+    key_dist_config cfg;
+    cfg.kind = key_dist_kind::zipf;
+    cfg.zipf_theta = 0.0;
+    key_dist_shared dist(cfg, 100);
+    const auto counts = histogram(dist, 100, 200000);
+    for (long long c : counts) {
+        EXPECT_GT(c, 1000);
+        EXPECT_LT(c, 4000);
+    }
+}
+
+TEST(KeyDist, ZipfParameterEdgeCases) {
+    // theta out of range is clamped, not UB; range 1 always yields key 0.
+    key_dist_config cfg;
+    cfg.kind = key_dist_kind::zipf;
+    cfg.zipf_theta = 5.0;  // clamped below 1 (Gray inversion domain)
+    key_dist_shared dist(cfg, 10);
+    EXPECT_LT(dist.config().zipf_theta, 1.0);
+    prng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const long long k = dist.next(rng);
+        EXPECT_GE(k, 0);
+        EXPECT_LT(k, 10);
+    }
+
+    cfg.zipf_theta = -1.0;  // clamped to 0 = uniform
+    key_dist_shared dist2(cfg, 10);
+    EXPECT_EQ(dist2.config().zipf_theta, 0.0);
+
+    cfg.zipf_theta = 0.99;
+    key_dist_shared one(cfg, 1);
+    prng rng2(5);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(one.next(rng2), 0);
+}
+
+TEST(KeyDist, HotspotHonorsWindowAndHotPct) {
+    key_dist_config cfg;
+    cfg.kind = key_dist_kind::hotspot;
+    cfg.hot_fraction = 0.1;  // window = 100 of 1000
+    cfg.hot_op_pct = 100;    // every draw is hot
+    cfg.slide_ms = 0;        // pinned window at base 0
+    key_dist_shared dist(cfg, 1000);
+    EXPECT_EQ(dist.hot_window_size(), 100);
+    prng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const long long k = dist.next(rng);
+        EXPECT_GE(k, 0);
+        EXPECT_LT(k, 100) << "hot draw escaped the pinned window";
+    }
+}
+
+TEST(KeyDist, HotspotMixesHotAndCold) {
+    key_dist_config cfg;
+    cfg.kind = key_dist_kind::hotspot;
+    cfg.hot_fraction = 0.01;  // window = 10 of 1000
+    cfg.hot_op_pct = 90;
+    cfg.slide_ms = 0;
+    key_dist_shared dist(cfg, 1000);
+    prng rng(13);
+    long long in_window = 0;
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i) {
+        if (dist.next(rng) < 10) ++in_window;
+    }
+    // ~90% hot + ~1% of the cold 10%: expect ~90.1%, allow 85-95%.
+    EXPECT_GT(in_window, draws * 85 / 100);
+    EXPECT_LT(in_window, draws * 95 / 100);
+}
+
+TEST(KeyDist, HotspotWindowSlidesOnTicks) {
+    key_dist_config cfg;
+    cfg.kind = key_dist_kind::hotspot;
+    cfg.hot_fraction = 0.1;  // window = 100 of 1000
+    cfg.hot_op_pct = 100;
+    cfg.slide_ms = 20;
+    key_dist_shared dist(cfg, 1000);
+    EXPECT_EQ(dist.hot_window_base(), 0);
+
+    dist.on_tick(19);  // not due yet
+    EXPECT_EQ(dist.hot_window_base(), 0);
+    dist.on_tick(20);  // first slide: base advances by one window
+    EXPECT_EQ(dist.hot_window_base(), 100);
+    dist.on_tick(45);  // second slide
+    EXPECT_EQ(dist.hot_window_base(), 200);
+
+    // Draws now land in the moved window.
+    prng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const long long k = dist.next(rng);
+        EXPECT_GE(k, 200);
+        EXPECT_LT(k, 300);
+    }
+
+    // The base wraps modulo the range instead of running off the end.
+    dist.on_tick(20 * 12);
+    EXPECT_EQ(dist.hot_window_base(), (12 * 100) % 1000);
+}
+
+TEST(KeyDist, HotspotParameterClamping) {
+    key_dist_config cfg;
+    cfg.kind = key_dist_kind::hotspot;
+    cfg.hot_fraction = -0.5;
+    cfg.hot_op_pct = 150;
+    key_dist_shared dist(cfg, 1000);
+    EXPECT_GT(dist.config().hot_fraction, 0.0);
+    EXPECT_EQ(dist.config().hot_op_pct, 100);
+    EXPECT_GE(dist.hot_window_size(), 1);
+}
+
+}  // namespace
+}  // namespace smr
