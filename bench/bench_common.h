@@ -30,10 +30,13 @@
 #include <string>
 #include <vector>
 
+#include "ds/concepts.h"
 #include "ds/ellen_bst.h"
 #include "ds/harris_list.h"
 #include "ds/hash_map.h"
 #include "ds/lazy_skiplist.h"
+#include "ds/ms_queue.h"
+#include "ds/treiber_stack.h"
 #include "harness/bench_config.h"
 #include "harness/workload.h"
 #include "recordmgr/record_manager.h"
@@ -78,11 +81,16 @@ inline const op_mix MIX_25_25_50 = {"25i-25d-50s", 25, 25};
 // the paper's applicability predicate for DEBRA+: only structures with
 // recovery code may instantiate a crash-recovery scheme (the others
 // static_assert against it, so the exclusion must happen here, at compile
-// time, not by catching a failure at run time).
+// time, not by catching a failure at run time). `is_pushpop` names the
+// container concept (ds/concepts.h) the adapter's structure satisfies --
+// stack_queue_like when true, ordered_set_like when false, checked by
+// static_assert below -- which selects the harness shape (run_trial vs
+// run_pushpop_trial) at compile time.
 
 struct ds_ellen_bst {
     static constexpr const char* name = "ellen_bst";
     static constexpr bool supports_neutralization = true;
+    static constexpr bool is_pushpop = false;
     template <class Scheme, class Alloc, class Pool>
     using mgr_t = record_manager<Scheme, Alloc, Pool, ds::bst_node<key_t, val_t>,
                                  ds::bst_info<key_t, val_t>>;
@@ -97,6 +105,7 @@ struct ds_ellen_bst {
 struct ds_lazy_skiplist {
     static constexpr const char* name = "lazy_skiplist";
     static constexpr bool supports_neutralization = false;
+    static constexpr bool is_pushpop = false;
     template <class Scheme, class Alloc, class Pool>
     using mgr_t =
         record_manager<Scheme, Alloc, Pool, ds::skiplist_node<key_t, val_t>>;
@@ -111,6 +120,7 @@ struct ds_lazy_skiplist {
 struct ds_harris_list {
     static constexpr const char* name = "harris_list";
     static constexpr bool supports_neutralization = false;
+    static constexpr bool is_pushpop = false;
     template <class Scheme, class Alloc, class Pool>
     using mgr_t =
         record_manager<Scheme, Alloc, Pool, ds::list_node<key_t, val_t>>;
@@ -125,6 +135,7 @@ struct ds_harris_list {
 struct ds_hash_map {
     static constexpr const char* name = "hash_map";
     static constexpr bool supports_neutralization = false;
+    static constexpr bool is_pushpop = false;
     template <class Scheme, class Alloc, class Pool>
     using mgr_t =
         record_manager<Scheme, Alloc, Pool, ds::list_node<key_t, val_t>>;
@@ -141,6 +152,53 @@ struct ds_hash_map {
     }
 };
 
+struct ds_treiber_stack {
+    static constexpr const char* name = "treiber_stack";
+    static constexpr bool supports_neutralization = false;
+    static constexpr bool is_pushpop = true;
+    template <class Scheme, class Alloc, class Pool>
+    using mgr_t =
+        record_manager<Scheme, Alloc, Pool, ds::stack_node<val_t>>;
+    static constexpr int num_record_types = 1;
+    template <class Mgr>
+    static ds::treiber_stack<val_t, Mgr> construct(Mgr& mgr,
+                                                   long long /*range*/) {
+        return ds::treiber_stack<val_t, Mgr>(mgr);
+    }
+};
+
+struct ds_ms_queue {
+    static constexpr const char* name = "ms_queue";
+    static constexpr bool supports_neutralization = false;
+    static constexpr bool is_pushpop = true;
+    template <class Scheme, class Alloc, class Pool>
+    using mgr_t = record_manager<Scheme, Alloc, Pool, ds::queue_node<val_t>>;
+    static constexpr int num_record_types = 1;
+    template <class Mgr>
+    static ds::ms_queue<val_t, Mgr> construct(Mgr& mgr, long long /*range*/) {
+        return ds::ms_queue<val_t, Mgr>(mgr);
+    }
+};
+
+// The adapters' structures must satisfy the container concept their
+// harness shape consumes; one representative scheme per adapter pins this
+// at compile time (the runner TUs instantiate the full matrices).
+namespace concept_checks {
+using check_mgr = record_manager<reclaim::reclaim_debra, alloc_malloc,
+                                 pool_shared, ds::list_node<key_t, val_t>,
+                                 ds::skiplist_node<key_t, val_t>,
+                                 ds::bst_node<key_t, val_t>,
+                                 ds::bst_info<key_t, val_t>,
+                                 ds::stack_node<val_t>, ds::queue_node<val_t>>;
+static_assert(ds::ordered_set_like<ds::ellen_bst<key_t, val_t, check_mgr>>);
+static_assert(
+    ds::ordered_set_like<ds::lazy_skiplist<key_t, val_t, check_mgr>>);
+static_assert(ds::ordered_set_like<ds::harris_list<key_t, val_t, check_mgr>>);
+static_assert(ds::ordered_set_like<ds::hash_map<key_t, val_t, check_mgr>>);
+static_assert(ds::stack_queue_like<ds::treiber_stack<val_t, check_mgr>>);
+static_assert(ds::stack_queue_like<ds::ms_queue<val_t, check_mgr>>);
+}  // namespace concept_checks
+
 // ---- trial execution -------------------------------------------------------
 
 /// Outcome of asking the dispatch layer for one (ds, scheme, policy) point.
@@ -151,12 +209,18 @@ enum class point_status {
 };
 
 /// One timed trial of `cfg` on a freshly constructed manager + structure.
+/// The adapter's concept picks the harness shape: ordered sets run the
+/// paper's mix (plus range queries), stacks/queues run push/pop.
 template <class Adapter, class Scheme, class Alloc, class Pool>
 harness::trial_result run_one_trial(const harness::workload_config& cfg) {
     using mgr_t = typename Adapter::template mgr_t<Scheme, Alloc, Pool>;
     mgr_t mgr(cfg.num_threads);
     auto structure = Adapter::construct(mgr, cfg.key_range);
-    return harness::run_trial(structure, mgr, cfg);
+    if constexpr (Adapter::is_pushpop) {
+        return harness::run_pushpop_trial(structure, mgr, cfg);
+    } else {
+        return harness::run_trial(structure, mgr, cfg);
+    }
 }
 
 template <class Adapter, class Scheme>

@@ -36,7 +36,7 @@ void print_usage() {
         "  --scenario=NAME      which scenario to run (see --list)\n"
         "  --ds=A,B             override the scenario's structures\n"
         "                       (ellen_bst, lazy_skiplist, harris_list,\n"
-        "                       hash_map)\n"
+        "                       hash_map, treiber_stack, ms_queue)\n"
         "  --scheme=A,B         override the scenario's schemes (none, ebr,\n"
         "                       debra, debra+, hp, he, ibr)\n"
         "  --threads=1,2,4      thread counts to sweep\n"
@@ -128,6 +128,10 @@ harness::json config_to_json(const scenario& sc,
         }
         c.set("phases", std::move(ph));
     }
+    if (sc.shape.rq_pct > 0) {
+        c.set("rq_pct", sc.shape.rq_pct);
+        c.set("rq_len", sc.shape.rq_len);
+    }
     if (sc.shape.stall_straggler) {
         c.set("stall_straggler", true);
         c.set("stall_ms", sc.shape.stall_ms);
@@ -189,6 +193,8 @@ int run_workload_scenario(const scenario& sc,
                         wl.insert_pct = mix.insert_pct;
                         wl.delete_pct = mix.delete_pct;
                         wl.trial_ms = cfg.trial_ms;
+                        wl.rq_pct = sc.shape.rq_pct;
+                        wl.rq_len = sc.shape.rq_len;
                         wl.dist = sc.shape.dist;
                         wl.phases = sc.shape.phases;
                         if (sc.shape.stall_straggler) {

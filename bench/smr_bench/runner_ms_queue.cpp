@@ -1,0 +1,15 @@
+// The Michael-Scott queue's scheme x policy instantiation matrix
+// (push/pop harness shape -- the queue entered the registry with the
+// container-concept API).
+#include "runners.h"
+
+namespace smr::bench {
+
+point_status run_point_ms_queue(const std::string& scheme, policy_kind policy,
+                                const harness::workload_config& cfg,
+                                harness::trial_result* out,
+                                std::string* note) {
+    return run_for_scheme<ds_ms_queue>(scheme, policy, cfg, out, note);
+}
+
+}  // namespace smr::bench

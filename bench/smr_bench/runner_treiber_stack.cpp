@@ -1,0 +1,16 @@
+// The Treiber stack's scheme x policy instantiation matrix (push/pop
+// harness shape -- the stack entered the registry with the container-
+// concept API).
+#include "runners.h"
+
+namespace smr::bench {
+
+point_status run_point_treiber_stack(const std::string& scheme,
+                                     policy_kind policy,
+                                     const harness::workload_config& cfg,
+                                     harness::trial_result* out,
+                                     std::string* note) {
+    return run_for_scheme<ds_treiber_stack>(scheme, policy, cfg, out, note);
+}
+
+}  // namespace smr::bench

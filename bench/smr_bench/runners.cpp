@@ -19,17 +19,24 @@ point_status run_point(const std::string& ds, const std::string& scheme,
     if (ds == ds_hash_map::name) {
         return run_point_hash_map(scheme, policy, cfg, out, note);
     }
+    if (ds == ds_treiber_stack::name) {
+        return run_point_treiber_stack(scheme, policy, cfg, out, note);
+    }
+    if (ds == ds_ms_queue::name) {
+        return run_point_ms_queue(scheme, policy, cfg, out, note);
+    }
     if (note != nullptr) {
         *note = "unknown data structure '" + ds +
-                "' (known: ellen_bst, lazy_skiplist, harris_list, hash_map)";
+                "' (known: ellen_bst, lazy_skiplist, harris_list, hash_map, "
+                "treiber_stack, ms_queue)";
     }
     return point_status::unknown_name;
 }
 
 const std::vector<std::string>& known_structures() {
     static const std::vector<std::string> v = {
-        ds_ellen_bst::name, ds_lazy_skiplist::name, ds_harris_list::name,
-        ds_hash_map::name};
+        ds_ellen_bst::name,  ds_lazy_skiplist::name, ds_harris_list::name,
+        ds_hash_map::name,   ds_treiber_stack::name, ds_ms_queue::name};
     return v;
 }
 

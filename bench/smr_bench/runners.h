@@ -29,6 +29,14 @@ point_status run_point_hash_map(const std::string& scheme, policy_kind,
                                 const harness::workload_config&,
                                 harness::trial_result* out,
                                 std::string* note);
+point_status run_point_treiber_stack(const std::string& scheme, policy_kind,
+                                     const harness::workload_config&,
+                                     harness::trial_result* out,
+                                     std::string* note);
+point_status run_point_ms_queue(const std::string& scheme, policy_kind,
+                                const harness::workload_config&,
+                                harness::trial_result* out,
+                                std::string* note);
 
 /// Dispatch on the structure's CLI name. Returns unknown_name for a
 /// structure the driver doesn't know.

@@ -214,17 +214,60 @@ std::vector<scenario> build_registry() {
         reg.push_back(std::move(s));
     }
     {
+        // Replaces the PR-3 contains_heavy_scan, which approximated scans
+        // with point lookups: these are real multi-key range operations
+        // through the ordered_set_like concept.
         scenario s;
-        s.name = "contains_heavy_scan";
-        s.summary = "96% contains on list-shaped structures: long "
-                    "traversals maximize the per-access protection cost "
-                    "(HP's weakness, the epoch schemes' best case)";
-        s.paper_ref = "beyond the paper: scan-dominated mix";
-        s.ds = {"harris_list", "hash_map"};
-        s.schemes = {"debra", "hp", "he", "ibr"};
+        s.name = "range_scan_mix";
+        s.summary = "10% real range queries (100 consecutive keys) against "
+                    "light churn on every set-shaped structure: a scan "
+                    "holds many protections at once, so the per-access "
+                    "schemes' protection-window cost (guard_span: HP slot "
+                    "chains, HE era aliasing, IBR interval) is measured "
+                    "directly against the epoch schemes' empty spans";
+        s.paper_ref = "beyond the paper: container-concept range scans";
+        s.ds = {"ellen_bst", "lazy_skiplist", "harris_list", "hash_map"};
+        s.schemes = {"none", "debra", "debra+", "hp", "he", "ibr"};
         s.policy = policy_kind::reclaim;
-        s.shape.mixes = {{"2i-2d-96s", 2, 2}};
-        s.shape.key_ranges = {5000};
+        s.shape.mixes = {{"10i-10d-10rq-70s", 10, 10}};
+        s.shape.rq_pct = 10;
+        s.shape.rq_len = 100;
+        s.shape.key_ranges = {5000};  // harris_list is O(n) per op
+        reg.push_back(std::move(s));
+    }
+
+    // ---- push/pop scenarios (PR 4: container-concept API) ----------------
+
+    {
+        scenario s;
+        s.name = "stack_churn";
+        s.summary = "Treiber stack push/pop churn: every pop retires the "
+                    "popped node and contends on one cache line, so "
+                    "retirement tracks throughput 1:1 (the classic SMR "
+                    "stress test)";
+        s.paper_ref = "beyond the paper: stack_queue_like concept";
+        s.ds = {"treiber_stack"};
+        s.schemes = {"none", "debra", "hp", "he", "ibr"};
+        s.policy = policy_kind::reclaim;
+        s.shape.mixes = {{"50push-50pop", 50, 50},
+                         {"70push-30pop", 70, 30}};
+        s.shape.key_ranges = {100000};  // prefill/2 elements + value range
+        reg.push_back(std::move(s));
+    }
+    {
+        scenario s;
+        s.name = "queue_pipeline";
+        s.summary = "MS queue as a pipeline: enqueue-heavy and drain "
+                    "phases alternate every 40ms, so the dummy-node "
+                    "retirement stream starts and stops (per-phase "
+                    "metrics show the limbo wave per phase)";
+        s.paper_ref = "beyond the paper: stack_queue_like concept";
+        s.ds = {"ms_queue"};
+        s.schemes = {"none", "debra", "hp", "he", "ibr"};
+        s.policy = policy_kind::reclaim;
+        s.shape.phases = {{"produce", 70, 30, 40, 0},
+                          {"drain", 30, 70, 40, 0}};
+        s.shape.key_ranges = {100000};
         reg.push_back(std::move(s));
     }
     {

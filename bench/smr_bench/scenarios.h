@@ -30,6 +30,11 @@ struct workload_shape {
     /// Key ranges to sweep; entry 0 is replaced by the configured
     /// SMR_KEYRANGE_LARGE / --keyrange ("the paper's large range").
     std::vector<long long> key_ranges = {10000};
+    /// Set-shaped structures: percentage of operations that are range
+    /// queries of rq_len consecutive keys (carved out of the contains
+    /// share). Ignored by push/pop structures.
+    int rq_pct = 0;
+    long long rq_len = 100;
     /// One thread stalls non-quiescently instead of running the mix
     /// (Figure 9's preemption pathology); needs >= 2 threads per point.
     bool stall_straggler = false;

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "ds/lazy_skiplist.h"
@@ -46,6 +47,12 @@ struct kv_store {
     }
     bool del(accessor acc, key_type k) {
         return skip.erase(acc, k).has_value();
+    }
+    /// Ordered range scan (ordered_set_like concept): visits the live
+    /// keys in [lo, hi] ascending, concurrently with the writers.
+    template <class Visitor>
+    long long scan(accessor acc, key_type lo, key_type hi, Visitor&& vis) {
+        return skip.range_query(acc, lo, hi, std::forward<Visitor>(vis));
     }
 };
 
@@ -83,24 +90,38 @@ int main() {
             }
         });
     }
-    // A monitoring thread samples the store size -- a reader whose scans
-    // must never touch freed memory.
+    // A monitoring thread runs real range scans -- a reader whose scans
+    // must never touch freed memory, and whose visitor must see the keys
+    // of each window strictly ascending even under concurrent churn.
+    std::atomic<bool> scan_order_ok{true};
     workers.emplace_back([&] {
         auto handle = mgr.register_thread();
         auto acc = mgr.access(handle);
         for (int sample = 0; sample < 5; ++sample) {
             std::this_thread::sleep_for(std::chrono::milliseconds(100));
-            long long hits = 0;
-            for (key_type k = 0; k < KEYS; k += 8) {
-                if (store.get(acc, k).has_value()) ++hits;
-            }
-            std::printf("  [monitor] sample %d: ~%lld/%lld sampled keys "
-                        "present\n",
-                        sample + 1, hits, KEYS / 8);
+            const key_type lo = (KEYS / 5) * sample;
+            const key_type hi = lo + KEYS / 5 - 1;
+            key_type last = lo - 1;
+            const long long n =
+                store.scan(acc, lo, hi, [&](const key_type& k, const val_type& v) {
+                    if (k <= last || v != k * 10) {
+                        scan_order_ok.store(false, std::memory_order_relaxed);
+                    }
+                    last = k;
+                    return true;
+                });
+            std::printf("  [monitor] sample %d: %lld live keys in "
+                        "[%lld, %lld]\n",
+                        sample + 1, n, lo, hi);
         }
         stop.store(true, std::memory_order_release);
     });
     for (auto& w : workers) w.join();
+
+    if (!scan_order_ok.load()) {
+        std::printf("FAIL: a range scan saw out-of-order or corrupt keys\n");
+        return 1;
+    }
 
     std::printf("\nworkload: %lld gets, %lld puts, %lld dels\n", gets.load(),
                 puts.load(), dels.load());

@@ -1,0 +1,122 @@
+// concepts.h -- the container-concept surface of the data structure layer.
+//
+// Until PR 4 the operation shape of this library was implicit: the bench
+// adapters and the harness hard-coded insert/erase/contains, which is why
+// treiber_stack and ms_queue could never enter the scenario registry. This
+// header makes the two shapes explicit C++20 concepts that the harness,
+// the bench driver, and the tests check at compile time:
+//
+//   ordered_set_like   insert / erase / find / contains / range_query,
+//                      keyed containers (ellen_bst, lazy_skiplist,
+//                      harris_list, hash_map). range_query(acc, lo, hi,
+//                      visitor) streams the keys in [lo, hi] to the
+//                      visitor in ascending order, duplicate-free; the
+//                      per-structure consistency guarantee is documented
+//                      at each implementation (and in DESIGN.md
+//                      "Container concepts"):
+//                        * every structure guarantees each visited key was
+//                          a member at some instant during the scan
+//                          (no atomic-snapshot claim -- scans run
+//                          concurrently with updates);
+//                        * visited keys are strictly ascending, so a key
+//                          is reported at most once per scan even across
+//                          internal restarts (scans resume past the last
+//                          visited key instead of re-reporting it);
+//                        * hash_map collects bucket-local scans and sorts
+//                          before visiting, so its visitor also sees
+//                          ascending keys, at the cost of buffering.
+//   stack_queue_like   push / try_pop for the LIFO/FIFO containers
+//                      (treiber_stack, ms_queue). `try_pop` returns
+//                      nullopt when the container was (momentarily)
+//                      empty; the structures keep their classic names
+//                      (pop, enqueue, dequeue) as documented aliases.
+//
+// Both shapes take an `accessor_t` (guards.h) as the first argument of
+// every operation -- the concepts are defined over the structure's own
+// nested types, so one generic driver sweeps every conforming structure.
+//
+// Visitors may return void ("visit everything") or bool ("false stops the
+// scan early"); visit_adapter normalizes the two. Early exit releases the
+// scan's protections immediately (the guard_span unwinds with the scan's
+// scope), which test_range_query pins down per scheme.
+#pragma once
+
+#include <concepts>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+namespace smr::ds {
+
+/// A range-query visitor for key/value types K, V: invocable with
+/// (const K&, const V&), returning void or something convertible to bool.
+template <class Visitor, class K, class V>
+concept range_visitor =
+    std::invocable<Visitor&, const K&, const V&> &&
+    (std::is_void_v<std::invoke_result_t<Visitor&, const K&, const V&>> ||
+     std::convertible_to<std::invoke_result_t<Visitor&, const K&, const V&>,
+                         bool>);
+
+/// Invokes the visitor, normalizing void returns to "continue scanning".
+template <class Visitor, class K, class V>
+    requires range_visitor<Visitor, K, V>
+bool visit_adapter(Visitor& vis, const K& key, const V& value) {
+    if constexpr (std::is_void_v<
+                      std::invoke_result_t<Visitor&, const K&, const V&>>) {
+        vis(key, value);
+        return true;
+    } else {
+        return static_cast<bool>(vis(key, value));
+    }
+}
+
+namespace concepts_detail {
+/// Archetype visitor used to *check* range_query's shape in the concept
+/// below (a plain function pointer; real callers pass any range_visitor).
+template <class K, class V>
+using visitor_archetype = bool (*)(const K&, const V&);
+}  // namespace concepts_detail
+
+/// Keyed container with ordered range scans. `DS` must publish key_type,
+/// mapped_type, and accessor_t; all operations thread the accessor.
+template <class DS>
+concept ordered_set_like = requires(
+    DS& ds, typename DS::accessor_t acc, const typename DS::key_type& k,
+    const typename DS::mapped_type& v,
+    concepts_detail::visitor_archetype<typename DS::key_type,
+                                       typename DS::mapped_type>
+        vis) {
+    typename DS::key_type;
+    typename DS::mapped_type;
+    typename DS::accessor_t;
+    { ds.insert(acc, k, v) } -> std::same_as<bool>;
+    {
+        ds.erase(acc, k)
+    } -> std::same_as<std::optional<typename DS::mapped_type>>;
+    {
+        ds.find(acc, k)
+    } -> std::same_as<std::optional<typename DS::mapped_type>>;
+    { ds.contains(acc, k) } -> std::same_as<bool>;
+    /// Visits every key in [lo, hi] ascending; returns the number of keys
+    /// delivered to the visitor (early exit counts the stopping key).
+    { ds.range_query(acc, k, k, vis) } -> std::same_as<long long>;
+    { std::as_const(ds).size_slow() } -> std::same_as<long long>;
+};
+
+/// LIFO/FIFO container: push always succeeds, try_pop returns nullopt on
+/// (momentary) emptiness. Whether push/try_pop pair LIFO or FIFO is the
+/// structure's identity, not the concept's concern.
+template <class DS>
+concept stack_queue_like = requires(DS& ds, typename DS::accessor_t acc,
+                                    const typename DS::value_type& v) {
+    typename DS::value_type;
+    typename DS::accessor_t;
+    { ds.push(acc, v) } -> std::same_as<void>;
+    {
+        ds.try_pop(acc)
+    } -> std::same_as<std::optional<typename DS::value_type>>;
+    { std::as_const(ds).empty() } -> std::same_as<bool>;
+    { std::as_const(ds).size_slow() } -> std::same_as<long long>;
+};
+
+}  // namespace smr::ds

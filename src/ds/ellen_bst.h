@@ -44,9 +44,11 @@
 #include <atomic>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "../util/debug_stats.h"
 #include "../util/tagged_ptr.h"
+#include "concepts.h"
 
 namespace smr::ds {
 
@@ -106,12 +108,15 @@ struct bst_info {
 template <class K, class V, class RecordMgr>
 class ellen_bst {
   public:
+    using key_type = K;
+    using mapped_type = V;
     using node_t = bst_node<K, V>;
     using info_t = bst_info<K, V>;
     using sp = stated_ptr<info_t>;
     using accessor_t = typename RecordMgr::accessor_t;
     using node_guard = typename RecordMgr::template guard_t<node_t>;
     using info_guard = typename RecordMgr::template guard_t<info_t>;
+    using span_t = typename RecordMgr::span_t;
 
     explicit ellen_bst(RecordMgr& mgr) : mgr_(mgr) {
         // Single-threaded setup: raw back-end accessor for tid 0.
@@ -163,6 +168,66 @@ class ellen_bst {
 
     bool contains(accessor_t acc, const K& key) {
         return find(acc, key).has_value();
+    }
+
+    /// Visits every key in [lo, hi] in ascending order; returns the number
+    /// of keys delivered to the visitor (see ds::ordered_set_like).
+    ///
+    /// Shape: in-order DFS over the leaf-oriented tree, pruned to the
+    /// query interval by the internal routing keys. For per-access schemes
+    /// (HP/HE/IBR) one guard_span keeps every admitted node -- the DFS
+    /// frontier plus everything already expanded -- protected until the
+    /// scan attempt ends, so the protection window grows with the scanned
+    /// subtree: exactly the operation that separates per-access
+    /// protection-window cost from the epoch schemes, whose span is an
+    /// empty token (HP grows its hazard-slot chain on demand; HE aliases
+    /// eras; IBR's interval already covers the span).
+    ///
+    /// Consistency: each visited key was a member at some instant during
+    /// the scan; keys are strictly ascending (leaf intervals are fixed by
+    /// the routing keys, which never change), hence duplicate-free, even
+    /// across restarts -- a restarted DFS prunes at the resume frontier.
+    ///
+    /// Like every BST operation the non-quiescent traversal runs under
+    /// run_guarded, so DEBRA+ neutralization is supported: scan-frontier
+    /// state the recovery path re-reads lives in lock-free atomics, and
+    /// under neutralizing schemes the visitor is subject to the run_guarded
+    /// body contract (trivially destructible locals, reentrant effects --
+    /// e.g. accumulate through lock-free atomics or memory keyed by the
+    /// visited key). Delivery is at-most-once per key; under neutralizing
+    /// schemes a longjmp can land between the frontier advance and the
+    /// visitor (key skipped, not counted) so the returned count is a lower
+    /// bound of deliveries there, exact under every other scheme.
+    template <class Visitor>
+        requires range_visitor<Visitor, K, V>
+    long long range_query(accessor_t acc, const K& lo, const K& hi,
+                          Visitor&& vis) {
+        // Quiescent preamble: the DFS stack is preallocated here because
+        // the body may not allocate under neutralizing schemes; if a deep
+        // tree outgrows it, the body bails out and we regrow quiescently.
+        scan_ctx ctx(lo);
+        ctx.stack.reserve(64);
+
+        for (;;) {
+            ctx.state.store(scan_state::RESTART, std::memory_order_relaxed);
+            acc.run_guarded(
+                [&] { return range_body(acc, hi, ctx, vis); },
+                [&] {
+                    // Neutralized mid-scan: the resume frontier already
+                    // reflects every key delivered; just restart the body.
+                    return false;
+                });
+            switch (ctx.state.load(std::memory_order_relaxed)) {
+                case scan_state::DONE:
+                    return ctx.visited.load(std::memory_order_relaxed);
+                case scan_state::GROW:
+                    ctx.stack.reserve(ctx.stack.capacity() * 2);
+                    break;
+                case scan_state::RESTART:
+                    break;
+            }
+            acc.note(stat::op_restarts);
+        }
     }
 
     // ---- insert --------------------------------------------------------------
@@ -696,6 +761,132 @@ class ellen_bst {
         } else {
             ctx.outcome = attempt::RETRY;
         }
+        return true;
+    }
+
+    // ---- range scan ------------------------------------------------------------------
+
+    enum class scan_state : int { DONE, GROW, RESTART };
+
+    /// Everything one range scan shares between its body, the recovery
+    /// path, and the outer retry loop. As with attempt_ctx, fields the
+    /// body writes and a post-longjmp path reads are lock-free atomics;
+    /// the DFS stack itself is cleared at the top of every body attempt,
+    /// so its (trivially destructible) contents never survive a longjmp.
+    struct scan_ctx {
+        explicit scan_ctx(const K& lo) { resume.store(lo, std::memory_order_relaxed); }
+
+        std::vector<node_t*> stack;  // capacity managed quiescently only
+        std::atomic<long long> visited{0};
+        std::atomic<K> resume;         // last delivered key (or the lower bound)
+        std::atomic<bool> exclusive{false};  // resume itself already delivered
+        std::atomic<scan_state> state{scan_state::RESTART};
+
+        static_assert(!RecordMgr::supports_crash_recovery ||
+                          (std::atomic<K>::is_always_lock_free &&
+                           std::atomic<long long>::is_always_lock_free),
+                      "neutralization recovery requires lock-free scan state");
+    };
+
+    /// One in-order DFS attempt (runs under run_guarded). The guard_span
+    /// keeps every admitted node -- the whole DFS frontier and everything
+    /// already expanded -- protected until the attempt ends, so per-access
+    /// schemes pay one live protection per scanned node: the protection-
+    /// window cost the range_scan_mix scenario measures. Always returns
+    /// true; the outcome is in ctx.state (the outer loop handles restarts
+    /// so stack growth can happen quiescently).
+    template <class Visitor>
+    bool range_body(accessor_t acc, const K& hi, scan_ctx& ctx,
+                    Visitor& vis) {
+        ctx.stack.clear();
+        span_t span = acc.make_span();
+        K resume = ctx.resume.load(std::memory_order_relaxed);
+        bool exclusive = ctx.exclusive.load(std::memory_order_relaxed);
+
+        // The root is never retired; admit it without validation.
+        if (!span.protect(root_)) {
+            ctx.state.store(scan_state::RESTART, std::memory_order_relaxed);
+            return true;
+        }
+        ctx.stack.push_back(root_);
+        while (!ctx.stack.empty()) {
+            node_t* n = ctx.stack.back();
+            ctx.stack.pop_back();
+            node_t* l = n->left.load(std::memory_order_acquire);
+            if (l == nullptr) {  // leaf
+                const bool eligible =
+                    n->inf == 0 && !(hi < n->key) &&
+                    (exclusive ? resume < n->key : !(n->key < resume));
+                if (eligible) {
+                    // Frontier first (a neutralization longjmp inside the
+                    // visitor must not re-deliver the key: at-most-once),
+                    // count after the visitor returns (a longjmp before
+                    // the visitor must not count an undelivered key) --
+                    // under neutralizing schemes the returned count is
+                    // therefore a lower bound of actual deliveries, and
+                    // exact everywhere else.
+                    resume = n->key;
+                    exclusive = true;
+                    ctx.resume.store(resume, std::memory_order_relaxed);
+                    ctx.exclusive.store(true, std::memory_order_relaxed);
+                    const bool keep_going =
+                        visit_adapter(vis, n->key, n->value);
+                    ctx.visited.store(
+                        ctx.visited.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+                    if (!keep_going) {
+                        ctx.state.store(scan_state::DONE,
+                                        std::memory_order_relaxed);
+                        return true;  // early exit: span dies with the body
+                    }
+                }
+                continue;
+            }
+            // Internal: prune by the routing key, then admit the children
+            // we descend into (right pushed first so the left subtree pops
+            // first: in-order, hence ascending keys).
+            // Left subtree holds keys routed below n (always descend when
+            // the frontier sits below n's routing key); right subtrees of
+            // sentinel internals hold only sentinel leaves -- real keys
+            // always route left past a sentinel -- so they are skipped.
+            const bool go_left = key_less(resume, n);
+            const bool go_right = n->inf == 0 && !(hi < n->key);
+            if (ctx.stack.size() + 2 > ctx.stack.capacity()) {
+                // Preallocated stack exhausted; regrow outside the body
+                // (allocation is non-reentrant under neutralization).
+                ctx.state.store(scan_state::GROW, std::memory_order_relaxed);
+                return true;
+            }
+            if (go_right) {
+                node_t* r = n->right.load(std::memory_order_acquire);
+                if (!span.protect(r, [&] {
+                        const std::uintptr_t u =
+                            n->update.load(std::memory_order_seq_cst);
+                        return sp::state(u) != BST_MARK &&
+                               n->right.load(std::memory_order_seq_cst) == r;
+                    })) {
+                    ctx.state.store(scan_state::RESTART,
+                                    std::memory_order_relaxed);
+                    return true;
+                }
+                ctx.stack.push_back(r);
+            }
+            if (go_left) {
+                node_t* lc = n->left.load(std::memory_order_acquire);
+                if (!span.protect(lc, [&] {
+                        const std::uintptr_t u =
+                            n->update.load(std::memory_order_seq_cst);
+                        return sp::state(u) != BST_MARK &&
+                               n->left.load(std::memory_order_seq_cst) == lc;
+                    })) {
+                    ctx.state.store(scan_state::RESTART,
+                                    std::memory_order_relaxed);
+                    return true;
+                }
+                ctx.stack.push_back(lc);
+            }
+        }
+        ctx.state.store(scan_state::DONE, std::memory_order_relaxed);
         return true;
     }
 

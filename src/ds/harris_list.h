@@ -30,6 +30,7 @@
 
 #include "../util/debug_stats.h"
 #include "../util/tagged_ptr.h"
+#include "concepts.h"
 
 namespace smr::ds {
 
@@ -58,6 +59,8 @@ class harris_list {
                   "use DEBRA, EBR, HP, HE, IBR or none");
 
   public:
+    using key_type = K;
+    using mapped_type = V;
     using node_t = list_node<K, V>;
     using mp = marked_ptr<node_t>;
     using accessor_t = typename RecordMgr::accessor_t;
@@ -170,6 +173,31 @@ class harris_list {
         return find(acc, key).has_value();
     }
 
+    /// Visits every key in [lo, hi] in ascending order; returns the number
+    /// of keys delivered to the visitor (see ds::ordered_set_like).
+    ///
+    /// Consistency: each visited key was a member at some instant during
+    /// the scan; updates concurrent with the scan may or may not be
+    /// observed (no atomic snapshot). Keys are strictly ascending and
+    /// therefore duplicate-free even across internal restarts: a restart
+    /// (hazard validation failure, lost unlink race) re-traverses from the
+    /// head but resumes visiting strictly past the last key delivered.
+    /// Protection cost is O(1) -- the usual hand-over-hand window, since
+    /// visited nodes may be released as the frontier advances.
+    template <class Visitor>
+        requires range_visitor<Visitor, K, V>
+    long long range_query(accessor_t acc, const K& lo, const K& hi,
+                          Visitor&& vis) {
+        long long visited = 0;
+        K resume = lo;
+        bool exclusive = false;  // resume itself already visited?
+        auto op = acc.op();
+        while (!range_pass(acc, hi, resume, exclusive, visited, vis)) {
+            acc.note(stat::op_restarts);
+        }
+        return visited;
+    }
+
     /// Single-threaded size scan (tests / examples only).
     long long size_slow() const {
         long long n = 0;
@@ -240,6 +268,56 @@ class harris_list {
             // Advance: cur becomes prev; the old prev's guard is released
             // by the move-assignment.
             w.prev = std::move(cur_g);
+            prev_link = &cur->next;
+            cur_word = next_word;
+        }
+    }
+
+    /// One bottom-to-top attempt of the range scan: walks from the head,
+    /// helping unlink marked nodes exactly like search(), and delivers
+    /// eligible keys. Returns false when the pass must restart (the
+    /// resume/exclusive frontier keeps delivered keys delivered-once).
+    template <class Visitor>
+    bool range_pass(accessor_t acc, const K& hi, K& resume, bool& exclusive,
+                    long long& visited, Visitor& vis) {
+        guard_t prev_g;  // empty while prev is the head sentinel
+        std::atomic<std::uintptr_t>* prev_link = &head_->next;
+        std::uintptr_t cur_word = prev_link->load(std::memory_order_acquire);
+        for (;;) {
+            node_t* cur = mp::ptr(cur_word);
+            if (cur == nullptr) return true;  // end of list
+            guard_t cur_g = acc.protect(cur, [&] {
+                return prev_link->load(std::memory_order_seq_cst) ==
+                       mp::pack(cur, false);
+            });
+            if (!cur_g) return false;
+            const std::uintptr_t next_word =
+                cur->next.load(std::memory_order_acquire);
+            if (mp::is_marked(next_word)) {
+                // Logically deleted: help unlink (and retire on the
+                // deleter's behalf iff our CAS wins), as search() does.
+                std::uintptr_t expected = mp::pack(cur, false);
+                if (prev_link->compare_exchange_strong(
+                        expected, mp::pack(mp::ptr(next_word), false),
+                        std::memory_order_seq_cst)) {
+                    acc.retire(cur);
+                } else {
+                    return false;
+                }
+                cur_g.reset();
+                cur_word = prev_link->load(std::memory_order_acquire);
+                continue;
+            }
+            if (hi < cur->key) return true;  // past the range: done
+            const bool eligible =
+                exclusive ? resume < cur->key : !(cur->key < resume);
+            if (eligible) {
+                ++visited;
+                resume = cur->key;
+                exclusive = true;
+                if (!visit_adapter(vis, cur->key, cur->value)) return true;
+            }
+            prev_g = std::move(cur_g);
             prev_link = &cur->next;
             cur_word = next_word;
         }

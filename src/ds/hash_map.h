@@ -9,11 +9,14 @@
 // example code an unordered workload.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "../util/prng.h"
+#include "concepts.h"
 #include "harris_list.h"
 
 namespace smr::ds {
@@ -25,6 +28,8 @@ namespace smr::ds {
 template <class K, class V, class RecordMgr>
 class hash_map {
   public:
+    using key_type = K;
+    using mapped_type = V;
     using bucket_t = harris_list<K, V, RecordMgr>;
     using accessor_t = typename RecordMgr::accessor_t;
 
@@ -50,6 +55,37 @@ class hash_map {
     }
     bool contains(accessor_t acc, const K& key) {
         return bucket(key).contains(acc, key);
+    }
+
+    /// Visits every key in [lo, hi] in ascending order; returns the number
+    /// of keys delivered to the visitor (see ds::ordered_set_like).
+    ///
+    /// Consistency: keys live in hash order across buckets, so the scan
+    /// *collects* each bucket's in-range entries (per-bucket guarantees of
+    /// harris_list::range_query apply: present at some instant, per-bucket
+    /// duplicate-free) and sorts the union before visiting. The visitor
+    /// therefore runs after every protection is released -- early exit
+    /// saves visitor work, not protection windows. Each key hashes to
+    /// exactly one bucket, so the union is duplicate-free.
+    template <class Visitor>
+        requires range_visitor<Visitor, K, V>
+    long long range_query(accessor_t acc, const K& lo, const K& hi,
+                          Visitor&& vis) {
+        std::vector<std::pair<K, V>> hits;
+        for (const auto& b : buckets_) {
+            b->range_query(acc, lo, hi, [&](const K& k, const V& v) {
+                hits.emplace_back(k, v);
+                return true;
+            });
+        }
+        std::sort(hits.begin(), hits.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        long long visited = 0;
+        for (const auto& [k, v] : hits) {
+            ++visited;
+            if (!visit_adapter(vis, k, v)) break;
+        }
+        return visited;
     }
 
     std::size_t bucket_count() const noexcept { return mask_ + 1; }

@@ -36,6 +36,7 @@
 #include "../util/debug_stats.h"
 #include "../util/padded.h"
 #include "../util/prng.h"
+#include "concepts.h"
 
 namespace smr::ds {
 
@@ -83,6 +84,8 @@ class lazy_skiplist {
                   "HE, IBR or none (paper Section 5).");
 
   public:
+    using key_type = K;
+    using mapped_type = V;
     using node_t = skiplist_node<K, V>;
     using accessor_t = typename RecordMgr::accessor_t;
     using guard_t = typename RecordMgr::template guard_t<node_t>;
@@ -276,6 +279,30 @@ class lazy_skiplist {
         return result;
     }
 
+    /// Visits every key in [lo, hi] in ascending order; returns the number
+    /// of keys delivered to the visitor (see ds::ordered_set_like).
+    ///
+    /// Consistency: lock-free bottom-level traversal in the style of
+    /// contains -- each visited key belonged to a fully linked, unmarked
+    /// node at some instant during the scan; concurrent updates may or may
+    /// not be observed. Keys are strictly ascending (the level-0 list is
+    /// sorted) and duplicate-free across internal restarts via the same
+    /// resume frontier as the other structures. Protection cost is O(1)
+    /// (hand-over-hand window).
+    template <class Visitor>
+        requires range_visitor<Visitor, K, V>
+    long long range_query(accessor_t acc, const K& lo, const K& hi,
+                          Visitor&& vis) {
+        long long visited = 0;
+        K resume = lo;
+        bool exclusive = false;
+        auto op = acc.op();
+        while (!range_pass(acc, hi, resume, exclusive, visited, vis)) {
+            acc.note(stat::op_restarts);
+        }
+        return visited;
+    }
+
     /// Single-threaded size scan (tests / examples only).
     long long size_slow() const {
         long long n = 0;
@@ -367,6 +394,46 @@ class lazy_skiplist {
             w.succ_g[lvl] = std::move(cur_g);
         }
         return true;
+    }
+
+    /// One attempt of the range scan along level 0. Marked or not-yet-
+    /// fully-linked nodes are stepped over, not visited. Returns false
+    /// when a hazard validation failed and the caller must restart (the
+    /// resume frontier prevents re-delivery).
+    template <class Visitor>
+    bool range_pass(accessor_t acc, const K& hi, K& resume, bool& exclusive,
+                    long long& visited, Visitor& vis) {
+        node_t* pred = head_;
+        guard_t pred_g = acc.protect(pred);  // head is never retired
+        node_t* cur = pred->next[0].load(std::memory_order_acquire);
+        for (;;) {
+            node_t* anchor = pred;
+            std::atomic<node_t*>* link = &pred->next[0];
+            guard_t cur_g = acc.protect(cur, [&] {
+                return !anchor->marked.load(std::memory_order_seq_cst) &&
+                       link->load(std::memory_order_seq_cst) == cur;
+            });
+            if (!cur_g) return false;
+            if (cur->sentinel > 0) return true;  // tail: done
+            if (cur->sentinel == 0) {
+                if (hi < cur->key) return true;  // past the range
+                const bool eligible =
+                    exclusive ? resume < cur->key : !(cur->key < resume);
+                if (eligible &&
+                    cur->fully_linked.load(std::memory_order_acquire) &&
+                    !cur->marked.load(std::memory_order_acquire)) {
+                    ++visited;
+                    resume = cur->key;
+                    exclusive = true;
+                    if (!visit_adapter(vis, cur->key, cur->value)) {
+                        return true;
+                    }
+                }
+            }
+            pred_g = std::move(cur_g);
+            pred = cur;
+            cur = pred->next[0].load(std::memory_order_acquire);
+        }
     }
 
     void unlock_preds(window& w, int highest_locked) noexcept {

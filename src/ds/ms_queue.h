@@ -39,6 +39,7 @@ class ms_queue {
                   "use DEBRA, EBR, HP, HE, IBR or none");
 
   public:
+    using value_type = T;
     using node_t = queue_node<T>;
     using accessor_t = typename RecordMgr::accessor_t;
     using guard_t = typename RecordMgr::template guard_t<node_t>;
@@ -143,6 +144,11 @@ class ms_queue {
         if (victim != nullptr) acc.retire(victim);
         return result;
     }
+
+    /// stack_queue_like spellings (concepts.h): the queue's push/try_pop
+    /// are enqueue/dequeue, so one driver sweeps both container shapes.
+    void push(accessor_t acc, const T& value) { enqueue(acc, value); }
+    std::optional<T> try_pop(accessor_t acc) { return dequeue(acc); }
 
     bool empty() const noexcept {
         return head_.load(std::memory_order_acquire)

@@ -41,6 +41,7 @@ class treiber_stack {
                   "use DEBRA, EBR, HP, HE, IBR or none");
 
   public:
+    using value_type = T;
     using node_t = stack_node<T>;
     using accessor_t = typename RecordMgr::accessor_t;
     using guard_t = typename RecordMgr::template guard_t<node_t>;
@@ -105,6 +106,10 @@ class treiber_stack {
         if (victim != nullptr) acc.retire(victim);
         return result;
     }
+
+    /// stack_queue_like spelling of pop() (concepts.h): nullopt when the
+    /// stack was momentarily empty.
+    std::optional<T> try_pop(accessor_t acc) { return pop(acc); }
 
     bool empty() const noexcept {
         return top_.load(std::memory_order_acquire) == nullptr;

@@ -12,6 +12,14 @@
 //             cluster at the low end of the keyspace, which deliberately
 //             concentrates structural contention (leftmost BST path, one
 //             skip-list lane) the way a real skewed workload would.
+//             The inversion's two pow() calls per draw showed up on the
+//             profile at high thread counts (ROADMAP "Zipf hot-path
+//             cost"), so by default the quantile curve is precomputed
+//             into a per-trial lookup table (4096 knots, linear
+//             interpolation between them) and a draw costs one table
+//             read; the top two ranks keep their exact analytic
+//             branches. zipf_table = false restores the analytic pow()
+//             path (the tests compare the two).
 //   hotspot   a contiguous window covering hot_fraction of the keyspace
 //             receives hot_op_pct% of operations; the window's base
 //             *slides* forward every slide_ms, modeling a moving working
@@ -26,6 +34,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "../util/prng.h"
 
@@ -48,6 +57,10 @@ struct key_dist_config {
     /// 0.99. Values outside the supported range are clamped by
     /// key_dist_shared (the Gray inversion requires theta != 1).
     double zipf_theta = 0.99;
+    /// Zipf: serve draws from the precomputed quantile table (no pow() on
+    /// the hot path). false = the analytic Gray inversion, kept for
+    /// differential testing and micro-comparison.
+    bool zipf_table = true;
     /// Hotspot: window size as a fraction of the key range, in (0, 1].
     double hot_fraction = 0.01;
     /// Hotspot: percentage of operations whose key lands in the window.
@@ -84,6 +97,24 @@ class key_dist_shared {
                 eta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta)) /
                        (1.0 - zeta2 / zetan);
                 half_pow_theta_ = 1.0 + std::pow(0.5, theta);
+                if (cfg_.zipf_table) {
+                    // Precompute q(u) = (eta*u - eta + 1)^alpha at evenly
+                    // spaced knots; next() linearly interpolates between
+                    // them, so a draw costs one table read instead of two
+                    // pow() calls. q is smooth and its curvature
+                    // concentrates where the exact rank-0/rank-1 branches
+                    // already take over, so 4096 knots keep the key error
+                    // well under one key across the range.
+                    qtab_.resize(ZIPF_TABLE_SIZE + 1);
+                    for (int i = 0; i <= ZIPF_TABLE_SIZE; ++i) {
+                        const double u =
+                            static_cast<double>(i) / ZIPF_TABLE_SIZE;
+                        double base = eta_ * u - eta_ + 1.0;
+                        if (base < 0) base = 0;
+                        qtab_[static_cast<std::size_t>(i)] =
+                            std::pow(base, alpha_);
+                    }
+                }
             }
         }
         if (cfg_.kind == key_dist_kind::hotspot) {
@@ -99,6 +130,8 @@ class key_dist_shared {
 
     const key_dist_config& config() const noexcept { return cfg_; }
     long long key_range() const noexcept { return range_; }
+    /// Whether Zipf draws are served from the quantile lookup table.
+    bool using_zipf_table() const noexcept { return !qtab_.empty(); }
     long long hot_window_size() const noexcept { return window_; }
     long long hot_window_base() const noexcept {
         return hot_base_.load(std::memory_order_relaxed);
@@ -129,9 +162,22 @@ class key_dist_shared {
                 const double uz = u * zetan_;
                 if (uz < 1.0) return 0;
                 if (uz < half_pow_theta_) return 1;
+                double q;
+                if (!qtab_.empty()) {
+                    // Table path (default): piecewise-linear quantile
+                    // lookup, no pow() per draw.
+                    const double x = u * ZIPF_TABLE_SIZE;
+                    std::size_t i = static_cast<std::size_t>(x);
+                    if (i >= static_cast<std::size_t>(ZIPF_TABLE_SIZE)) {
+                        i = ZIPF_TABLE_SIZE - 1;
+                    }
+                    const double frac = x - static_cast<double>(i);
+                    q = qtab_[i] + (qtab_[i + 1] - qtab_[i]) * frac;
+                } else {
+                    q = std::pow(eta_ * u - eta_ + 1.0, alpha_);
+                }
                 const long long k = static_cast<long long>(
-                    static_cast<double>(range_) *
-                    std::pow(eta_ * u - eta_ + 1.0, alpha_));
+                    static_cast<double>(range_) * q);
                 return k >= range_ ? range_ - 1 : k;
             }
             case key_dist_kind::hotspot: {
@@ -151,10 +197,15 @@ class key_dist_shared {
     }
 
   private:
+    /// Knot count of the Zipf quantile table (intervals; the table stores
+    /// one extra endpoint). 4096 doubles = 32KiB, shared per trial.
+    static constexpr int ZIPF_TABLE_SIZE = 4096;
+
     key_dist_config cfg_;
     long long range_;
     // Zipf constants (Gray inversion).
     double zetan_ = 0, alpha_ = 0, eta_ = 0, half_pow_theta_ = 0;
+    std::vector<double> qtab_;  // quantile knots (empty = analytic path)
     // Hotspot window.
     long long window_ = 1;
     long long slides_done_ = 0;

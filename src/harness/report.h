@@ -18,8 +18,10 @@
 //     "points":   [ ...one object per (ds, scheme, threads, trial)... ],
 //     "verdict":  {"ok", "size_invariant_ok", "points"}
 //   }
-// Workload points carry throughput, the op breakdown, the reclamation
-// counters harvested from debug_stats, per-phase op counts, and the size-
+// Workload points carry throughput, the op breakdown (including range-
+// query counts; push/pop points reuse the insert/delete columns), the
+// reclamation counters harvested from debug_stats, per-phase op counts,
+// per-phase-boundary counter snapshots (phase_metrics), and the size-
 // invariant verdict. Custom scenarios (kind != "workload") emit their own
 // point shape but share the envelope, so downstream tooling can always
 // read scenario/config/verdict.
@@ -61,6 +63,8 @@ inline json point_to_json(const point_meta& m, const trial_result& r) {
     ops.set("inserts_succeeded", r.inserts_succeeded);
     ops.set("deletes_attempted", r.deletes_attempted);
     ops.set("deletes_succeeded", r.deletes_succeeded);
+    ops.set("range_queries", r.range_queries);
+    ops.set("range_keys", r.range_keys);
     p.set("ops", std::move(ops));
 
     json rec = json::object();
@@ -81,6 +85,25 @@ inline json point_to_json(const point_meta& m, const trial_result& r) {
     json phases = json::array();
     for (long long ops_in_phase : r.phase_ops) phases.push_back(ops_in_phase);
     p.set("phase_ops", std::move(phases));
+
+    // Cumulative counter snapshots at phase boundaries (phased trials;
+    // empty array otherwise). Difference consecutive entries for
+    // per-phase-occurrence deltas.
+    json pm = json::array();
+    for (const phase_metric& m : r.phase_metrics) {
+        json o = json::object();
+        o.set("phase", m.phase);
+        o.set("at_ms", m.at_ms);
+        o.set("records_retired", m.records_retired);
+        o.set("records_pooled", m.records_pooled);
+        o.set("epochs_advanced", m.epochs_advanced);
+        o.set("era_scans", m.era_scans);
+        o.set("hp_scans", m.hp_scans);
+        o.set("neutralize_sent", m.neutralize_sent);
+        o.set("limbo_estimate", m.limbo_estimate);
+        pm.push_back(std::move(o));
+    }
+    p.set("phase_metrics", std::move(pm));
 
     json inv = json::object();
     inv.set("ok", r.size_invariant_holds());
@@ -235,6 +258,7 @@ inline bool validate_run_document(const json& doc, std::string* err) {
                          {"ops", k::object},
                          {"reclamation", k::object},
                          {"phase_ops", k::array},
+                         {"phase_metrics", k::array},
                          {"invariant", k::object}},
                         err)) {
             return false;
@@ -244,9 +268,24 @@ inline bool validate_run_document(const json& doc, std::string* err) {
                          {"inserts_attempted", k::integer},
                          {"inserts_succeeded", k::integer},
                          {"deletes_attempted", k::integer},
-                         {"deletes_succeeded", k::integer}},
+                         {"deletes_succeeded", k::integer},
+                         {"range_queries", k::integer}},
                         err)) {
             return false;
+        }
+        const json& pms = *p.find("phase_metrics");
+        for (std::size_t j = 0; j < pms.size(); ++j) {
+            if (!check_keys(pms[j],
+                            (where + ".phase_metrics[" + std::to_string(j) +
+                             "]")
+                                .c_str(),
+                            {{"phase", k::integer},
+                             {"at_ms", k::integer},
+                             {"records_retired", k::integer},
+                             {"limbo_estimate", k::integer}},
+                            err)) {
+                return false;
+            }
         }
         if (!check_keys(*p.find("reclamation"),
                         (where + ".reclamation").c_str(),

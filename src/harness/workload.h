@@ -1,19 +1,32 @@
-// workload.h -- the paper's experimental harness (Section 7).
+// workload.h -- the paper's experimental harness (Section 7), generalized
+// over the container concepts of src/ds/concepts.h.
 //
 // Every experiment in the paper follows the same shape: prefill a set data
 // structure to half its key range, then have T threads perform a random
 // operation mix (x% insert / y% delete / rest search) on uniform keys for a
 // fixed wall-clock interval, and report throughput plus memory metrics.
-// This header implements that harness once, for any data structure exposing
-//     bool insert(tid, key, value) / optional<V> erase(tid, key) /
-//     bool contains(tid, key)
-// and any record_manager instantiation.
+// This header implements that harness once, for any structure satisfying a
+// container concept and any record_manager instantiation:
 //
-// Correctness guard: each thread tracks the net number of keys it added
-// (successful inserts minus successful erases); after the trial the data
-// structure's size must equal the prefill size plus the summed deltas. A
-// reclamation bug that frees a reachable node reliably breaks this (or
-// crashes), so every benchmark run doubles as a large randomized test.
+//   run_trial          ordered_set_like structures: insert / erase /
+//                      contains plus (rq_pct > 0) range_query ops, the
+//                      workload that stresses per-access protection
+//                      windows;
+//   run_pushpop_trial  stack_queue_like structures: push / try_pop mixes,
+//                      which finally lets treiber_stack and ms_queue into
+//                      the scenario registry.
+//
+// Correctness guard: each thread tracks the net number of keys (elements)
+// it added; after the trial the structure's size must equal the prefill
+// size plus the summed deltas. A reclamation bug that frees a reachable
+// node reliably breaks this (or crashes), so every benchmark run doubles
+// as a large randomized test.
+//
+// Per-phase metric harvest: phased trials snapshot the reclamation
+// counters (cumulative, from debug_stats -- race-free relaxed atomics) at
+// every phase transition and at the end of the trial, so limbo waves in
+// scenarios like zipf_churn are visible directly instead of only as
+// trial-end totals.
 #pragma once
 
 #include <atomic>
@@ -50,12 +63,34 @@ struct workload_config {
     /// manager; neutralizable schemes recover via run_op.
     int stall_tid = -1;
     int stall_ms = 10;
+    /// Set-shaped trials only: percentage of operations that are range
+    /// queries of `rq_len` consecutive keys (carved out of the contains
+    /// share; insert_pct + delete_pct + rq_pct must stay <= 100).
+    int rq_pct = 0;
+    long long rq_len = 100;
     /// Key distribution (default: the paper's uniform draw).
     key_dist_config dist;
     /// Phased schedule. Empty = one phase of {insert_pct, delete_pct} for
     /// the whole trial (the paper's shape). Non-empty = the phases cycle
     /// for trial_ms, overriding insert_pct/delete_pct.
     std::vector<phase_spec> phases;
+};
+
+/// One snapshot of the (cumulative) reclamation counters, taken by the
+/// control thread at a phase transition or at trial end. Differencing
+/// consecutive snapshots yields per-phase-occurrence deltas.
+struct phase_metric {
+    int phase = 0;            // phase that just ended
+    long long at_ms = 0;      // elapsed trial time at the snapshot
+    std::uint64_t records_retired = 0;
+    std::uint64_t records_pooled = 0;
+    std::uint64_t epochs_advanced = 0;
+    std::uint64_t era_scans = 0;
+    std::uint64_t hp_scans = 0;
+    std::uint64_t neutralize_sent = 0;
+    /// retired - pooled: records sitting in limbo bags, estimated from the
+    /// race-free counters (limbo bag sizes themselves are owner-local).
+    long long limbo_estimate = 0;
 };
 
 struct trial_result {
@@ -66,6 +101,8 @@ struct trial_result {
     long long deletes_attempted = 0;
     long long inserts_succeeded = 0;
     long long deletes_succeeded = 0;
+    long long range_queries = 0;    // range_query ops completed
+    long long range_keys = 0;       // keys delivered to range visitors
     long long prefill_size = 0;
     long long final_size = 0;
     long long expected_final_size = 0;
@@ -87,6 +124,10 @@ struct trial_result {
     /// Operations completed while each schedule phase was active, summed
     /// over workers (index = phase index; one entry for phase-less runs).
     std::vector<long long> phase_ops;
+
+    /// Cumulative counter snapshots at phase boundaries (phased trials
+    /// only; empty otherwise). See phase_metric.
+    std::vector<phase_metric> phase_metrics;
 
     double mops_per_sec() const {
         return seconds > 0 ? total_ops / seconds / 1e6 : 0.0;
@@ -116,15 +157,137 @@ long long prefill_to(DS& ds, Acc acc, long long key_range, long long target,
     return size;
 }
 
-/// Runs one timed trial of the paper's workload on `ds`, whose records are
-/// managed by `mgr`. Returns throughput and reclamation metrics. Thread
-/// registration goes through the manager's RAII handles; worker `t` claims
-/// tid `t` so per-thread metrics stay tid-indexed.
-template <class DS, class Mgr>
-trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
+namespace workload_detail {
+
+/// Per-worker tallies, shared by both operation shapes (push maps onto
+/// the insert columns, pop onto the delete columns).
+struct per_thread {
+    long long ops = 0;
+    long long finds = 0;
+    long long ins_att = 0, ins_ok = 0;
+    long long del_att = 0, del_ok = 0;
+    long long rqs = 0, rq_keys = 0;
+    long long net_keys = 0;
+    std::vector<long long> phase_ops;
+};
+
+/// Snapshot the cumulative reclamation counters (control thread; workers
+/// only ever touch their own debug_stats cells with relaxed atomics, so
+/// this is race-free mid-trial).
+inline phase_metric snapshot_counters(const debug_stats& d, int phase,
+                                      long long at_ms) {
+    phase_metric m;
+    m.phase = phase;
+    m.at_ms = at_ms;
+    m.records_retired = d.total(stat::records_retired);
+    m.records_pooled = d.total(stat::records_pooled);
+    m.epochs_advanced = d.total(stat::epochs_advanced);
+    m.era_scans = d.total(stat::era_scans);
+    m.hp_scans = d.total(stat::hp_scans);
+    m.neutralize_sent = d.total(stat::neutralize_signals_sent);
+    m.limbo_estimate =
+        static_cast<long long>(m.records_retired) -
+        static_cast<long long>(m.records_pooled);
+    return m;
+}
+
+/// The ordered_set_like operation arm: insert / erase / range_query /
+/// contains, diced per the active mix.
+struct set_shape {
+    template <class DS, class Acc>
+    static long long prefill(DS& ds, Acc acc, const workload_config& cfg) {
+        return prefill_to(ds, acc, cfg.key_range, cfg.key_range / 2,
+                          cfg.seed);
+    }
+
+    template <class DS, class Acc>
+    static void do_op(DS& ds, Acc acc, const workload_config& cfg,
+                      const key_dist_shared& dist, prng& rng, int ins_pct,
+                      int del_pct, per_thread& mine) {
+        const long long key = dist.next(rng);
+        const std::uint64_t dice = rng.next(100);
+        if (dice < static_cast<std::uint64_t>(ins_pct)) {
+            ++mine.ins_att;
+            if (ds.insert(acc, key, key)) {
+                ++mine.ins_ok;
+                ++mine.net_keys;
+            }
+        } else if (dice < static_cast<std::uint64_t>(ins_pct + del_pct)) {
+            ++mine.del_att;
+            if (ds.erase(acc, key).has_value()) {
+                ++mine.del_ok;
+                --mine.net_keys;
+            }
+        } else if (dice < static_cast<std::uint64_t>(ins_pct + del_pct +
+                                                     cfg.rq_pct)) {
+            // Range scan of rq_len consecutive keys starting at the drawn
+            // key. The visitor is empty: range_query's return value is the
+            // delivered-key count (and is safe under neutralization, where
+            // a plain local counter would not be).
+            long long hi = key + cfg.rq_len - 1;
+            if (hi >= cfg.key_range) hi = cfg.key_range - 1;
+            ++mine.rqs;
+            mine.rq_keys += ds.range_query(
+                acc, key, hi, [](const auto&, const auto&) { return true; });
+        } else {
+            ++mine.finds;
+            (void)ds.contains(acc, key);
+        }
+    }
+};
+
+/// The stack_queue_like operation arm: the mix's insert share pushes, the
+/// rest pops (pop "succeeds" when the container was non-empty).
+struct pushpop_shape {
+    template <class DS, class Acc>
+    static long long prefill(DS& ds, Acc acc, const workload_config& cfg) {
+        const long long target = cfg.key_range / 2;
+        for (long long i = 0; i < target; ++i) {
+            ds.push(acc, i);
+        }
+        return target;
+    }
+
+    template <class DS, class Acc>
+    static void do_op(DS& ds, Acc acc, const workload_config& cfg,
+                      const key_dist_shared& dist, prng& rng, int ins_pct,
+                      int /*del_pct*/, per_thread& mine) {
+        const long long value = dist.next(rng);
+        const std::uint64_t dice = rng.next(100);
+        if (dice < static_cast<std::uint64_t>(ins_pct)) {
+            ++mine.ins_att;
+            ds.push(acc, value);
+            ++mine.ins_ok;
+            ++mine.net_keys;
+        } else {
+            ++mine.del_att;
+            if (ds.try_pop(acc).has_value()) {
+                ++mine.del_ok;
+                --mine.net_keys;
+            }
+        }
+        (void)cfg;
+    }
+};
+
+/// The timed-trial skeleton shared by both shapes: prefill, spawn workers
+/// under RAII thread handles, run the control loop (phase publication,
+/// hotspot sliding, per-phase counter snapshots), harvest.
+template <class Shape, class DS, class Mgr>
+trial_result run_timed_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
     trial_result res;
     mgr.stats().clear();
     assert(schedule_valid(cfg.phases) && "run_trial: invalid phase schedule");
+    assert(cfg.insert_pct + cfg.delete_pct + cfg.rq_pct <= 100 &&
+           "run_trial: op mix exceeds 100%");
+    // Phased runs use each phase's insert/delete split with the global
+    // rq_pct, so every phase must leave room for the range-query share --
+    // otherwise the rq branch would be silently unreachable in that phase.
+    for (const phase_spec& ph : cfg.phases) {
+        (void)ph;
+        assert(ph.insert_pct + ph.delete_pct + cfg.rq_pct <= 100 &&
+               "run_trial: a phase's mix leaves no room for rq_pct");
+    }
 
     // Scenario-engine state: the shared key distribution and the current
     // schedule phase. Workers read both with relaxed loads; only the
@@ -137,8 +300,7 @@ trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
     if (cfg.prefill) {
         // Scoped registration: tid 0 must be free again for worker 0.
         auto h0 = mgr.register_thread(0);
-        res.prefill_size = prefill_to(ds, mgr.access(h0), cfg.key_range,
-                                      cfg.key_range / 2, cfg.seed);
+        res.prefill_size = Shape::prefill(ds, mgr.access(h0), cfg);
     } else {
         // Baseline for the size invariant when the structure is reused
         // across trials (or deliberately started non-empty).
@@ -150,15 +312,8 @@ trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
     spin_barrier ready(static_cast<std::uint32_t>(cfg.num_threads) + 1);
     spin_barrier done(static_cast<std::uint32_t>(cfg.num_threads) + 1);
 
-    struct per_thread {
-        long long ops = 0;
-        long long finds = 0;
-        long long ins_att = 0, ins_ok = 0;
-        long long del_att = 0, del_ok = 0;
-        long long net_keys = 0;
-        std::vector<long long> phase_ops;
-    };
-    std::vector<per_thread> stats(static_cast<std::size_t>(cfg.num_threads));
+    std::vector<workload_detail::per_thread> stats(
+        static_cast<std::size_t>(cfg.num_threads));
     for (auto& s : stats) s.phase_ops.assign(num_phases, 0);
 
     std::vector<std::thread> threads;
@@ -199,25 +354,8 @@ trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
                         del_pct = ph.delete_pct;
                         pause_us = ph.pause_us;
                     }
-                    const long long key = dist.next(rng);
-                    const std::uint64_t dice = rng.next(100);
-                    if (dice < static_cast<std::uint64_t>(ins_pct)) {
-                        ++mine.ins_att;
-                        if (ds.insert(acc, key, key)) {
-                            ++mine.ins_ok;
-                            ++mine.net_keys;
-                        }
-                    } else if (dice < static_cast<std::uint64_t>(ins_pct +
-                                                                 del_pct)) {
-                        ++mine.del_att;
-                        if (ds.erase(acc, key).has_value()) {
-                            ++mine.del_ok;
-                            --mine.net_keys;
-                        }
-                    } else {
-                        ++mine.finds;
-                        (void)ds.contains(acc, key);
-                    }
+                    Shape::do_op(ds, acc, cfg, dist, rng, ins_pct, del_pct,
+                                 mine);
                     ++mine.ops;
                     ++mine.phase_ops[static_cast<std::size_t>(pi)];
                     if (pause_us > 0) {
@@ -244,15 +382,29 @@ trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
         std::this_thread::sleep_for(std::chrono::milliseconds(cfg.trial_ms));
     } else {
         // Control loop: 1ms clock ticks publish the current phase and
-        // slide the hotspot window. Workers never read the clock.
+        // slide the hotspot window; phase transitions snapshot the
+        // reclamation counters (per-phase metric harvest). Workers never
+        // read the clock.
+        int last_phase = 0;
         for (;;) {
             const long long elapsed_ms =
                 static_cast<long long>(timer.elapsed_seconds() * 1000.0);
             if (elapsed_ms >= cfg.trial_ms) break;
-            phase_idx.store(phase_at(cfg.phases, elapsed_ms),
-                            std::memory_order_relaxed);
+            const int now_phase = phase_at(cfg.phases, elapsed_ms);
+            if (!cfg.phases.empty() && now_phase != last_phase) {
+                res.phase_metrics.push_back(workload_detail::snapshot_counters(
+                    mgr.stats(), last_phase, elapsed_ms));
+                last_phase = now_phase;
+            }
+            phase_idx.store(now_phase, std::memory_order_relaxed);
             dist.on_tick(elapsed_ms);
             std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (!cfg.phases.empty()) {
+            // Close the last phase occurrence at trial end.
+            res.phase_metrics.push_back(workload_detail::snapshot_counters(
+                mgr.stats(), last_phase,
+                static_cast<long long>(timer.elapsed_seconds() * 1000.0)));
         }
     }
     stop.store(true, std::memory_order_release);
@@ -272,6 +424,8 @@ trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
         res.inserts_succeeded += s.ins_ok;
         res.deletes_attempted += s.del_att;
         res.deletes_succeeded += s.del_ok;
+        res.range_queries += s.rqs;
+        res.range_keys += s.rq_keys;
         net += s.net_keys;
     }
     res.expected_final_size = res.prefill_size + net;
@@ -291,6 +445,30 @@ trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
     res.limbo_records = mgr.total_limbo_all_types();
     res.allocated_bytes = mgr.total_allocated_bytes();
     return res;
+}
+
+}  // namespace workload_detail
+
+/// Runs one timed trial of the paper's workload (plus optional range-query
+/// share) on an ordered_set_like structure `ds`, whose records are managed
+/// by `mgr`. Returns throughput and reclamation metrics. Thread
+/// registration goes through the manager's RAII handles; worker `t` claims
+/// tid `t` so per-thread metrics stay tid-indexed.
+template <class DS, class Mgr>
+trial_result run_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
+    return workload_detail::run_timed_trial<workload_detail::set_shape>(
+        ds, mgr, cfg);
+}
+
+/// Runs one timed trial of the push/pop workload on a stack_queue_like
+/// structure. The mix's insert_pct is the push share; every other
+/// operation is a try_pop. The size invariant counts elements instead of
+/// keys: prefill + pushes - successful pops == final size.
+template <class DS, class Mgr>
+trial_result run_pushpop_trial(DS& ds, Mgr& mgr,
+                               const workload_config& cfg) {
+    return workload_detail::run_timed_trial<workload_detail::pushpop_shape>(
+        ds, mgr, cfg);
 }
 
 }  // namespace smr::harness

@@ -7,7 +7,6 @@
 // cheap clear.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <vector>
@@ -27,6 +26,20 @@ class ptr_hashset {
         mask_ = cap - 1;
     }
 
+    /// Regrows the table for a larger `max_elements` (no-op when already
+    /// big enough). Discards current contents when it grows -- callers
+    /// reserve before the clear/collect cycle of a scan. Single-threaded,
+    /// like the rest of the set.
+    void reserve(std::size_t max_elements) {
+        std::size_t cap = 16;
+        while (cap < 2 * (max_elements + 1)) cap <<= 1;
+        if (cap > slots_.size()) {
+            slots_.assign(cap, 0);
+            mask_ = cap - 1;
+            count_ = 0;
+        }
+    }
+
     void clear() noexcept {
         if (count_ != 0) {
             std::memset(slots_.data(), 0, slots_.size() * sizeof(slots_[0]));
@@ -35,9 +48,13 @@ class ptr_hashset {
     }
 
     /// Inserting nullptr is a no-op (unset hazard slots scan as null).
-    void insert(const void* p) noexcept {
+    /// Self-grows past the construction-time sizing: a hazard-slot chain
+    /// can gain chunks between a scan's reserve() and its collect pass
+    /// (guard_span growth on another thread), and a full table would
+    /// otherwise never terminate its probe loop.
+    void insert(const void* p) {
         if (p == nullptr) return;
-        assert(2 * (count_ + 1) <= slots_.size() && "scan exceeded sizing bound");
+        if (2 * (count_ + 1) > slots_.size()) grow();
         const std::uintptr_t key = reinterpret_cast<std::uintptr_t>(p);
         std::size_t i = hash(key) & mask_;
         while (slots_[i] != 0) {
@@ -62,6 +79,22 @@ class ptr_hashset {
     std::size_t size() const noexcept { return count_; }
 
   private:
+    /// Doubles the table and rehashes (single-threaded, like every other
+    /// operation here; called only from insert's load-factor check).
+    void grow() {
+        std::vector<std::uintptr_t> old = std::move(slots_);
+        slots_.assign(old.size() * 2, 0);
+        mask_ = slots_.size() - 1;
+        count_ = 0;
+        for (const std::uintptr_t key : old) {
+            if (key == 0) continue;
+            std::size_t i = hash(key) & mask_;
+            while (slots_[i] != 0) i = (i + 1) & mask_;
+            slots_[i] = key;
+            ++count_;
+        }
+    }
+
     static std::size_t hash(std::uintptr_t key) noexcept {
         // Records are at least 8-byte aligned; shift out the dead bits
         // before mixing so consecutive records spread across the table.

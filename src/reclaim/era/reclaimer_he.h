@@ -56,19 +56,27 @@ class he_global {
     using config = he_config;
     /// Era reservation slots per thread. Sized like hp_global::K: the skip
     /// list's locked window dominates with one protection per level endpoint.
-    /// Distinct eras are usually few, but in the worst case every protected
-    /// record was published under a different era.
+    /// Distinct eras are usually few -- the alias path means a guard_span of
+    /// any size consumes one slot per era it observed, so even a scan
+    /// holding thousands of records protected publishes only as many eras
+    /// as advanced during it (the clock advances once per era_freq retires
+    /// per thread, so the advance rate scales with the churn). Exhausting
+    /// all K slots inside one operation fails the protect like a
+    /// validation rejection (the caller restarts; see protect()).
     static constexpr int K = 64;
-    /// Simultaneously tracked protected pointers per thread (several
-    /// pointers usually share one era slot).
-    static constexpr int ENTRY_CAP = 2 * K;
+    /// Initial reservation of the per-thread protection-entry array. The
+    /// array itself grows on demand (std::vector) so bulk spans are not
+    /// bounded by it; only the *distinct-era* budget K is fixed.
+    static constexpr int ENTRY_RESERVE = 2 * K;
 
     he_global(int num_threads, const config& cfg, debug_stats* stats)
         : num_threads_(num_threads), cfg_(cfg), stats_(stats),
           clock_(cfg.era_freq, stats) {
-        for (int t = 0; t < MAX_THREADS; ++t)
+        for (int t = 0; t < MAX_THREADS; ++t) {
             for (auto& s : slots_[t]->v)
                 s.store(ERA_NONE, std::memory_order_relaxed);
+            locals_[t]->entries.reserve(ENTRY_RESERVE);
+        }
     }
 
     void init_thread(int) noexcept {}
@@ -99,8 +107,6 @@ class he_global {
             ++e->claims;
             return true;
         }
-        assert(L.num_entries < ENTRY_CAP &&
-               "out of protection entries; raise he_global::ENTRY_CAP");
         std::uint64_t era = clock_.current();
         // Alias path: some slot already publishes this era, so every record
         // born up to now is covered. No store, no fence.
@@ -109,7 +115,17 @@ class he_global {
             // Publish path: claim a free slot and store the era until it is
             // stable across the publish (bounded by concurrent advances).
             slot = L.find_slot(ERA_NONE);
-            assert(slot >= 0 && "out of era slots; raise he_global::K");
+            if (slot < 0) {
+                // Distinct-era budget exhausted: a single span observed
+                // more than K era advances (possible for a very long scan
+                // under churn, since guard_span admissions are unbounded).
+                // Fail like a validation rejection -- the caller restarts,
+                // its released span re-admits under the current era, and
+                // the retry needs slots only for eras that advance *during*
+                // the fresh attempt.
+                if (stats_) stats_->add(tid, stat::hp_validation_failures);
+                return false;
+            }
             auto& word = slots_[tid]->v[static_cast<std::size_t>(slot)];
             for (;;) {
                 word.store(era, std::memory_order_seq_cst);
@@ -125,7 +141,7 @@ class he_global {
                 return false;
             }
         }
-        L.entries[L.num_entries++] = {p, slot, 1};
+        L.entries.push_back({p, slot, 1});
         ++L.slot_refs[slot];
         return true;
     }
@@ -136,7 +152,8 @@ class he_global {
         if (e == nullptr) return;
         if (--e->claims > 0) return;
         const int slot = e->slot;
-        *e = L.entries[--L.num_entries];
+        *e = L.entries.back();
+        L.entries.pop_back();
         if (--L.slot_refs[slot] == 0) {
             slots_[tid]->v[static_cast<std::size_t>(slot)].store(
                 ERA_NONE, std::memory_order_release);
@@ -206,19 +223,18 @@ class he_global {
         int claims;  // protect() calls minus unprotect() calls for p
     };
     struct local {
-        std::array<entry, ENTRY_CAP> entries;
+        std::vector<entry> entries;  // grows on demand (guard_span bulk use)
         std::array<std::uint64_t, K> slot_eras{};  // owner's view of slots_
         std::array<int, K> slot_refs{};            // entries per slot
-        int num_entries = 0;
 
         entry* find(const void* p) noexcept {
-            for (int i = 0; i < num_entries; ++i)
-                if (entries[i].p == p) return &entries[i];
+            for (auto& e : entries)
+                if (e.p == p) return &e;
             return nullptr;
         }
         const entry* find(const void* p) const noexcept {
-            for (int i = 0; i < num_entries; ++i)
-                if (entries[i].p == p) return &entries[i];
+            for (const auto& e : entries)
+                if (e.p == p) return &e;
             return nullptr;
         }
         int find_slot(std::uint64_t era) const noexcept {
@@ -241,7 +257,7 @@ class he_global {
             }
             L.slot_refs[i] = 0;
         }
-        L.num_entries = 0;
+        L.entries.clear();
     }
 
     const int num_threads_;

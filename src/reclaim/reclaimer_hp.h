@@ -43,13 +43,36 @@ namespace detail {
 class hp_global {
   public:
     using config = hp_config;
-    /// Hazard slots per thread. Lists and trees need a handful (prev, cur,
-    /// descriptor, helping targets); the skip list's locked window holds
-    /// preds[] and succs[] across every level, which dominates the budget.
+    /// Hazard slots per chunk. The first chunk is the base budget: lists
+    /// and trees need a handful (prev, cur, descriptor, helping targets);
+    /// the skip list's locked window holds preds[] and succs[] across every
+    /// level. Bulk owners (guard_span: range scans holding a whole DFS
+    /// stack) can exceed any fixed budget, so each thread's slot row is a
+    /// *chain* of chunks grown on demand: the owner appends a fresh chunk
+    /// when every slot is taken, scanners follow the chain. Chunks are
+    /// never removed (slots empty out instead), so a scanner that misses a
+    /// just-published chunk can only miss slots that were empty at its
+    /// snapshot -- the same race as an empty slot filling after it was
+    /// read, which HP scans already tolerate.
     static constexpr int K = 64;
 
     hp_global(int num_threads, const config& cfg, debug_stats* stats)
-        : num_threads_(num_threads), cfg_(cfg), stats_(stats) {}
+        : num_threads_(num_threads), cfg_(cfg), stats_(stats) {
+        total_slots_.store(static_cast<long long>(num_threads) * K,
+                           std::memory_order_relaxed);
+    }
+
+    ~hp_global() {
+        for (int t = 0; t < MAX_THREADS; ++t) {
+            slot_chunk* c =
+                rows_[t]->next.load(std::memory_order_relaxed);
+            while (c != nullptr) {
+                slot_chunk* nx = c->next.load(std::memory_order_relaxed);
+                delete c;
+                c = nx;
+            }
+        }
+    }
 
     void init_thread(int) noexcept {}
     void deinit_thread(int tid) noexcept { clear_all(tid); }
@@ -70,22 +93,39 @@ class hp_global {
 
     /// Announce + fence + validate. On validation failure the slot is
     /// released and the caller must treat the operation as contended.
+    /// When every slot in the thread's chain is taken, the owner appends a
+    /// fresh chunk (grow-on-demand: only bulk spans ever reach this).
     template <class ValidateFn>
     bool protect(int tid, const void* p, ValidateFn&& validate) {
-        auto& row = *slots_[tid];
-        int free_slot = -1;
-        for (int i = 0; i < K; ++i) {
-            if (row[i].load(std::memory_order_relaxed) == nullptr) {
-                free_slot = i;
-                break;
+        std::atomic<void*>* slot = nullptr;
+        slot_chunk* chunk = &*rows_[tid];
+        for (;;) {
+            for (int i = 0; i < K; ++i) {
+                if (chunk->v[static_cast<std::size_t>(i)].load(
+                        std::memory_order_relaxed) == nullptr) {
+                    slot = &chunk->v[static_cast<std::size_t>(i)];
+                    break;
+                }
             }
+            if (slot != nullptr) break;
+            slot_chunk* next = chunk->next.load(std::memory_order_relaxed);
+            if (next == nullptr) {
+                // Owner-only append. seq_cst publish so the standard HP
+                // scan argument covers chained slots: the publish
+                // precedes the announcement in the seq_cst total order,
+                // so a scan ordered after a successful validation's
+                // unlink observes the chunk (and hence the slot).
+                next = new slot_chunk;
+                chunk->next.store(next, std::memory_order_seq_cst);
+                total_slots_.fetch_add(K, std::memory_order_relaxed);
+            }
+            chunk = next;
         }
-        assert(free_slot >= 0 && "out of hazard slots; raise hp_global::K");
         // seq_cst store doubles as the announcement fence (paper: "a memory
         // barrier must be issued immediately after a HP is announced").
-        row[free_slot].store(const_cast<void*>(p), std::memory_order_seq_cst);
+        slot->store(const_cast<void*>(p), std::memory_order_seq_cst);
         if (!validate()) {
-            row[free_slot].store(nullptr, std::memory_order_release);
+            slot->store(nullptr, std::memory_order_release);
             if (stats_) stats_->add(tid, stat::hp_validation_failures);
             return false;
         }
@@ -93,19 +133,28 @@ class hp_global {
     }
 
     void unprotect(int tid, const void* p) noexcept {
-        auto& row = *slots_[tid];
-        for (int i = 0; i < K; ++i) {
-            if (row[i].load(std::memory_order_relaxed) == p) {
-                row[i].store(nullptr, std::memory_order_release);
-                return;
+        for (slot_chunk* c = &*rows_[tid]; c != nullptr;
+             c = c->next.load(std::memory_order_relaxed)) {
+            for (int i = 0; i < K; ++i) {
+                auto& s = c->v[static_cast<std::size_t>(i)];
+                if (s.load(std::memory_order_relaxed) == p) {
+                    s.store(nullptr, std::memory_order_release);
+                    return;
+                }
             }
         }
     }
 
     bool is_protected(int tid, const void* p) const noexcept {
-        auto& row = *slots_[tid];
-        for (int i = 0; i < K; ++i)
-            if (row[i].load(std::memory_order_relaxed) == p) return true;
+        for (const slot_chunk* c = &*rows_[tid]; c != nullptr;
+             c = c->next.load(std::memory_order_relaxed)) {
+            for (int i = 0; i < K; ++i) {
+                if (c->v[static_cast<std::size_t>(i)].load(
+                        std::memory_order_relaxed) == p) {
+                    return true;
+                }
+            }
+        }
         return false;
     }
 
@@ -115,34 +164,59 @@ class hp_global {
     void runprotect_all(int) noexcept {}
     bool is_rprotected(int, const void*) const noexcept { return false; }
 
-    /// Scanner side: hash all nK hazard slots.
+    /// Scanner side: hash every announced slot across all threads' chains
+    /// (seq_cst chain loads match the seq_cst publish -- see protect()).
     void collect_hazards(mem::ptr_hashset& out) const {
-        for (int t = 0; t < num_threads_; ++t)
-            for (int i = 0; i < K; ++i)
-                out.insert((*slots_[t])[i].load(std::memory_order_seq_cst));
+        for (int t = 0; t < num_threads_; ++t) {
+            for (const slot_chunk* c = &*rows_[t]; c != nullptr;
+                 c = c->next.load(std::memory_order_seq_cst)) {
+                for (int i = 0; i < K; ++i) {
+                    out.insert(c->v[static_cast<std::size_t>(i)].load(
+                        std::memory_order_seq_cst));
+                }
+            }
+        }
     }
 
+    /// Current slot capacity across all threads (grows as chunks are
+    /// appended; never shrinks). Scanners size their hash set from this.
     std::size_t max_hazards() const noexcept {
-        return static_cast<std::size_t>(num_threads_) * K;
+        return static_cast<std::size_t>(
+            total_slots_.load(std::memory_order_relaxed));
     }
+    /// Scan when the bag reaches twice the *current* slot capacity plus
+    /// slack, preserving the at-least-half-the-bag amortization even after
+    /// spans grew the slot chains.
     long long scan_threshold_records() const noexcept {
-        return 2LL * num_threads_ * K + cfg_.scan_slack_records;
+        return 2 * total_slots_.load(std::memory_order_relaxed) +
+               cfg_.scan_slack_records;
     }
     int num_threads() const noexcept { return num_threads_; }
 
   private:
+    /// One chunk of a thread's hazard-slot chain. Only the owning thread
+    /// appends; `next` is written once (release) and read with acquire.
+    struct slot_chunk {
+        std::array<std::atomic<void*>, K> v{};
+        std::atomic<slot_chunk*> next{nullptr};
+    };
+
     void clear_all(int tid) noexcept {
-        auto& row = *slots_[tid];
-        for (int i = 0; i < K; ++i) {
-            if (row[i].load(std::memory_order_relaxed) != nullptr)
-                row[i].store(nullptr, std::memory_order_release);
+        for (slot_chunk* c = &*rows_[tid]; c != nullptr;
+             c = c->next.load(std::memory_order_relaxed)) {
+            for (int i = 0; i < K; ++i) {
+                auto& s = c->v[static_cast<std::size_t>(i)];
+                if (s.load(std::memory_order_relaxed) != nullptr)
+                    s.store(nullptr, std::memory_order_release);
+            }
         }
     }
 
     const int num_threads_;
     const config cfg_;
     debug_stats* stats_;
-    std::array<padded<std::array<std::atomic<void*>, K>>, MAX_THREADS> slots_{};
+    std::atomic<long long> total_slots_{0};
+    std::array<padded<slot_chunk>, MAX_THREADS> rows_{};
 };
 
 }  // namespace detail
@@ -205,6 +279,9 @@ struct reclaim_hp {
         void scan(int tid) {
             if (stats_) stats_->add(tid, stat::hp_scans);
             tstate& st = *states_[tid];
+            // Slot chains may have grown since construction (guard_span);
+            // re-size the set to the current capacity before collecting.
+            st.scan_set.reserve(global_.max_hazards());
             st.scan_set.clear();
             global_.collect_hazards(st.scan_set);
             auto it1 = st.bag.begin();

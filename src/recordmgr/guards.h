@@ -20,6 +20,16 @@
 //                     enforced by static_assert -- the guard layer
 //                     compiles away exactly where the paper's protect()
 //                     does;
+//   * guard_span      owns N per-access protections at once: the bulk
+//                     flavour for operations -- range queries above all --
+//                     that must keep an unbounded set of records safe
+//                     simultaneously. Move-only; releases everything on
+//                     destruction/reset; records its protections in a
+//                     grow-on-demand array (small inline buffer, heap
+//                     doubling past it). For epoch schemes it is an empty,
+//                     trivially destructible token (static_assert-enforced,
+//                     like guard_ptr), so spans are legal inside
+//                     run_guarded bodies under neutralizing schemes;
 //   * op_guard        brackets leave_qstate/enter_qstate for one
 //                     operation of a non-neutralizing scheme;
 //   * run_guarded     the op_guard discipline composed with run_op: for
@@ -142,6 +152,170 @@ class guard_ptr<Mgr, T, false> {
     T* p_ = nullptr;
 };
 
+// ---- guard_span ----------------------------------------------------------
+
+/// Owns N per-access protections at once under manager `Mgr` -- the bulk
+/// counterpart of guard_ptr, for operations that must hold many records
+/// safe simultaneously (a range scan's DFS stack, a traversal snapshot).
+///
+/// Per-scheme lowering:
+///   * HP  -- every protect() claims one hazard slot; the per-thread slot
+///     array grows on demand (chained chunks, see reclaimer_hp.h), so a
+///     span is not limited to the base slot budget;
+///   * HE  -- protects alias era slots, so a span of any size usually
+///     publishes only a handful of eras: the span is a widened era set
+///     covering every record it admitted;
+///   * IBR -- the thread's reservation interval is the protection; each
+///     protect() merely widens the interval to the current era, and
+///     release is free;
+///   * epoch schemes -- the `false` specialization below: empty, trivially
+///     destructible, nothing at run time.
+///
+/// The span records what it protected in a grow-on-demand array (inline
+/// buffer of 16, heap doubling beyond) and releases in reverse order on
+/// reset()/destruction. Like guard_ptr, a span must die before the
+/// operation that justified it ends (op_guard / run_guarded assert this in
+/// debug builds via the manager's live-guard accounting).
+template <class Mgr, bool PerAccess = Mgr::per_access_protection>
+class guard_span {
+  public:
+    guard_span() noexcept = default;
+    guard_span(Mgr* mgr, int tid) noexcept : mgr_(mgr), tid_(tid) {}
+
+    guard_span(const guard_span&) = delete;
+    guard_span& operator=(const guard_span&) = delete;
+
+    guard_span(guard_span&& o) noexcept
+        : mgr_(o.mgr_), tid_(o.tid_), heap_(o.heap_), count_(o.count_),
+          cap_(o.cap_) {
+        for (std::size_t i = 0; i < o.count_ && i < INLINE_CAP; ++i) {
+            inline_[i] = o.inline_[i];
+        }
+        o.heap_ = nullptr;
+        o.count_ = 0;
+        o.cap_ = INLINE_CAP;
+    }
+    guard_span& operator=(guard_span&& o) noexcept {
+        if (this != &o) {
+            reset();
+            delete[] heap_;
+            mgr_ = o.mgr_;
+            tid_ = o.tid_;
+            heap_ = o.heap_;
+            count_ = o.count_;
+            cap_ = o.cap_;
+            for (std::size_t i = 0; i < o.count_ && i < INLINE_CAP; ++i) {
+                inline_[i] = o.inline_[i];
+            }
+            o.heap_ = nullptr;
+            o.count_ = 0;
+            o.cap_ = INLINE_CAP;
+        }
+        return *this;
+    }
+
+    ~guard_span() {
+        reset();
+        delete[] heap_;
+    }
+
+    /// Admits `p` into the span: protects it (announce + fence + validate,
+    /// exactly accessor::protect) and records it for bulk release. Returns
+    /// false when validation rejects the record -- the caller restarts as
+    /// it would on a failed guard_ptr. A null p is a no-op success.
+    template <class T, class ValidateFn>
+    [[nodiscard]] bool protect(T* p, ValidateFn&& validate) {
+        if (p == nullptr) return true;
+        if (!mgr_->protect(tid_, p, std::forward<ValidateFn>(validate))) {
+            return false;
+        }
+        push(p);
+        mgr_->guard_acquired(tid_);
+        return true;
+    }
+
+    /// Protection without validation: for records that cannot be retired
+    /// while this call runs (sentinels; records already covered by this
+    /// span or another live guard).
+    template <class T>
+    [[nodiscard]] bool protect(T* p) {
+        return protect(p, [] { return true; });
+    }
+
+    /// Releases every protection this span holds, newest first. The
+    /// recording storage is kept for reuse (a restarting scan re-fills it
+    /// without reallocating).
+    void reset() noexcept {
+        const void** s = slots();
+        for (std::size_t i = count_; i-- > 0;) {
+            mgr_->unprotect(tid_, s[i]);
+            mgr_->guard_released(tid_);
+        }
+        count_ = 0;
+    }
+
+    /// Number of live protections held.
+    std::size_t size() const noexcept { return count_; }
+    bool empty() const noexcept { return count_ == 0; }
+
+  private:
+    static constexpr std::size_t INLINE_CAP = 16;
+
+    const void** slots() noexcept { return heap_ != nullptr ? heap_ : inline_; }
+
+    void push(const void* p) {
+        if (count_ == cap_) grow();
+        slots()[count_++] = p;
+    }
+
+    void grow() {
+        const std::size_t new_cap = cap_ * 2;
+        const void** fresh = new const void*[new_cap];
+        const void** s = slots();
+        for (std::size_t i = 0; i < count_; ++i) fresh[i] = s[i];
+        delete[] heap_;
+        heap_ = fresh;
+        cap_ = new_cap;
+    }
+
+    Mgr* mgr_ = nullptr;
+    int tid_ = 0;
+    const void* inline_[INLINE_CAP];
+    const void** heap_ = nullptr;
+    std::size_t count_ = 0;
+    std::size_t cap_ = INLINE_CAP;
+};
+
+/// Epoch flavour: the operation's epoch announcement already covers every
+/// record the span could admit, so the span is an empty token. Kept
+/// move-only and API-identical for parity; trivially destructible so it is
+/// legal inside run_guarded bodies (a neutralization longjmp may skip its
+/// destructor).
+template <class Mgr>
+class guard_span<Mgr, false> {
+  public:
+    guard_span() noexcept = default;
+    constexpr guard_span(Mgr*, int) noexcept {}
+
+    guard_span(const guard_span&) = delete;
+    guard_span& operator=(const guard_span&) = delete;
+    guard_span(guard_span&&) noexcept = default;
+    guard_span& operator=(guard_span&&) noexcept = default;
+    ~guard_span() = default;
+
+    template <class T, class ValidateFn>
+    [[nodiscard]] bool protect(T*, ValidateFn&&) noexcept {
+        return true;
+    }
+    template <class T>
+    [[nodiscard]] bool protect(T*) noexcept {
+        return true;
+    }
+    void reset() noexcept {}
+    std::size_t size() const noexcept { return 0; }
+    bool empty() const noexcept { return true; }
+};
+
 // ---- op_guard ------------------------------------------------------------
 
 /// Brackets one data structure operation: leave_qstate on construction,
@@ -211,6 +385,7 @@ class accessor {
     using manager_type = Mgr;
     template <class T>
     using guard = guard_ptr<Mgr, T>;
+    using span = guard_span<Mgr>;
 
     accessor(Mgr& mgr, int tid) noexcept : mgr_(&mgr), tid_(tid) {}
 
@@ -269,6 +444,20 @@ class accessor {
     template <class T>
     [[nodiscard]] guard<T> protect(T* p) const {
         return protect(p, [] { return true; });
+    }
+
+    /// Mints an empty bulk-protection owner bound to this accessor. For
+    /// epoch schemes the span is an empty trivially destructible token --
+    /// enforced here, mirroring the guard_ptr bare-pointer guarantee -- so
+    /// range scans cost per-access schemes exactly their protections and
+    /// epoch schemes nothing.
+    [[nodiscard]] span make_span() const {
+        if constexpr (!Mgr::per_access_protection) {
+            static_assert(std::is_trivially_destructible_v<span> &&
+                              std::is_empty_v<span>,
+                          "epoch-scheme guard_span must stay an empty token");
+        }
+        return span(mgr_, tid_);
     }
 
     /// Releases every per-access protection this thread holds, via the

@@ -100,6 +100,10 @@ class record_manager {
     using handle_t = smr::thread_handle<record_manager>;
     template <class T>
     using guard_t = smr::guard_ptr<record_manager, T>;
+    /// Bulk protection owner (accessor::make_span()): N per-access
+    /// protections released together; empty + trivially destructible for
+    /// epoch schemes, so spans compose with run_guarded recovery bodies.
+    using span_t = smr::guard_span<record_manager>;
 
     /// Schemes may publish non-default configs (e.g. classic EBR's
     /// scan-everything mode); otherwise value-initialize.

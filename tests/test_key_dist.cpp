@@ -114,6 +114,101 @@ TEST(KeyDist, ZipfParameterEdgeCases) {
     for (int i = 0; i < 100; ++i) EXPECT_EQ(one.next(rng2), 0);
 }
 
+TEST(KeyDist, ZipfTableIsTheDefaultAndAnalyticIsOptOut) {
+    key_dist_config cfg;
+    cfg.kind = key_dist_kind::zipf;
+    cfg.zipf_theta = 0.99;
+    key_dist_shared table_dist(cfg, 1000);
+    EXPECT_TRUE(table_dist.using_zipf_table());
+
+    cfg.zipf_table = false;
+    key_dist_shared analytic(cfg, 1000);
+    EXPECT_FALSE(analytic.using_zipf_table());
+
+    // Uniform and hotspot never build a table; neither does theta == 0
+    // (the uniform degenerate skips the Zipf constants entirely).
+    key_dist_config uni;
+    EXPECT_FALSE(key_dist_shared(uni, 1000).using_zipf_table());
+    cfg.zipf_table = true;
+    cfg.zipf_theta = 0.0;
+    EXPECT_FALSE(key_dist_shared(cfg, 1000).using_zipf_table());
+}
+
+TEST(KeyDist, ZipfTableMatchesAnalyticDistribution) {
+    // The table sampler must reproduce the analytic Gray inversion: same
+    // seeds, per-key histograms. The top two ranks share the exact
+    // analytic branches (identical counts); the interpolated tail must
+    // agree closely in aggregate (identical modulo one-key boundary
+    // wobble from the piecewise-linear quantile).
+    for (const double theta : {0.5, 0.9, 0.99}) {
+        key_dist_config cfg;
+        cfg.kind = key_dist_kind::zipf;
+        cfg.zipf_theta = theta;
+        cfg.zipf_table = true;
+        key_dist_shared table_dist(cfg, 1000);
+        cfg.zipf_table = false;
+        key_dist_shared analytic_dist(cfg, 1000);
+
+        constexpr int DRAWS = 300000;
+        const auto t_counts = histogram(table_dist, 1000, DRAWS, 777);
+        const auto a_counts = histogram(analytic_dist, 1000, DRAWS, 777);
+
+        // Ranks 0 and 1 take the exact branches in both samplers: with
+        // identical seeds the counts must match exactly.
+        EXPECT_EQ(t_counts[0], a_counts[0]) << "theta=" << theta;
+        EXPECT_EQ(t_counts[1], a_counts[1]) << "theta=" << theta;
+
+        // Aggregate mass per decade-of-rank bands within 2% of the draw
+        // count (same underlying uniforms; only boundary keys can differ).
+        const std::size_t bands[] = {2, 10, 100, 1000};
+        std::size_t lo = 2;
+        for (const std::size_t hi : bands) {
+            if (hi <= lo) continue;
+            long long t_mass = 0, a_mass = 0;
+            for (std::size_t i = lo; i < hi; ++i) {
+                t_mass += t_counts[i];
+                a_mass += a_counts[i];
+            }
+            EXPECT_NEAR(static_cast<double>(t_mass),
+                        static_cast<double>(a_mass), DRAWS * 0.02)
+                << "theta=" << theta << " band [" << lo << ", " << hi << ")";
+            lo = hi;
+        }
+
+        // Per-key agreement in the hot head, where a one-key wobble would
+        // be a real distribution error (each of ranks 2..20 carries
+        // meaningful mass).
+        for (std::size_t i = 2; i <= 20; ++i) {
+            const double expected = static_cast<double>(a_counts[i]);
+            EXPECT_NEAR(static_cast<double>(t_counts[i]), expected,
+                        expected * 0.15 + 50.0)
+                << "theta=" << theta << " rank " << i;
+        }
+    }
+}
+
+TEST(KeyDist, ZipfTableSamplerStatisticalShape) {
+    // The table path must satisfy the same statistical properties the
+    // analytic sampler is tested for above: rank ordering + mass
+    // concentration (guards against a subtly broken interpolation).
+    key_dist_config cfg;
+    cfg.kind = key_dist_kind::zipf;
+    cfg.zipf_theta = 0.9;
+    cfg.zipf_table = true;
+    key_dist_shared dist(cfg, 1000);
+    ASSERT_TRUE(dist.using_zipf_table());
+    const auto counts = histogram(dist, 1000, 300000);
+    EXPECT_GT(counts[0], counts[9]);
+    EXPECT_GT(counts[9], counts[99]);
+    EXPECT_GT(counts[99], counts[999]);
+    long long top12 = 0, total = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        total += counts[i];
+        if (i < 12) top12 += counts[i];
+    }
+    EXPECT_GT(top12 * 3, total);
+}
+
 TEST(KeyDist, HotspotHonorsWindowAndHotPct) {
     key_dist_config cfg;
     cfg.kind = key_dist_kind::hotspot;

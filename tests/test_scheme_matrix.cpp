@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "ds/concepts.h"
 #include "ds/hash_map.h"
 #include "ds/ms_queue.h"
 #include "ds/treiber_stack.h"
@@ -70,6 +71,21 @@ void expect_limbo_bounded(Mgr& mgr, int num_types) {
             static_cast<long long>(num_types) * mgr.num_threads() *
             (mgr.global().scan_threshold_records() + 3 * Mgr::BLOCK_SIZE);
         EXPECT_LE(mgr.total_limbo_all_types(), bound);
+    }
+}
+
+/// Post-trial settle: run a little per-tid churn so every thread's limbo
+/// bag crosses its scan threshold again *after* the workers quiesced.
+/// Scan-based schemes keep records covered by reservations live at their
+/// last mid-trial scan (a preempted worker's stale reservation can cover
+/// thousands of retires at the stack/queue's retire rate); with no other
+/// reservations live, these settle scans free all of that, leaving the
+/// bags at their true steady-state bound.
+template <class Mgr, class ChurnFn>
+void settle_limbo(Mgr& mgr, int threads, ChurnFn&& per_tid_churn) {
+    for (int t = 0; t < threads; ++t) {
+        auto h = mgr.register_thread(t);
+        per_tid_churn(mgr.access(h));
     }
 }
 
@@ -125,6 +141,43 @@ TYPED_TEST(SchemeMatrix, SchemeConceptConformance) {
         static_assert(std::is_trivially_destructible_v<guard_t>);
         static_assert(sizeof(guard_t) == sizeof(node_t*));
     }
+    // guard_span mirrors the guarantee in bulk: an empty trivially
+    // destructible token for epoch schemes (legal inside run_guarded
+    // bodies), a releasing owner for per-access schemes.
+    using span_t = typename mgr_t::span_t;
+    static_assert(!std::is_copy_constructible_v<span_t>);
+    static_assert(std::is_move_constructible_v<span_t>);
+    if constexpr (!S::per_access_protection) {
+        static_assert(std::is_trivially_destructible_v<span_t>);
+        static_assert(std::is_empty_v<span_t>);
+    } else {
+        static_assert(!std::is_trivially_destructible_v<span_t>);
+    }
+    SUCCEED();
+}
+
+TYPED_TEST(SchemeMatrix, ContainerConceptConformance) {
+    using S = TypeParam;
+    // Every structure satisfies its container concept (ds/concepts.h)
+    // under every scheme it instantiates with; DEBRA+ cells exist only
+    // where the structure carries neutralization recovery code.
+    static_assert(ds::ordered_set_like<
+                  ds::ellen_bst<key_t, val_t, testutil::bst_mgr<S>>>);
+    if constexpr (!S::supports_crash_recovery) {
+        static_assert(ds::ordered_set_like<
+                      ds::harris_list<key_t, val_t, testutil::list_mgr<S>>>);
+        static_assert(ds::ordered_set_like<
+                      ds::hash_map<key_t, val_t, testutil::list_mgr<S>>>);
+        static_assert(ds::ordered_set_like<
+                      ds::lazy_skiplist<key_t, val_t, testutil::skip_mgr<S>>>);
+        using stack_mgr = record_manager<S, alloc_malloc, pool_shared,
+                                         ds::stack_node<long>>;
+        using queue_mgr = record_manager<S, alloc_malloc, pool_shared,
+                                         ds::queue_node<long>>;
+        static_assert(
+            ds::stack_queue_like<ds::treiber_stack<long, stack_mgr>>);
+        static_assert(ds::stack_queue_like<ds::ms_queue<long, queue_mgr>>);
+    }
     SUCCEED();
 }
 
@@ -175,6 +228,94 @@ TYPED_TEST(SchemeMatrix, HashMap) {
         mgr_t mgr(THREADS, fast_config<mgr_t>());
         ds::hash_map<key_t, val_t, mgr_t> map(mgr, 32);
         run_set_cell(mgr, map, 1);
+    }
+}
+
+// ---- harness shapes over the concepts -------------------------------------
+
+TYPED_TEST(SchemeMatrix, RangeScanMixHarnessCell) {
+    // The set harness with a range-query share: exercises guard_span
+    // protection windows under concurrency for every scheme (including
+    // DEBRA+ neutralization through the BST's run_guarded scan).
+    using S = TypeParam;
+    if (skip_leaky_cell<S>()) GTEST_SKIP() << "'none' leaks by design";
+    using mgr_t = testutil::bst_mgr<S>;
+    mgr_t mgr(THREADS, fast_config<mgr_t>());
+    ds::ellen_bst<key_t, val_t, mgr_t> bst(mgr);
+    harness::workload_config cfg;
+    cfg.num_threads = THREADS;
+    cfg.key_range = 512;
+    cfg.insert_pct = 30;
+    cfg.delete_pct = 30;
+    cfg.rq_pct = 20;
+    cfg.rq_len = 64;
+    cfg.trial_ms = 40;
+    cfg.seed = 99;
+    const auto r = harness::run_trial(bst, mgr, cfg);
+    EXPECT_TRUE(r.size_invariant_holds())
+        << "final=" << r.final_size << " expected=" << r.expected_final_size;
+    EXPECT_GT(r.range_queries, 0);
+    EXPECT_GT(r.range_keys, 0);
+    settle_limbo(mgr, THREADS, [&](auto acc) {
+        for (key_t k = 0; k < 200; ++k) {
+            bst.insert(acc, 1000 + k, k);
+            bst.erase(acc, 1000 + k);
+        }
+    });
+    expect_limbo_bounded(mgr, 2);
+}
+
+TYPED_TEST(SchemeMatrix, PushPopHarnessCell) {
+    // The stack_queue_like harness shape: the stack and queue run the
+    // same timed trial as the sets, element-count invariant included.
+    using S = TypeParam;
+    if (skip_leaky_cell<S>()) GTEST_SKIP() << "'none' leaks by design";
+    if constexpr (S::supports_crash_recovery) {
+        GTEST_SKIP() << "stack/queue carry no neutralization recovery";
+    } else {
+        harness::workload_config cfg;
+        cfg.num_threads = THREADS;
+        cfg.key_range = 512;  // prefill/2 elements + value range
+        cfg.insert_pct = 55;  // push share; the rest pops
+        cfg.delete_pct = 45;
+        cfg.trial_ms = 40;
+        cfg.seed = 7;
+        {
+            using mgr_t = record_manager<S, alloc_malloc, pool_shared,
+                                         ds::stack_node<long long>>;
+            mgr_t mgr(THREADS, fast_config<mgr_t>());
+            ds::treiber_stack<long long, mgr_t> stack(mgr);
+            const auto r = harness::run_pushpop_trial(stack, mgr, cfg);
+            EXPECT_TRUE(r.size_invariant_holds())
+                << "stack final=" << r.final_size
+                << " expected=" << r.expected_final_size;
+            EXPECT_GT(r.total_ops, 0);
+            settle_limbo(mgr, THREADS, [&](auto acc) {
+                for (int i = 0; i < 200; ++i) {
+                    stack.push(acc, i);
+                    (void)stack.try_pop(acc);
+                }
+            });
+            expect_limbo_bounded(mgr, 1);
+        }
+        {
+            using mgr_t = record_manager<S, alloc_malloc, pool_shared,
+                                         ds::queue_node<long long>>;
+            mgr_t mgr(THREADS, fast_config<mgr_t>());
+            ds::ms_queue<long long, mgr_t> queue(mgr);
+            const auto r = harness::run_pushpop_trial(queue, mgr, cfg);
+            EXPECT_TRUE(r.size_invariant_holds())
+                << "queue final=" << r.final_size
+                << " expected=" << r.expected_final_size;
+            EXPECT_GT(r.total_ops, 0);
+            settle_limbo(mgr, THREADS, [&](auto acc) {
+                for (int i = 0; i < 200; ++i) {
+                    queue.push(acc, i);
+                    (void)queue.try_pop(acc);
+                }
+            });
+            expect_limbo_bounded(mgr, 1);
+        }
     }
 }
 

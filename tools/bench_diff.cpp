@@ -1,0 +1,178 @@
+// bench_diff -- compares two smr_bench run documents and flags throughput
+// regressions, turning CI's uploaded bench-*.json artifacts into a perf
+// trajectory (ROADMAP "Trend tracking").
+//
+//   bench_diff [--threshold-pct=N] baseline.json candidate.json
+//
+// Matching: every workload point is keyed by its configuration hash --
+// (scenario, ds, scheme, policy, threads, key_range, mix) -- and trials of
+// the same key are averaged on each side. Keys present on only one side
+// are reported but are not failures (scenario sets evolve); a matched key
+// whose candidate mean throughput_mops falls more than the threshold
+// below the baseline mean is a REGRESSION.
+//
+// Exit codes: 0 = no regression beyond the threshold, 1 = at least one
+// regression, 2 = usage / parse / schema error. Non-"workload" documents
+// (tables, ablations) carry no comparable points and exit 0 with a note.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/json.h"
+#include "harness/report.h"
+#include "util/prng.h"
+
+namespace {
+
+using smr::harness::json;
+
+struct cell {
+    double mops_sum = 0;
+    int trials = 0;
+    double mean() const { return trials > 0 ? mops_sum / trials : 0.0; }
+};
+
+/// The point's configuration key: every axis that makes two measurements
+/// comparable. The human-readable key doubles as the hash input.
+std::string point_key(const std::string& scenario_name, const json& p) {
+    std::ostringstream os;
+    os << scenario_name;
+    for (const char* field : {"ds", "scheme", "policy", "mix"}) {
+        const json* v = p.find(field);
+        os << '|' << (v != nullptr ? v->as_string() : std::string("-"));
+    }
+    for (const char* field : {"threads", "key_range"}) {
+        const json* v = p.find(field);
+        os << '|' << (v != nullptr ? v->as_int() : -1);
+    }
+    return os.str();
+}
+
+std::uint64_t key_hash(const std::string& key) {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const char c : key) {
+        h = smr::prng::splitmix64(h ^ static_cast<unsigned char>(c));
+    }
+    return h;
+}
+
+bool load_document(const char* path, json* out, std::string* scenario_name,
+                   bool* is_workload) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_diff: cannot open '%s'\n", path);
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto parsed = json::parse(buf.str());
+    if (!parsed.has_value()) {
+        std::fprintf(stderr, "bench_diff: '%s' is not valid JSON\n", path);
+        return false;
+    }
+    std::string err;
+    if (!smr::harness::validate_run_document(*parsed, &err)) {
+        std::fprintf(stderr, "bench_diff: '%s' fails the run-document "
+                             "schema: %s\n",
+                     path, err.c_str());
+        return false;
+    }
+    *scenario_name = parsed->find("scenario")->find("name")->as_string();
+    *is_workload = parsed->find("kind")->as_string() == "workload";
+    *out = std::move(*parsed);
+    return true;
+}
+
+std::map<std::string, cell> collect_cells(const json& doc,
+                                          const std::string& scenario_name) {
+    std::map<std::string, cell> cells;
+    const json& points = *doc.find("points");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const json& p = points[i];
+        const json* mops = p.find("throughput_mops");
+        if (mops == nullptr) continue;
+        cell& c = cells[point_key(scenario_name, p)];
+        c.mops_sum += mops->as_double();
+        ++c.trials;
+    }
+    return cells;
+}
+
+int diff_main(int argc, char** argv) {
+    double threshold_pct = 10.0;
+    std::vector<const char*> paths;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threshold-pct=", 16) == 0) {
+            char* end = nullptr;
+            threshold_pct = std::strtod(argv[i] + 16, &end);
+            if (end == nullptr || *end != '\0' || threshold_pct < 0) {
+                std::fprintf(stderr, "bench_diff: bad --threshold-pct\n");
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: bench_diff [--threshold-pct=N] "
+                        "baseline.json candidate.json\n");
+            return 0;
+        } else {
+            paths.push_back(argv[i]);
+        }
+    }
+    if (paths.size() != 2) {
+        std::fprintf(stderr, "usage: bench_diff [--threshold-pct=N] "
+                             "baseline.json candidate.json\n");
+        return 2;
+    }
+
+    json base, cand;
+    std::string base_name, cand_name;
+    bool base_wl = false, cand_wl = false;
+    if (!load_document(paths[0], &base, &base_name, &base_wl)) return 2;
+    if (!load_document(paths[1], &cand, &cand_name, &cand_wl)) return 2;
+    if (!base_wl || !cand_wl) {
+        std::printf("bench_diff: non-workload document(s) "
+                    "(kind != \"workload\"); nothing to compare\n");
+        return 0;
+    }
+
+    const auto base_cells = collect_cells(base, base_name);
+    const auto cand_cells = collect_cells(cand, cand_name);
+
+    int matched = 0, regressions = 0, only_base = 0, only_cand = 0;
+    for (const auto& [key, bc] : base_cells) {
+        const auto it = cand_cells.find(key);
+        if (it == cand_cells.end()) {
+            ++only_base;
+            continue;
+        }
+        ++matched;
+        const double b = bc.mean();
+        const double c = it->second.mean();
+        const double delta_pct = b > 0 ? (c - b) / b * 100.0 : 0.0;
+        const bool regressed = b > 0 && delta_pct < -threshold_pct;
+        if (regressed) ++regressions;
+        // Report every matched cell; mark the failures loudly.
+        std::printf("%s  [%016" PRIx64 "]  %.3f -> %.3f Mops/s  (%+.1f%%)%s\n",
+                    key.c_str(), key_hash(key), b, c, delta_pct,
+                    regressed ? "  REGRESSION" : "");
+    }
+    for (const auto& [key, cc] : cand_cells) {
+        if (base_cells.find(key) == base_cells.end()) ++only_cand;
+        (void)cc;
+    }
+
+    std::printf("\nbench_diff: %d matched, %d only-baseline, "
+                "%d only-candidate, threshold %.1f%%, %d regression%s\n",
+                matched, only_base, only_cand, threshold_pct, regressions,
+                regressions == 1 ? "" : "s");
+    return regressions > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return diff_main(argc, argv); }
