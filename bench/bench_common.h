@@ -53,16 +53,45 @@ using key_t = long long;
 using val_t = long long;
 
 /// The memory-policy axis (allocator x pool) of the paper's three
-/// experiments.
-enum class policy_kind { overhead, reclaim, malloc_pool };
+/// experiments, plus the size-class arena point (PR 5):
+///   overhead  bump  + discard pool   (Experiment 1)
+///   reclaim   bump  + shared pool    (Experiment 2)
+///   malloc    malloc+ shared pool    (Experiment 3)
+///   arena     arena + shared pool    (allocator sweep / NUMA scenarios)
+enum class policy_kind { overhead, reclaim, malloc_pool, arena_pool };
 
 inline const char* policy_name(policy_kind p) {
     switch (p) {
         case policy_kind::overhead: return "overhead";
         case policy_kind::reclaim: return "reclaim";
         case policy_kind::malloc_pool: return "malloc";
+        case policy_kind::arena_pool: return "arena";
     }
     return "?";
+}
+
+/// Maps an --alloc name to its policy (every allocator runs over the
+/// shared pool; "discard" names the Experiment-1 overhead policy). Also
+/// accepts the policy names themselves, so --alloc=reclaim works.
+inline bool policy_for_alloc_name(const std::string& name,
+                                  policy_kind* out) {
+    if (name == "bump" || name == "reclaim") {
+        *out = policy_kind::reclaim;
+        return true;
+    }
+    if (name == "malloc") {
+        *out = policy_kind::malloc_pool;
+        return true;
+    }
+    if (name == "arena") {
+        *out = policy_kind::arena_pool;
+        return true;
+    }
+    if (name == "discard" || name == "overhead") {
+        *out = policy_kind::overhead;
+        return true;
+    }
+    return false;
 }
 
 /// The paper's two operation mixes (Section 7), reused by scenarios.
@@ -250,6 +279,10 @@ point_status run_with_policy(policy_kind policy,
                 break;
             case policy_kind::malloc_pool:
                 *out = run_one_trial<Adapter, Scheme, alloc_malloc,
+                                     pool_shared>(cfg);
+                break;
+            case policy_kind::arena_pool:
+                *out = run_one_trial<Adapter, Scheme, alloc_arena,
                                      pool_shared>(cfg);
                 break;
         }

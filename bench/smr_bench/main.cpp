@@ -39,6 +39,12 @@ void print_usage() {
         "                       hash_map, treiber_stack, ms_queue)\n"
         "  --scheme=A,B         override the scenario's schemes (none, ebr,\n"
         "                       debra, debra+, hp, he, ibr)\n"
+        "  --alloc=A,B          override the scenario's memory policies by\n"
+        "                       allocator (bump, malloc, arena; 'discard'\n"
+        "                       = Experiment-1 overhead policy). Each runs\n"
+        "                       over the shared object pool\n"
+        "  --pin=A,B            override the scenario's thread placement\n"
+        "                       (none, compact, scatter)\n"
         "  --threads=1,2,4      thread counts to sweep\n"
         "  --trial-ms=N         per-trial duration in ms\n"
         "  --trials=N           trials per point (each emitted separately)\n"
@@ -102,7 +108,9 @@ harness::json dist_to_json(const harness::key_dist_config& d) {
 harness::json config_to_json(const scenario& sc,
                              const harness::bench_config& cfg,
                              const std::vector<int>& threads,
-                             const std::vector<long long>& ranges) {
+                             const std::vector<long long>& ranges,
+                             const std::vector<policy_kind>& policies,
+                             const std::vector<topo::pin_policy>& pins) {
     harness::json c = harness::json::object();
     c.set("trial_ms", cfg.trial_ms);
     c.set("trials", cfg.trials);
@@ -110,7 +118,15 @@ harness::json config_to_json(const scenario& sc,
     for (int t : threads) th.push_back(t);
     c.set("threads", std::move(th));
     c.set("seed", static_cast<long long>(cfg.seed));
-    c.set("policy", policy_name(sc.policy));
+    c.set("policy", policy_name(policies.front()));
+    harness::json pol = harness::json::array();
+    for (policy_kind p : policies) pol.push_back(policy_name(p));
+    c.set("policies", std::move(pol));
+    harness::json pj = harness::json::array();
+    for (topo::pin_policy p : pins) {
+        pj.push_back(topo::pin_policy_name(p));
+    }
+    c.set("pins", std::move(pj));
     harness::json kr = harness::json::array();
     for (long long r : ranges) kr.push_back(r);
     c.set("key_ranges", std::move(kr));
@@ -146,6 +162,52 @@ int run_workload_scenario(const scenario& sc,
     const auto schemes =
         cfg.scheme_filter.empty() ? sc.schemes : cfg.scheme_filter;
     const auto threads = resolve_threads(sc, cfg);
+
+    // Memory-policy sweep: --alloc overrides the scenario; a scenario
+    // without an explicit sweep runs its single policy (the pre-PR shape).
+    std::vector<policy_kind> policies;
+    if (!cfg.alloc_filter.empty()) {
+        for (const auto& name : cfg.alloc_filter) {
+            policy_kind p;
+            if (!policy_for_alloc_name(name, &p)) {
+                std::fprintf(stderr,
+                             "smr_bench: --alloc: unknown allocator '%s' "
+                             "(known: bump, malloc, arena, discard)\n",
+                             name.c_str());
+                return 2;
+            }
+            if (std::find(policies.begin(), policies.end(), p) ==
+                policies.end()) {
+                policies.push_back(p);
+            }
+        }
+    } else if (!sc.policies.empty()) {
+        policies = sc.policies;
+    } else {
+        policies = {sc.policy};
+    }
+
+    // Thread-placement sweep: --pin overrides the scenario's pins.
+    std::vector<topo::pin_policy> pins;
+    if (!cfg.pin_filter.empty()) {
+        for (const auto& name : cfg.pin_filter) {
+            topo::pin_policy p;
+            if (!topo::parse_pin_policy(name, &p)) {
+                std::fprintf(stderr,
+                             "smr_bench: --pin: unknown policy '%s' "
+                             "(known: none, compact, scatter)\n",
+                             name.c_str());
+                return 2;
+            }
+            if (std::find(pins.begin(), pins.end(), p) == pins.end()) {
+                pins.push_back(p);
+            }
+        }
+    } else {
+        pins = sc.shape.pins;
+    }
+    if (pins.empty()) pins = {topo::pin_policy::none};
+
     std::vector<long long> ranges;
     for (long long r : sc.shape.key_ranges) {
         const long long resolved = r == 0 ? cfg.keyrange_large : r;
@@ -172,14 +234,16 @@ int run_workload_scenario(const scenario& sc,
     std::set<std::string> skipped_cells;  // "ds/scheme", reported once each
     bool invariant_ok = true;
 
+    for (policy_kind policy : policies) {
+    for (topo::pin_policy pin : pins) {
     for (long long range : ranges) {
         for (const auto& mix : mixes) {
             for (const auto& ds : ds_list) {
-                std::printf("\n%s keyrange [0,%lld) workload %s policy %s  "
-                            "(Mops/s, mean of %d trial%s)\n",
+                std::printf("\n%s keyrange [0,%lld) workload %s policy %s "
+                            "pin %s  (Mops/s, mean of %d trial%s)\n",
                             ds.c_str(), range, mix.name.c_str(),
-                            policy_name(sc.policy), cfg.trials,
-                            cfg.trials == 1 ? "" : "s");
+                            policy_name(policy), topo::pin_policy_name(pin),
+                            cfg.trials, cfg.trials == 1 ? "" : "s");
                 print_table_header(schemes);
                 for (int t : threads) {
                     if (sc.shape.stall_straggler && t < 2) {
@@ -197,6 +261,7 @@ int run_workload_scenario(const scenario& sc,
                         wl.rq_len = sc.shape.rq_len;
                         wl.dist = sc.shape.dist;
                         wl.phases = sc.shape.phases;
+                        wl.pin = pin;
                         if (sc.shape.stall_straggler) {
                             wl.stall_tid = t - 1;
                             wl.stall_ms = sc.shape.stall_ms;
@@ -209,7 +274,7 @@ int run_workload_scenario(const scenario& sc,
                             harness::trial_result r;
                             std::string note;
                             const point_status st = run_point(
-                                ds, scheme, sc.policy, wl, &r, &note);
+                                ds, scheme, policy, wl, &r, &note);
                             if (st == point_status::unknown_name) {
                                 std::fprintf(stderr, "smr_bench: %s\n",
                                              note.c_str());
@@ -245,12 +310,13 @@ int run_workload_scenario(const scenario& sc,
                             harness::point_meta meta;
                             meta.ds = ds;
                             meta.scheme = scheme;
-                            meta.policy = policy_name(sc.policy);
+                            meta.policy = policy_name(policy);
                             meta.threads = t;
                             meta.trial = trial;
                             harness::json p = harness::point_to_json(meta, r);
                             p.set("key_range", range);
                             p.set("mix", mix.name);
+                            p.set("pin", topo::pin_policy_name(pin));
                             points.push_back(std::move(p));
                             mops_sum += r.mops_per_sec();
                             ++ran;
@@ -262,8 +328,11 @@ int run_workload_scenario(const scenario& sc,
             }
         }
     }
+    }
+    }
 
-    harness::json config = config_to_json(sc, cfg, threads, ranges);
+    harness::json config =
+        config_to_json(sc, cfg, threads, ranges, policies, pins);
     harness::json ds_j = harness::json::array();
     for (const auto& d : ds_list) ds_j.push_back(d);
     config.set("ds", std::move(ds_j));
@@ -355,11 +424,12 @@ int driver_main(int argc, char** argv) {
         return 2;
     }
     if (sc->custom != nullptr &&
-        (!cfg.ds_filter.empty() || !cfg.scheme_filter.empty())) {
+        (!cfg.ds_filter.empty() || !cfg.scheme_filter.empty() ||
+         !cfg.alloc_filter.empty() || !cfg.pin_filter.empty())) {
         // Silently running the wrong schemes would be worse than refusing.
         std::fprintf(stderr,
                      "smr_bench: scenario '%s' has a fixed shape and does "
-                     "not take --ds/--scheme\n",
+                     "not take --ds/--scheme/--alloc/--pin\n",
                      sc->name.c_str());
         return 2;
     }

@@ -54,8 +54,8 @@ bool raw_contains(Mgr& mgr, int tid, Tree& tree, const key_t& key) {
                 mgr.clear_protections(t);
                 node_t* gp = nullptr;
                 node_t* p = nullptr;
-                std::uintptr_t gpupdate = sp::pack(nullptr, ds::BST_CLEAN);
-                std::uintptr_t pupdate = sp::pack(nullptr, ds::BST_CLEAN);
+                std::uintptr_t gpupdate = sp::pack(nullptr, ds::BST_CLEAN, 0);
+                std::uintptr_t pupdate = sp::pack(nullptr, ds::BST_CLEAN, 0);
                 node_t* l = tree.root();
                 mgr.protect(t, l);  // root is never retired
                 bool restart = false;

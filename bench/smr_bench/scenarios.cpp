@@ -289,6 +289,43 @@ std::vector<scenario> build_registry() {
         reg.push_back(std::move(s));
     }
 
+    // ---- memory-placement scenarios (PR 5) -------------------------------
+
+    {
+        scenario s;
+        s.name = "alloc_sweep";
+        s.summary = "Allocator axis at fixed schemes on fig8-shaped churn: "
+                    "preallocated bump vs system malloc vs size-class "
+                    "arenas, all feeding the shared object pool";
+        s.paper_ref = "beyond the paper: allocator sweep (ROADMAP); "
+                      "extends Experiments 2-3's two allocator points";
+        s.ds = {"ellen_bst"};
+        s.schemes = {"debra", "hp"};
+        s.policies = {policy_kind::reclaim, policy_kind::malloc_pool,
+                      policy_kind::arena_pool};
+        s.shape.mixes = {MIX_50_50};
+        s.shape.key_ranges = {10000};
+        reg.push_back(std::move(s));
+    }
+    {
+        scenario s;
+        s.name = "numa_pinned_churn";
+        s.summary = "Compact vs scatter thread pinning under churn with "
+                    "the arena allocator: the remote-return / remote-steal "
+                    "counters expose cross-socket pool and arena traffic "
+                    "(all zero on single-node hosts, where topology falls "
+                    "back to one shard)";
+        s.paper_ref = "Section 4 'Optimizing for NUMA systems', measured "
+                      "beyond the paper";
+        s.ds = {"ellen_bst"};
+        s.schemes = {"debra", "hp"};
+        s.policies = {policy_kind::arena_pool};
+        s.shape.pins = {topo::pin_policy::compact, topo::pin_policy::scatter};
+        s.shape.mixes = {MIX_50_50};
+        s.shape.key_ranges = {10000};
+        reg.push_back(std::move(s));
+    }
+
     // ---- custom scenarios (the non-sweep former binaries) ----------------
 
     {

@@ -18,6 +18,7 @@
 
 #include "bench_common.h"
 #include "harness/json.h"
+#include "topo/pin.h"
 
 namespace smr::bench {
 
@@ -42,6 +43,9 @@ struct workload_shape {
     /// Default thread sweep runs past the host's core count (Figure 9
     /// left). Only applies when neither --threads nor SMR_THREADS is set.
     bool oversubscribe = false;
+    /// Thread-placement sweep: one full table set per policy (--pin
+    /// overrides). Default: the scheduler places threads, as before.
+    std::vector<topo::pin_policy> pins = {topo::pin_policy::none};
 };
 
 struct scenario;
@@ -58,6 +62,9 @@ struct scenario {
     std::vector<std::string> ds;
     std::vector<std::string> schemes;
     policy_kind policy = policy_kind::reclaim;
+    /// Memory-policy sweep (--alloc overrides): one full table set per
+    /// entry. Empty = just `policy`, the single-policy scenarios' shape.
+    std::vector<policy_kind> policies;
     workload_shape shape;
     custom_run_fn custom = nullptr;  // nullptr = generic workload sweep
 

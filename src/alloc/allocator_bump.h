@@ -49,7 +49,7 @@ class allocator_bump {
             if (stats_) stats_->add(tid, stat::records_reused);
             return reinterpret_cast<T*>(n);
         }
-        if (st.bump + SLOT > st.chunk_end) grow(st);
+        if (st.bump == nullptr || st.bump + SLOT > st.chunk_end) grow(st);
         T* p = reinterpret_cast<T*>(st.bump);
         st.bump += SLOT;
         st.bumped_bytes += SLOT;

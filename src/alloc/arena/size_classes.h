@@ -1,0 +1,92 @@
+// size_classes.h -- jemalloc-style size-class table for the arena
+// allocator.
+//
+// Slab arenas carve fixed-size slots; the slot size for a record type is
+// its size rounded up to a size class so distinct record types of similar
+// size share a slot geometry (and internal fragmentation stays bounded at
+// 25%). The spacing is the classic jemalloc small-class ladder:
+//
+//   <= 8         ->  8
+//   (8, 128]     ->  multiples of 16        (16, 32, ..., 128)
+//   (128, max]   ->  four classes per power-of-two group: spacing is a
+//                    quarter of the group  (160, 192, 224, 256, 320, ...)
+//
+// Everything here is constexpr: the allocator resolves its class at
+// compile time, and the unit tests enumerate the table's boundaries.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+
+namespace smr::alloc {
+
+/// Largest slot the slab arenas serve. Records in this library are tens
+/// to hundreds of bytes; 8 KiB leaves eight slots in the smallest slab.
+inline constexpr std::size_t SIZE_CLASS_MAX = 8192;
+
+/// Rounds `n` up to its size class. n == 0 rounds to the smallest class;
+/// n > SIZE_CLASS_MAX is the caller's error (static_assert upstream).
+constexpr std::size_t round_size(std::size_t n) noexcept {
+    if (n <= 8) return 8;
+    if (n <= 128) return (n + 15) / 16 * 16;
+    const std::size_t spacing = std::bit_floor(n - 1) / 4;
+    return (n + spacing - 1) / spacing * spacing;
+}
+
+namespace size_class_detail {
+constexpr int count_classes() noexcept {
+    int count = 0;
+    std::size_t last = 0;
+    for (std::size_t n = 1; n <= SIZE_CLASS_MAX; ++n) {
+        const std::size_t c = round_size(n);
+        if (c != last) {
+            ++count;
+            last = c;
+        }
+    }
+    return count;
+}
+}  // namespace size_class_detail
+
+inline constexpr int NUM_SIZE_CLASSES = size_class_detail::count_classes();
+
+/// The table itself: ascending, SIZE_CLASSES[i] is class i's slot bytes.
+inline constexpr auto SIZE_CLASSES = [] {
+    std::array<std::size_t, NUM_SIZE_CLASSES> table{};
+    int idx = 0;
+    std::size_t last = 0;
+    for (std::size_t n = 1; n <= SIZE_CLASS_MAX; ++n) {
+        const std::size_t c = round_size(n);
+        if (c != last) {
+            table[static_cast<std::size_t>(idx++)] = c;
+            last = c;
+        }
+    }
+    return table;
+}();
+
+/// Index of the smallest class that fits `n` (== index of round_size(n)).
+constexpr int size_class_index(std::size_t n) noexcept {
+    const std::size_t rounded = round_size(n);
+    for (int i = 0; i < NUM_SIZE_CLASSES; ++i) {
+        if (SIZE_CLASSES[static_cast<std::size_t>(i)] == rounded) return i;
+    }
+    return NUM_SIZE_CLASSES - 1;
+}
+
+constexpr std::size_t size_class_bytes(int idx) noexcept {
+    if (idx < 0) idx = 0;
+    if (idx >= NUM_SIZE_CLASSES) idx = NUM_SIZE_CLASSES - 1;
+    return SIZE_CLASSES[static_cast<std::size_t>(idx)];
+}
+
+static_assert(round_size(1) == 8 && round_size(8) == 8);
+static_assert(round_size(9) == 16 && round_size(128) == 128);
+static_assert(round_size(129) == 160 && round_size(160) == 160);
+static_assert(round_size(161) == 192 && round_size(256) == 256);
+static_assert(round_size(257) == 320);
+static_assert(SIZE_CLASSES[0] == 8 &&
+              SIZE_CLASSES[NUM_SIZE_CLASSES - 1] == SIZE_CLASS_MAX);
+
+}  // namespace smr::alloc

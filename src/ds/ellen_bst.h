@@ -37,8 +37,14 @@
 //     overwrites the node's update word (or dies with the node's subtree);
 //   * descriptor fields that survive in CLEAN words are only ever compared,
 //     never dereferenced, so a retired info is safe to free after its grace
-//     period. (See DESIGN.md "Known theoretical limits" for the recycled-
-//     address ABA this shares with published implementations.)
+//     period. Update words are *version-stamped* (vstated_ptr): every CAS
+//     advances a per-node 16-bit version packed into the word's high bits,
+//     so comparisons match (pointer, state, version) and a descriptor
+//     address recycled through the pool can no longer spuriously satisfy a
+//     stale expected value. (DESIGN.md Section 7 records the residual
+//     mod-2^16 wraparound window; the word deliberately stays one
+//     lock-free machine word so DEBRA+ neutralization can longjmp out of
+//     any update-word access.)
 #pragma once
 
 #include <atomic>
@@ -73,6 +79,8 @@ struct bst_info;
 
 /// Tree node. Leaf iff left == nullptr. `inf` lifts the key order: 0 for
 /// real keys, 1 and 2 for the sentinels (inf2 > inf1 > every real key).
+/// `update` is a version-stamped word (vstated_ptr): (info*, state) plus a
+/// monotonically increasing per-node version in the high bits.
 template <class K, class V>
 struct bst_node {
     K key;
@@ -112,7 +120,7 @@ class ellen_bst {
     using mapped_type = V;
     using node_t = bst_node<K, V>;
     using info_t = bst_info<K, V>;
-    using sp = stated_ptr<info_t>;
+    using sp = vstated_ptr<info_t>;
     using accessor_t = typename RecordMgr::accessor_t;
     using node_guard = typename RecordMgr::template guard_t<node_t>;
     using info_guard = typename RecordMgr::template guard_t<info_t>;
@@ -384,7 +392,8 @@ class ellen_bst {
         n->key = key;
         n->value = value;
         n->inf = inf;
-        n->update.store(sp::pack(nullptr, BST_CLEAN), std::memory_order_relaxed);
+        n->update.store(sp::pack(nullptr, BST_CLEAN, 0),
+                        std::memory_order_relaxed);
         n->left.store(nullptr, std::memory_order_relaxed);
         n->right.store(nullptr, std::memory_order_relaxed);
         return n;
@@ -395,7 +404,8 @@ class ellen_bst {
         n->key = key;
         n->value = V{};
         n->inf = inf;
-        n->update.store(sp::pack(nullptr, BST_CLEAN), std::memory_order_relaxed);
+        n->update.store(sp::pack(nullptr, BST_CLEAN, 0),
+                        std::memory_order_relaxed);
         n->left.store(l, std::memory_order_relaxed);
         n->right.store(r, std::memory_order_release);
     }
@@ -421,8 +431,8 @@ class ellen_bst {
     bool search(accessor_t acc, const K& key, search_result& s) {
         s.gp = nullptr;
         s.p = nullptr;
-        s.gpupdate = sp::pack(nullptr, BST_CLEAN);
-        s.pupdate = sp::pack(nullptr, BST_CLEAN);
+        s.gpupdate = sp::pack(nullptr, BST_CLEAN, 0);
+        s.pupdate = sp::pack(nullptr, BST_CLEAN, 0);
         node_t* l = root_;
         // The root is never retired; guard unconditionally.
         node_guard l_g = acc.protect(l);
@@ -469,15 +479,38 @@ class ellen_bst {
         }
     }
 
+    /// Unflags `n` back to CLEAN(op) iff it still carries op's flag in
+    /// state `flag_state`. Reads the current word first: the version lives
+    /// in the word, so the expected value cannot be rebuilt from scratch.
+    /// All helpers of one operation observe the *same* flagged word (its
+    /// version was fixed by the one flag CAS), compute the same CLEAN
+    /// successor, and at most one CAS wins -- idempotence is preserved.
+    ///
+    /// Safety note: because the expected value comes from a fresh load,
+    /// the version stamp does NOT protect this CAS against a recycled
+    /// same-address descriptor -- the load would observe the stranger's
+    /// word, version included. What makes that unreachable is that every
+    /// caller holds a protection on `op` (help() guards it, owners pin
+    /// their own descriptor), so op cannot have been reclaimed and
+    /// recycled while we are here. The version stamp closes the ABA at
+    /// the *flag and mark CASes*, whose expected words are captured at
+    /// search time, before any protection on the displaced descriptor
+    /// exists. Do not add an unguarded helping path.
+    static void unflag(node_t* n, info_t* op, unsigned flag_state) noexcept {
+        std::uintptr_t cur = n->update.load(std::memory_order_seq_cst);
+        if (sp::ptr(cur) == op && sp::state(cur) == flag_state) {
+            n->update.compare_exchange_strong(cur,
+                                              sp::bump(cur, op, BST_CLEAN),
+                                              std::memory_order_seq_cst);
+        }
+    }
+
     /// Completes a published insert. Idempotent and reentrant: any thread,
     /// any number of times, including from neutralization recovery.
     void help_insert(info_t* op) noexcept {
         cas_child(op->p, op->l, op->new_internal);
         op->state.store(BST_COMMITTED, std::memory_order_seq_cst);
-        std::uintptr_t expected = sp::pack(op, BST_IFLAG);
-        op->p->update.compare_exchange_strong(expected,
-                                              sp::pack(op, BST_CLEAN),
-                                              std::memory_order_seq_cst);
+        unflag(op->p, op, BST_IFLAG);
     }
 
     /// Completes a delete whose parent is already marked. Idempotent.
@@ -490,33 +523,31 @@ class ellen_bst {
                 : op->p->right.load(std::memory_order_acquire);
         cas_child(op->gp, op->p, other);
         op->state.store(BST_COMMITTED, std::memory_order_seq_cst);
-        std::uintptr_t expected = sp::pack(op, BST_DFLAG);
-        op->gp->update.compare_exchange_strong(expected,
-                                               sp::pack(op, BST_CLEAN),
-                                               std::memory_order_seq_cst);
+        unflag(op->gp, op, BST_DFLAG);
     }
 
     /// Attempts to complete a published delete: marks the parent, then
     /// finishes via help_marked; on mark failure, aborts and backtracks.
     /// Returns true iff the delete committed.
     bool help_delete(info_t* op) noexcept {
+        // Every helper derives the same desired MARK word from the fixed
+        // op->pupdate snapshot, so the frozen-word test below is stable no
+        // matter whose CAS landed.
         std::uintptr_t expected = op->pupdate;
-        op->p->update.compare_exchange_strong(expected, sp::pack(op, BST_MARK),
+        const std::uintptr_t marked = sp::bump(op->pupdate, op, BST_MARK);
+        op->p->update.compare_exchange_strong(expected, marked,
                                               std::memory_order_seq_cst);
-        // `expected` now holds the current value on failure; a marked word
-        // is frozen forever, so this test is stable across helpers.
+        // A marked word is frozen forever, so this test is stable across
+        // helpers; the version inside `marked` pins it to *this* op.
         const std::uintptr_t cur =
             op->p->update.load(std::memory_order_seq_cst);
-        if (cur == sp::pack(op, BST_MARK)) {
+        if (cur == marked) {
             help_marked(op);
             return true;
         }
         // Mark lost: no helper can ever mark (the expected value is gone).
         op->state.store(BST_ABORTED, std::memory_order_seq_cst);
-        expected = sp::pack(op, BST_DFLAG);
-        op->gp->update.compare_exchange_strong(expected,
-                                               sp::pack(op, BST_CLEAN),
-                                               std::memory_order_seq_cst);
+        unflag(op->gp, op, BST_DFLAG);
         return false;
     }
 
@@ -594,7 +625,7 @@ class ellen_bst {
         ctx.new_sibling->key = l->key;
         ctx.new_sibling->value = l->value;
         ctx.new_sibling->inf = l->inf;
-        ctx.new_sibling->update.store(sp::pack(nullptr, BST_CLEAN),
+        ctx.new_sibling->update.store(sp::pack(nullptr, BST_CLEAN, 0),
                                       std::memory_order_relaxed);
         ctx.new_sibling->left.store(nullptr, std::memory_order_relaxed);
         ctx.new_sibling->right.store(nullptr, std::memory_order_relaxed);
@@ -636,9 +667,9 @@ class ellen_bst {
         info_guard op_pin = acc.protect(op);
 
         std::uintptr_t expected = s.pupdate;
-        if (s.p->update.compare_exchange_strong(expected,
-                                                sp::pack(op, BST_IFLAG),
-                                                std::memory_order_seq_cst)) {
+        if (s.p->update.compare_exchange_strong(
+                expected, sp::bump(s.pupdate, op, BST_IFLAG),
+                std::memory_order_seq_cst)) {
             help_insert(op);
             ctx.outcome = attempt::SUCCESS;
         } else {
@@ -725,9 +756,9 @@ class ellen_bst {
         info_guard op_pin = acc.protect(op);
 
         std::uintptr_t expected = s.gpupdate;
-        if (s.gp->update.compare_exchange_strong(expected,
-                                                 sp::pack(op, BST_DFLAG),
-                                                 std::memory_order_seq_cst)) {
+        if (s.gp->update.compare_exchange_strong(
+                expected, sp::bump(s.gpupdate, op, BST_DFLAG),
+                std::memory_order_seq_cst)) {
             ctx.outcome = help_delete(op) ? attempt::SUCCESS
                                           : attempt::RETRY_FRESH_INFO;
         } else {

@@ -73,6 +73,14 @@ struct bench_config {
     std::string scenario;
     std::vector<std::string> ds_filter;
     std::vector<std::string> scheme_filter;
+    /// --alloc: allocator names (bump, malloc, arena) overriding the
+    /// scenario's memory-policy sweep (each maps to that allocator over
+    /// the shared pool; "discard" selects the Experiment-1 overhead
+    /// policy). Validated against the policy table by the driver.
+    std::vector<std::string> alloc_filter;
+    /// --pin: pinning policies (none, compact, scatter) overriding the
+    /// scenario's placement sweep. Validated by the driver.
+    std::vector<std::string> pin_filter;
     std::string json_path;  // "", or a path, or "-" for stdout
     bool list = false;
     bool help = false;
@@ -140,6 +148,18 @@ struct bench_config {
                 scheme_filter = split_list(value);
                 if (scheme_filter.empty()) {
                     return fail("--scheme needs a comma-separated list");
+                }
+            } else if (name == "--alloc") {
+                alloc_filter = split_list(value);
+                if (alloc_filter.empty()) {
+                    return fail("--alloc needs a comma-separated list "
+                                "(bump, malloc, arena, discard)");
+                }
+            } else if (name == "--pin") {
+                pin_filter = split_list(value);
+                if (pin_filter.empty()) {
+                    return fail("--pin needs a comma-separated list "
+                                "(none, compact, scatter)");
                 }
             } else if (name == "--threads") {
                 auto parsed = parse_int_list(value);

@@ -8,13 +8,15 @@
 // job on the uploaded artifact). Keeping builder and validator adjacent
 // is what stops the schema from drifting.
 //
-// Document shape (schema_version 1):
+// Document shape (schema_version 2; v2 added the topology stanza and the
+// memory-placement counters in workload points):
 //   {
-//     "smr_bench_version": 1,
+//     "smr_bench_version": 2,
 //     "kind": "workload" | "table" | "ablation" | "guard_overhead",
 //     "scenario": {"name", "summary", "paper_ref"},
 //     "config":   {"trial_ms", "trials", "threads": [..], "seed", ...},
 //     "host":     {"hardware_threads"},
+//     "topology": {"sockets", "cpus", "shards", "source", "socket_cpus"},
 //     "points":   [ ...one object per (ds, scheme, threads, trial)... ],
 //     "verdict":  {"ok", "size_invariant_ok", "points"}
 //   }
@@ -31,12 +33,13 @@
 #include <thread>
 #include <vector>
 
+#include "../topo/topology.h"
 #include "json.h"
 #include "workload.h"
 
 namespace smr::harness {
 
-inline constexpr int SMR_BENCH_SCHEMA_VERSION = 1;
+inline constexpr int SMR_BENCH_SCHEMA_VERSION = 2;
 
 struct point_meta {
     std::string ds;
@@ -78,6 +81,10 @@ inline json point_to_json(const point_meta& m, const trial_result& r) {
     rec.set("hp_scans", r.hp_scans);
     rec.set("era_scans", r.era_scans);
     rec.set("op_restarts", r.op_restarts);
+    rec.set("pool_shared_steals", r.pool_shared_steals);
+    rec.set("pool_remote_steals", r.pool_remote_steals);
+    rec.set("pool_remote_returns", r.pool_remote_returns);
+    rec.set("arena_remote_frees", r.arena_remote_frees);
     rec.set("limbo_records", r.limbo_records);
     rec.set("allocated_bytes", r.allocated_bytes);
     p.set("reclamation", std::move(rec));
@@ -113,6 +120,23 @@ inline json point_to_json(const point_meta& m, const trial_result& r) {
     return p;
 }
 
+/// The topology stanza: what the memory-placement layer detected (or was
+/// forced to), so placement counters in the points are interpretable.
+inline json topology_to_json() {
+    const topo::topology& t = topo::system_topology();
+    json o = json::object();
+    o.set("sockets", t.num_sockets);
+    o.set("cpus", t.num_cpus);
+    o.set("shards", topo::shard_count());
+    o.set("source", topo::topo_source_name(t.source));
+    json per = json::array();
+    for (const auto& cpus : t.socket_cpus) {
+        per.push_back(static_cast<long long>(cpus.size()));
+    }
+    o.set("socket_cpus", std::move(per));
+    return o;
+}
+
 /// Assembles the run envelope. `config` is scenario-specific (the driver
 /// fills trial_ms/trials/threads/seed plus distribution and phase info);
 /// `points` is the per-point array; `all_ok` is the run verdict beyond
@@ -136,6 +160,7 @@ inline json make_run_document(const std::string& kind,
     host.set("hardware_threads",
              static_cast<long long>(std::thread::hardware_concurrency()));
     doc.set("host", std::move(host));
+    doc.set("topology", topology_to_json());
     const long long n = static_cast<long long>(points.size());
     doc.set("points", std::move(points));
     json verdict = json::object();
@@ -199,6 +224,7 @@ inline bool validate_run_document(const json& doc, std::string* err) {
                      {"scenario", k::object},
                      {"config", k::object},
                      {"host", k::object},
+                     {"topology", k::object},
                      {"points", k::array},
                      {"verdict", k::object}},
                     err)) {
@@ -226,6 +252,15 @@ inline bool validate_run_document(const json& doc, std::string* err) {
     }
     if (!check_keys(*doc.find("host"), "host",
                     {{"hardware_threads", k::integer}}, err)) {
+        return false;
+    }
+    if (!check_keys(*doc.find("topology"), "topology",
+                    {{"sockets", k::integer},
+                     {"cpus", k::integer},
+                     {"shards", k::integer},
+                     {"source", k::string},
+                     {"socket_cpus", k::array}},
+                    err)) {
         return false;
     }
     if (!check_keys(*doc.find("verdict"), "verdict",
@@ -294,7 +329,11 @@ inline bool validate_run_document(const json& doc, std::string* err) {
                          {"epochs_advanced", k::integer},
                          {"era_scans", k::integer},
                          {"hp_scans", k::integer},
-                         {"neutralize_sent", k::integer}},
+                         {"neutralize_sent", k::integer},
+                         {"pool_shared_steals", k::integer},
+                         {"pool_remote_steals", k::integer},
+                         {"pool_remote_returns", k::integer},
+                         {"arena_remote_frees", k::integer}},
                         err)) {
             return false;
         }

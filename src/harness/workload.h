@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "../topo/pin.h"
 #include "../util/barrier.h"
 #include "../util/debug_stats.h"
 #include "../util/prng.h"
@@ -74,6 +75,10 @@ struct workload_config {
     /// the whole trial (the paper's shape). Non-empty = the phases cycle
     /// for trial_ms, overriding insert_pct/delete_pct.
     std::vector<phase_spec> phases;
+    /// Thread placement: workers pin themselves per this policy at
+    /// registration time (worker t = pin index t). Default: scheduler's
+    /// choice, the pre-topology behavior.
+    topo::pin_policy pin = topo::pin_policy::none;
 };
 
 /// One snapshot of the (cumulative) reclamation counters, taken by the
@@ -118,6 +123,12 @@ struct trial_result {
     std::uint64_t hp_scans = 0;
     std::uint64_t era_scans = 0;
     std::uint64_t op_restarts = 0;
+    // Memory-placement counters (sharded pool + arena allocator): all
+    // structurally zero on single-shard (single-socket) hosts.
+    std::uint64_t pool_shared_steals = 0;
+    std::uint64_t pool_remote_steals = 0;
+    std::uint64_t pool_remote_returns = 0;
+    std::uint64_t arena_remote_frees = 0;
     long long limbo_records = 0;     // still waiting to be freed at the end
     long long allocated_bytes = -1;  // bump allocators only (Figure 9 right)
 
@@ -320,7 +331,10 @@ trial_result run_timed_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
     threads.reserve(static_cast<std::size_t>(cfg.num_threads));
     for (int t = 0; t < cfg.num_threads; ++t) {
         threads.emplace_back([&, t] {
-            auto handle = mgr.register_thread(t);
+            // Registration applies the placement policy (compact/scatter
+            // pinning) before the worker touches any memory, so
+            // first-touch pages and arena homes land on the pinned socket.
+            auto handle = mgr.register_thread(t, cfg.pin);
             auto acc = mgr.access(handle);
             prng rng(cfg.seed * 1000003ULL + static_cast<std::uint64_t>(t));
             per_thread& mine = stats[static_cast<std::size_t>(t)];
@@ -442,6 +456,10 @@ trial_result run_timed_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
     res.hp_scans = d.total(stat::hp_scans);
     res.era_scans = d.total(stat::era_scans);
     res.op_restarts = d.total(stat::op_restarts);
+    res.pool_shared_steals = d.total(stat::pool_shared_steals);
+    res.pool_remote_steals = d.total(stat::pool_remote_steals);
+    res.pool_remote_returns = d.total(stat::pool_remote_returns);
+    res.arena_remote_frees = d.total(stat::arena_remote_frees);
     res.limbo_records = mgr.total_limbo_all_types();
     res.allocated_bytes = mgr.total_allocated_bytes();
     return res;

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "../util/padded.h"
 #include "block.h"
@@ -100,6 +101,79 @@ class shared_blockbag {
 
     alignas(PREFETCH_LINE) std::atomic<u128> head_;
     alignas(PREFETCH_LINE) std::atomic<long long> approx_blocks_{0};
+};
+
+/// NUMA-sharded shared tier: one lock-free shared_blockbag per socket
+/// (paper Section 4, "Optimizing for NUMA systems"). Blocks are pushed to
+/// their *home* shard -- the shard the records' memory belongs to, so a
+/// block freed on one socket is not recycled into allocations on another
+/// -- and pops prefer the local shard, stealing from the others only when
+/// it runs dry. With one shard (single-node hosts) every operation
+/// degenerates to the flat shared_blockbag.
+template <class T, int B = DEFAULT_BLOCK_SIZE>
+class sharded_blockbag {
+  public:
+    using block_t = block<T, B>;
+
+    explicit sharded_blockbag(int shards)
+        : shards_(shards < 1 ? 1 : shards),
+          bags_(static_cast<std::size_t>(shards_)) {}
+
+    sharded_blockbag(const sharded_blockbag&) = delete;
+    sharded_blockbag& operator=(const sharded_blockbag&) = delete;
+
+    int shards() const noexcept { return shards_; }
+
+    /// Pushes `b` to shard `home` (clamped). Which per-shard bag a block
+    /// sits in *is* its home -- blocks carry no stamp of their own; the
+    /// pool re-derives the home from the records when it next overflows.
+    void push_home(block_t* b, int home) noexcept {
+        if (home < 0 || home >= shards_) home = 0;
+        bags_[static_cast<std::size_t>(home)]->push(b);
+    }
+
+    /// Pops a block, local shard first, then the others round-robin.
+    /// `*stolen_remote` reports whether the block came from a non-local
+    /// shard (the cross-socket steal the counters expose).
+    block_t* pop_prefer(int local, bool* stolen_remote) noexcept {
+        if (local < 0 || local >= shards_) local = 0;
+        if (block_t* b = bags_[static_cast<std::size_t>(local)]->pop()) {
+            if (stolen_remote != nullptr) *stolen_remote = false;
+            return b;
+        }
+        for (int i = 1; i < shards_; ++i) {
+            const int s = (local + i) % shards_;
+            if (block_t* b = bags_[static_cast<std::size_t>(s)]->pop()) {
+                if (stolen_remote != nullptr) *stolen_remote = true;
+                return b;
+            }
+        }
+        return nullptr;
+    }
+
+    /// Pops from any shard (teardown drain; no locality preference).
+    block_t* pop_any() noexcept {
+        for (int s = 0; s < shards_; ++s) {
+            if (block_t* b = bags_[static_cast<std::size_t>(s)]->pop()) {
+                return b;
+            }
+        }
+        return nullptr;
+    }
+
+    long long approx_blocks() const noexcept {
+        long long sum = 0;
+        for (const auto& bag : bags_) sum += bag->approx_blocks();
+        return sum;
+    }
+    long long approx_blocks(int shard) const noexcept {
+        if (shard < 0 || shard >= shards_) return 0;
+        return bags_[static_cast<std::size_t>(shard)]->approx_blocks();
+    }
+
+  private:
+    const int shards_;
+    std::vector<padded<shared_blockbag<T, B>>> bags_;
 };
 
 }  // namespace smr::mem

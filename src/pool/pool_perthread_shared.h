@@ -1,15 +1,26 @@
-// pool_perthread_shared.h -- the paper's object pool (Section 4):
-// per-thread pool bags backed by one shared bag of full blocks.
+// pool_perthread_shared.h -- the paper's object pool (Section 4), with the
+// shared tier sharded per NUMA socket:
 //
 //   * release / accept_chain put safe records into the calling thread's
 //     local pool bag; when the local bag exceeds its block budget, whole
-//     full blocks overflow to the lock-free shared bag.
-//   * allocate takes from the local bag first, then steals a full block
-//     from the shared bag, and only then falls back to the Allocator.
+//     full blocks overflow to the shared tier.
+//   * The shared tier is one lock-free bag *per socket* (sharded_blockbag).
+//     An overflowing block is pushed to its records' home shard -- asked of
+//     the allocator when it knows (the arena's slab stamp, read at block
+//     granularity from a representative record), otherwise the pushing
+//     thread's shard. A block freed on socket 1 but born on socket 0
+//     therefore goes home instead of seeding socket-1 allocations with
+//     remote memory.
+//   * allocate takes from the local bag first, then steals a block from
+//     the shared tier -- local shard first, other shards only when it runs
+//     dry -- and only then falls back to the Allocator.
 //
 // Records and blocks thereby circulate between threads without malloc/free
-// on the steady-state path, and cross-thread synchronization is one CAS per
-// B records.
+// on the steady-state path, cross-thread synchronization stays one CAS per
+// B records, and (new) steady-state circulation stays socket-local. The
+// pool_shared_steals / pool_remote_steals / pool_remote_returns counters
+// make the shard traffic observable; on single-node hosts topology yields
+// one shard and all remote counters are structurally zero.
 #pragma once
 
 #include <memory>
@@ -18,6 +29,7 @@
 #include "../mem/block_pool.h"
 #include "../mem/blockbag.h"
 #include "../mem/shared_blockbag.h"
+#include "../topo/topology.h"
 #include "../util/debug_stats.h"
 #include "../util/padded.h"
 
@@ -29,13 +41,14 @@ class pool_perthread_shared {
     using block_t = mem::block<T, B>;
     using chain_t = mem::block_chain<T, B>;
 
-    /// Local pool bags overflow to the shared bag beyond this many blocks.
+    /// Local pool bags overflow to the shared tier beyond this many blocks.
     static constexpr int LOCAL_MAX_BLOCKS = 32;
 
     pool_perthread_shared(int num_threads, Alloc& alloc,
                           mem::block_pool_array<T, B>& block_pools,
                           debug_stats* stats)
-        : alloc_(alloc), block_pools_(block_pools), stats_(stats) {
+        : alloc_(alloc), block_pools_(block_pools), stats_(stats),
+          shared_(topo::shard_count()) {
         bags_.reserve(static_cast<std::size_t>(num_threads));
         for (int t = 0; t < num_threads; ++t) {
             bags_.emplace_back(
@@ -53,7 +66,7 @@ class pool_perthread_shared {
         for (auto& bag : bags_) {
             while (T* p = bag->remove()) alloc_.deallocate(0, p);
         }
-        while (block_t* b = shared_.pop()) {
+        while (block_t* b = shared_.pop_any()) {
             for (int i = 0; i < b->size; ++i) alloc_.deallocate(0, b->entries[i]);
             delete b;
         }
@@ -65,7 +78,13 @@ class pool_perthread_shared {
             if (stats_) stats_->add(tid, stat::records_reused);
             return p;
         }
-        if (block_t* b = shared_.pop()) {
+        bool remote = false;
+        if (block_t* b = shared_.pop_prefer(topo::current_shard(tid),
+                                            &remote)) {
+            if (stats_) {
+                stats_->add(tid, stat::pool_shared_steals);
+                if (remote) stats_->add(tid, stat::pool_remote_steals);
+            }
             bag.add_full_block(b);
             if (stats_) stats_->add(tid, stat::records_reused);
             return bag.remove();
@@ -79,10 +98,11 @@ class pool_perthread_shared {
         auto& bag = *bags_[static_cast<std::size_t>(tid)];
         if (stats_) stats_->add(tid, stat::records_pooled);
         bag.add(p);
-        maybe_overflow(bag);
+        maybe_overflow(tid, bag);
     }
 
     void accept_chain(int tid, chain_t chain) {
+        const int local = topo::current_shard(tid);
         auto& bag = *bags_[static_cast<std::size_t>(tid)];
         block_t* b = chain.head;
         while (b != nullptr) {
@@ -91,7 +111,7 @@ class pool_perthread_shared {
             if (bag.size_in_blocks() < LOCAL_MAX_BLOCKS) {
                 bag.add_full_block(b);
             } else {
-                shared_.push(b);
+                push_shared(tid, local, b);
             }
             b = next;
         }
@@ -102,13 +122,39 @@ class pool_perthread_shared {
         return bags_[static_cast<std::size_t>(tid)]->size();
     }
     long long shared_blocks() const noexcept { return shared_.approx_blocks(); }
+    long long shared_blocks(int shard) const noexcept {
+        return shared_.approx_blocks(shard);
+    }
+    int shards() const noexcept { return shared_.shards(); }
 
   private:
-    void maybe_overflow(mem::blockbag<T, B>& bag) {
+    /// The shard a full block belongs to: the records' true home when the
+    /// allocator can tell (the arena reads its slab stamp -- one header
+    /// lookup for the whole block, "slab granularity"), else the pushing
+    /// thread's shard (bump/malloc memory is first-touch local to its
+    /// allocating thread, and blocks fill from one thread's stream).
+    int block_home(block_t* b, int local) const {
+        if constexpr (requires { Alloc::home_shard_of(b->entries[0]); }) {
+            if (b->size > 0) return Alloc::home_shard_of(b->entries[0]);
+        }
+        return local;
+    }
+
+    void push_shared(int tid, int local, block_t* b) {
+        const int home = block_home(b, local);
+        if (stats_ && home != local) {
+            stats_->add(tid, stat::pool_remote_returns);
+        }
+        shared_.push_home(b, home);
+    }
+
+    void maybe_overflow(int tid, mem::blockbag<T, B>& bag) {
+        if (bag.size_in_blocks() <= LOCAL_MAX_BLOCKS) return;
+        const int local = topo::current_shard(tid);
         while (bag.size_in_blocks() > LOCAL_MAX_BLOCKS) {
             block_t* b = bag.pop_full_block();
             if (b == nullptr) break;
-            shared_.push(b);
+            push_shared(tid, local, b);
         }
     }
 
@@ -116,7 +162,7 @@ class pool_perthread_shared {
     mem::block_pool_array<T, B>& block_pools_;
     debug_stats* stats_;
     std::vector<std::unique_ptr<mem::blockbag<T, B>>> bags_;
-    mem::shared_blockbag<T, B> shared_;
+    mem::sharded_blockbag<T, B> shared_;
 };
 
 }  // namespace smr::pool

@@ -10,6 +10,7 @@
 
 #include "../alloc/allocator_bump.h"
 #include "../alloc/allocator_new.h"
+#include "../alloc/arena/arena_alloc.h"
 #include "../pool/pool_discard.h"
 #include "../pool/pool_none.h"
 #include "../pool/pool_perthread_shared.h"
@@ -30,6 +31,15 @@ struct alloc_bump {
     static constexpr const char* name = "bump";
     template <class T>
     using bind = alloc::allocator_bump<T>;
+};
+
+/// Size-class slab arenas sharded per socket, fronted by per-thread
+/// magazines (beyond the paper: the jemalloc/tcmalloc-shaped point on the
+/// allocator axis, with NUMA home-return designed in).
+struct alloc_arena {
+    static constexpr const char* name = "arena";
+    template <class T>
+    using bind = alloc::allocator_arena<T>;
 };
 
 // ---- Pool tags -----------------------------------------------------------

@@ -141,6 +141,17 @@ class record_manager {
         return handle_t(*this, tid);
     }
 
+    /// Registration plus placement: pins the calling thread per the
+    /// topology layer's policy (none / compact / scatter) before any
+    /// memory is touched, so first-touch and arena homes land on the
+    /// pinned socket.
+    [[nodiscard]] handle_t register_thread(topo::pin_policy pin) {
+        return handle_t(*this, pin);
+    }
+    [[nodiscard]] handle_t register_thread(int tid, topo::pin_policy pin) {
+        return handle_t(*this, tid, pin);
+    }
+
     /// The accessor bound to a live registration of this manager.
     accessor_t access(const handle_t& h) {
         assert(h.engaged() && "access: handle was moved-from or reset");

@@ -34,6 +34,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "../topo/pin.h"
 #include "../util/debug_stats.h"
 #include "../util/padded.h"
 #include "guards.h"
@@ -97,15 +98,25 @@ class thread_handle {
     /// a tid another live handle holds is a usage error and aborts (as
     /// registry exhaustion does): proceeding would have two threads write
     /// the same per-thread scheme state.
-    thread_handle(Mgr& mgr, int tid) : mgr_(&mgr), tid_(tid) {
-        assert(tid >= 0 && tid < mgr.num_threads());
-        if (!mgr.registry().try_acquire(tid)) {
-            std::fprintf(stderr,
-                         "thread_handle: tid %d is already held by another "
-                         "live thread_handle\n",
-                         tid);
-            std::abort();
-        }
+    thread_handle(Mgr& mgr, int tid) : mgr_(&mgr), tid_(claim_tid(mgr, tid)) {
+        mgr_->init_thread(tid_);
+    }
+
+    /// Registration plus thread pinning (src/topo/pin.h): the calling
+    /// thread is pinned per `pin` with its tid as the worker index, so
+    /// compact/scatter layouts follow the tid order the harness assigns.
+    /// The pin lands *between* tid acquisition and init_thread, so the
+    /// scheme's per-thread state (hazard rows, limbo bags) is first
+    /// touched on the pinned socket. Pinning is a placement hint -- it
+    /// never fails registration.
+    thread_handle(Mgr& mgr, topo::pin_policy pin)
+        : mgr_(&mgr), tid_(mgr.registry().acquire(mgr.num_threads())) {
+        topo::apply_pin(pin, tid_);
+        mgr_->init_thread(tid_);
+    }
+    thread_handle(Mgr& mgr, int tid, topo::pin_policy pin)
+        : mgr_(&mgr), tid_(claim_tid(mgr, tid)) {
+        topo::apply_pin(pin, tid_);
         mgr_->init_thread(tid_);
     }
 
@@ -151,6 +162,21 @@ class thread_handle {
     operator accessor<Mgr>() const { return access(); }
 
   private:
+    /// Claims a caller-chosen tid; a tid another live handle holds is a
+    /// usage error and aborts (as registry exhaustion does): proceeding
+    /// would have two threads write the same per-thread scheme state.
+    static int claim_tid(Mgr& mgr, int tid) {
+        assert(tid >= 0 && tid < mgr.num_threads());
+        if (!mgr.registry().try_acquire(tid)) {
+            std::fprintf(stderr,
+                         "thread_handle: tid %d is already held by another "
+                         "live thread_handle\n",
+                         tid);
+            std::abort();
+        }
+        return tid;
+    }
+
     Mgr* mgr_ = nullptr;
     int tid_ = 0;
 };

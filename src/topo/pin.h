@@ -1,0 +1,92 @@
+// pin.h -- thread-pinning policies over the detected topology.
+//
+// The paper's NUMA discussion only makes sense when software threads stay
+// where the experimenter put them. Three policies:
+//
+//   none     leave placement to the scheduler (the pre-PR behavior);
+//   compact  fill socket 0's cpus first, then socket 1, ... -- the layout
+//            that keeps small thread counts on one socket (all pool and
+//            arena traffic stays shard-local);
+//   scatter  deal workers round-robin across sockets -- the adversarial
+//            layout that maximizes cross-socket record circulation, which
+//            the remote-return/steal counters then expose.
+//
+// Pins are applied at thread-registration time: thread_handle has a
+// pin-taking constructor and the workload harness surfaces the policy as a
+// knob (workload_config::pin, smr_bench --pin=...). apply_pin() is a no-op
+// for policy `none`, off-Linux, and whenever the computed cpu does not
+// exist -- a pin is an optimization hint, never a correctness requirement.
+#pragma once
+
+#include <string>
+
+#include "topology.h"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace smr::topo {
+
+enum class pin_policy : int { none, compact, scatter };
+
+inline const char* pin_policy_name(pin_policy p) noexcept {
+    switch (p) {
+        case pin_policy::none: return "none";
+        case pin_policy::compact: return "compact";
+        case pin_policy::scatter: return "scatter";
+    }
+    return "?";
+}
+
+inline bool parse_pin_policy(const std::string& s, pin_policy* out) noexcept {
+    if (s == "none") { *out = pin_policy::none; return true; }
+    if (s == "compact") { *out = pin_policy::compact; return true; }
+    if (s == "scatter") { *out = pin_policy::scatter; return true; }
+    return false;
+}
+
+/// The cpu worker `index` lands on under `policy`, or -1 for `none`.
+/// Worker counts beyond the cpu count wrap (oversubscription pins two
+/// workers to one cpu rather than failing).
+inline int pin_cpu_for(pin_policy policy, int index, const topology& t) {
+    if (policy == pin_policy::none || index < 0 || t.num_cpus < 1) return -1;
+    const int i = index % t.num_cpus;
+    if (policy == pin_policy::compact) {
+        // Socket 0's cpus first, then socket 1's, ...
+        int seen = 0;
+        for (const auto& cpus : t.socket_cpus) {
+            if (i < seen + static_cast<int>(cpus.size())) {
+                return cpus[static_cast<std::size_t>(i - seen)];
+            }
+            seen += static_cast<int>(cpus.size());
+        }
+        return i;  // defensive: partition should cover every index
+    }
+    // scatter: worker i -> socket (i % S), round-robin within the socket.
+    const int s = i % t.num_sockets;
+    const auto& cpus = t.socket_cpus[static_cast<std::size_t>(s)];
+    if (cpus.empty()) return i;
+    return cpus[static_cast<std::size_t>((i / t.num_sockets) %
+                                         static_cast<int>(cpus.size()))];
+}
+
+/// Pins the calling thread per `policy` (system topology). Returns the
+/// cpu pinned to, or -1 when nothing was done (policy none, non-Linux,
+/// or the affinity call failed -- all non-fatal by design).
+inline int apply_pin(pin_policy policy, int worker_index) {
+    const int cpu = pin_cpu_for(policy, worker_index, system_topology());
+    if (cpu < 0) return -1;
+#ifdef __linux__
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(cpu), &set);
+    if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0) {
+        return cpu;
+    }
+#endif
+    return -1;
+}
+
+}  // namespace smr::topo

@@ -1,0 +1,203 @@
+// topology.h -- socket/core detection behind the memory-placement layer.
+//
+// The paper treats cross-socket cache traffic as a first-order cost
+// (Section 4, "Optimizing for NUMA systems"). Until this layer existed the
+// only NUMA-aware component was padding; the arena allocator and the
+// sharded object pool both need to know (a) how many sockets the host has
+// and (b) which socket the calling thread is on right now. This header
+// answers both with zero dependencies:
+//
+//   * detection reads sysfs (cpuN/topology/physical_package_id) on Linux
+//     and falls back to a single-node topology everywhere else -- a
+//     single-node host gets one shard and every placement decision
+//     degenerates to the pre-NUMA behavior, by construction;
+//   * `SMR_TOPO_SHARDS=N` forces a synthetic N-socket topology whose
+//     thread->shard map is the deterministic `tid % N`, so tests and CI
+//     (single-socket machines) can exercise multi-shard code paths;
+//   * set_topology_for_testing() swaps the cached topology in-process for
+//     unit tests (call while no allocator/pool is live).
+//
+// Shards: the memory-placement subsystem shards state per *socket*; the
+// shard count is the socket count. current_shard(tid) is the placement
+// question every hot path asks -- forced topologies answer from the tid,
+// real ones from sched_getcpu() (vDSO-fast on Linux).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
+
+namespace smr::topo {
+
+/// Where the topology came from (recorded in the JSON topology stanza).
+enum class topo_source : int { sysfs, fallback, forced };
+
+inline const char* topo_source_name(topo_source s) noexcept {
+    switch (s) {
+        case topo_source::sysfs: return "sysfs";
+        case topo_source::fallback: return "fallback";
+        case topo_source::forced: return "forced";
+    }
+    return "?";
+}
+
+struct topology {
+    int num_cpus = 1;
+    int num_sockets = 1;
+    topo_source source = topo_source::fallback;
+    /// cpu -> dense socket index (size num_cpus).
+    std::vector<int> cpu_socket;
+    /// socket -> the cpus it owns, ascending (size num_sockets).
+    std::vector<std::vector<int>> socket_cpus;
+
+    /// One socket holding every cpu: the portable fallback.
+    static topology single_node(int cpus) {
+        topology t;
+        t.num_cpus = cpus < 1 ? 1 : cpus;
+        t.num_sockets = 1;
+        t.source = topo_source::fallback;
+        t.cpu_socket.assign(static_cast<std::size_t>(t.num_cpus), 0);
+        t.socket_cpus.resize(1);
+        for (int c = 0; c < t.num_cpus; ++c) t.socket_cpus[0].push_back(c);
+        return t;
+    }
+
+    /// Synthetic topology: `sockets` sockets, cpus dealt round-robin.
+    /// Used by SMR_TOPO_SHARDS and by tests.
+    static topology forced(int sockets, int cpus) {
+        topology t;
+        if (sockets < 1) sockets = 1;
+        if (cpus < sockets) cpus = sockets;
+        t.num_cpus = cpus;
+        t.num_sockets = sockets;
+        t.source = topo_source::forced;
+        t.cpu_socket.resize(static_cast<std::size_t>(cpus));
+        t.socket_cpus.resize(static_cast<std::size_t>(sockets));
+        for (int c = 0; c < cpus; ++c) {
+            const int s = c % sockets;
+            t.cpu_socket[static_cast<std::size_t>(c)] = s;
+            t.socket_cpus[static_cast<std::size_t>(s)].push_back(c);
+        }
+        return t;
+    }
+
+    /// Reads the host topology: SMR_TOPO_SHARDS override first, then
+    /// sysfs, then the single-node fallback. Never fails.
+    static topology detect() {
+        const int cpus = static_cast<int>(std::thread::hardware_concurrency());
+        if (const char* forced_env = std::getenv("SMR_TOPO_SHARDS");
+            forced_env != nullptr) {
+            const int n = std::atoi(forced_env);
+            if (n >= 1) return forced(n, cpus);
+        }
+#ifdef __linux__
+        topology t = detect_sysfs(cpus < 1 ? 1 : cpus);
+        if (t.num_sockets >= 1) return t;
+#endif
+        return single_node(cpus);
+    }
+
+    int socket_of_cpu(int cpu) const noexcept {
+        if (cpu < 0 || cpu >= num_cpus) return 0;
+        return cpu_socket[static_cast<std::size_t>(cpu)];
+    }
+
+  private:
+#ifdef __linux__
+    /// Parses /sys/devices/system/cpu/cpuN/topology/physical_package_id,
+    /// mapping the kernel's package ids to dense socket indices. Returns a
+    /// topology with num_sockets = 0 when sysfs is unreadable.
+    static topology detect_sysfs(int cpus) {
+        topology t;
+        t.num_cpus = cpus;
+        t.source = topo_source::sysfs;
+        t.cpu_socket.assign(static_cast<std::size_t>(cpus), -1);
+        std::vector<int> package_ids;  // package id -> dense index by order
+        for (int c = 0; c < cpus; ++c) {
+            char path[128];
+            std::snprintf(path, sizeof(path),
+                          "/sys/devices/system/cpu/cpu%d/topology/"
+                          "physical_package_id",
+                          c);
+            std::FILE* f = std::fopen(path, "r");
+            if (f == nullptr) {
+                t.num_sockets = 0;  // caller falls back
+                return t;
+            }
+            int pkg = -1;
+            const bool ok = std::fscanf(f, "%d", &pkg) == 1;
+            std::fclose(f);
+            if (!ok || pkg < 0) {
+                t.num_sockets = 0;
+                return t;
+            }
+            int dense = -1;
+            for (std::size_t i = 0; i < package_ids.size(); ++i) {
+                if (package_ids[i] == pkg) dense = static_cast<int>(i);
+            }
+            if (dense < 0) {
+                dense = static_cast<int>(package_ids.size());
+                package_ids.push_back(pkg);
+            }
+            t.cpu_socket[static_cast<std::size_t>(c)] = dense;
+        }
+        t.num_sockets = static_cast<int>(package_ids.size());
+        t.socket_cpus.resize(static_cast<std::size_t>(t.num_sockets));
+        for (int c = 0; c < cpus; ++c) {
+            t.socket_cpus[static_cast<std::size_t>(t.cpu_socket
+                              [static_cast<std::size_t>(c)])]
+                .push_back(c);
+        }
+        return t;
+    }
+#endif
+};
+
+namespace topo_detail {
+inline topology& cached_topology() {
+    static topology t = topology::detect();
+    return t;
+}
+}  // namespace topo_detail
+
+/// The process-wide topology, detected once on first use.
+inline const topology& system_topology() {
+    return topo_detail::cached_topology();
+}
+
+/// Swaps the cached topology (unit tests). Call only while no component
+/// that consulted the topology (allocator, pool) is live -- they snapshot
+/// the shard count at construction and would disagree with the new map.
+inline void set_topology_for_testing(topology t) {
+    topo_detail::cached_topology() = std::move(t);
+}
+inline void reset_topology_for_testing() {
+    topo_detail::cached_topology() = topology::detect();
+}
+
+/// Number of placement shards = number of sockets (1 on single-node).
+inline int shard_count() { return system_topology().num_sockets; }
+
+/// The shard the calling thread should treat as local. Forced topologies
+/// answer deterministically from the tid (tests, CI); detected ones ask
+/// the scheduler which cpu is executing us right now.
+inline int current_shard(int tid) {
+    const topology& t = system_topology();
+    if (t.num_sockets <= 1) return 0;
+    if (t.source == topo_source::forced) {
+        return (tid < 0 ? 0 : tid) % t.num_sockets;
+    }
+#ifdef __linux__
+    const int cpu = sched_getcpu();
+    if (cpu >= 0) return t.socket_of_cpu(cpu);
+#endif
+    return (tid < 0 ? 0 : tid) % t.num_sockets;
+}
+
+}  // namespace smr::topo

@@ -39,6 +39,11 @@ enum class stat : int {
     hp_validation_failures,  // protect() validation rejected (op restarts)
     era_scans,               // era-reservation limbo scans (HE / IBR)
     op_restarts,             // data structure operation restarted
+    pool_shared_steals,      // pool blocks popped from the shared tier
+    pool_remote_steals,      // ...of those, popped from a non-local shard
+    pool_remote_returns,     // pool blocks pushed home across shards
+    arena_remote_frees,      // arena records flushed home across shards
+    arena_slabs,             // arena slabs carved from the heap
     COUNT
 };
 
@@ -53,7 +58,9 @@ inline constexpr std::array<std::string_view,
         "neutralize_signals_sent","neutralize_signals_received",
         "benign_signals_received","hp_scans",
         "hp_validation_failures", "era_scans",
-        "op_restarts",
+        "op_restarts",            "pool_shared_steals",
+        "pool_remote_steals",     "pool_remote_returns",
+        "arena_remote_frees",     "arena_slabs",
 };
 
 /// Per-thread counter matrix. Writes are relaxed single-writer; totals are

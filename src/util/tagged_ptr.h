@@ -7,6 +7,7 @@
 // allocated with >= 8-byte alignment, so the low three bits are free.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 
 namespace smr {
@@ -39,6 +40,54 @@ struct stated_ptr {
     }
     static unsigned state(std::uintptr_t v) noexcept {
         return static_cast<unsigned>(v & STATE_MASK);
+    }
+};
+
+/// stated_ptr plus a per-word version counter in the high 16 bits: the
+/// version-stamped descriptor word that closes the recycled-address ABA in
+/// EFRB update-word comparisons (DESIGN.md Section 7). Every CAS on the
+/// word packs ver(observed) + 1, so an expected value captured before a
+/// descriptor's address was recycled can no longer spuriously match.
+///
+/// Layout: [63..48] version | [47..2] pointer | [1..0] state. The word
+/// stays a single lock-free uintptr_t on purpose -- DEBRA+ neutralization
+/// can longjmp out of any update-word access, which rules out libatomic's
+/// locked 16-byte fallback. The cost is a version that wraps mod 2^16: a
+/// spurious match now needs the address recycled to a same-address
+/// descriptor while the node's word changes an exact multiple of 65536
+/// times under a stalled reader -- the residual window DESIGN.md records.
+/// User-space heap pointers fit 48 bits on the platforms we target
+/// (asserted per pack).
+template <class T>
+struct vstated_ptr {
+    static constexpr std::uintptr_t STATE_MASK = 3;
+    static constexpr int VER_SHIFT = 48;
+    static constexpr std::uintptr_t WORD_MASK =
+        (std::uintptr_t{1} << VER_SHIFT) - 1;  // pointer + state bits
+
+    static std::uintptr_t pack(T* p, unsigned state,
+                               std::uint64_t ver) noexcept {
+        const auto raw = reinterpret_cast<std::uintptr_t>(p);
+        assert((raw >> VER_SHIFT) == 0 &&
+               "vstated_ptr: pointer exceeds 48 bits");
+        return raw | (static_cast<std::uintptr_t>(state) & STATE_MASK) |
+               (static_cast<std::uintptr_t>(ver & 0xffff) << VER_SHIFT);
+    }
+    static T* ptr(std::uintptr_t v) noexcept {
+        return reinterpret_cast<T*>(v & WORD_MASK & ~STATE_MASK);
+    }
+    static unsigned state(std::uintptr_t v) noexcept {
+        return static_cast<unsigned>(v & STATE_MASK);
+    }
+    static std::uint64_t ver(std::uintptr_t v) noexcept {
+        return static_cast<std::uint64_t>(v >> VER_SHIFT);
+    }
+    /// The successor word of `observed`: new (pointer, state), version
+    /// advanced by one. Every update-word CAS desired value comes from
+    /// here, which is what makes the version per-node monotonic.
+    static std::uintptr_t bump(std::uintptr_t observed, T* p,
+                               unsigned state) noexcept {
+        return pack(p, state, ver(observed) + 1);
     }
 };
 

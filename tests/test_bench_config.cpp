@@ -116,6 +116,25 @@ TEST(BenchConfig, FilterFlagsSplitNames) {
     EXPECT_EQ(c.scheme_filter, (std::vector<std::string>{"debra"}));
 }
 
+TEST(BenchConfig, AllocAndPinFilters) {
+    bool ok = false;
+    const bench_config c =
+        from_args({"--alloc=bump,arena", "--pin=compact,scatter"}, &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(c.alloc_filter, (std::vector<std::string>{"bump", "arena"}));
+    EXPECT_EQ(c.pin_filter,
+              (std::vector<std::string>{"compact", "scatter"}));
+    // Name validation happens in the driver (which owns the policy
+    // table); empty lists are rejected here.
+    std::string err;
+    from_args({"--alloc="}, &ok, &err);
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("--alloc"), std::string::npos);
+    from_args({"--pin=,"}, &ok, &err);
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("--pin"), std::string::npos);
+}
+
 TEST(BenchConfig, BareFlags) {
     bool ok = false;
     EXPECT_TRUE(from_args({"--list"}, &ok).list);

@@ -138,13 +138,23 @@ TEST(BenchJson, RunDocumentValidatesAndRoundTrips) {
     EXPECT_EQ(p.find("phase_ops")->size(), 2u);
     EXPECT_TRUE(p.find("invariant")->find("ok")->as_bool());
     EXPECT_DOUBLE_EQ(p.find("throughput_mops")->as_double(), 0.01);
+
+    // The topology stanza (schema v2) rode along: the memory-placement
+    // counters in the points are interpretable from the document alone.
+    const json& topo = *back->find("topology");
+    EXPECT_GE(topo.find("sockets")->as_int(), 1);
+    EXPECT_GE(topo.find("shards")->as_int(), 1);
+    EXPECT_FALSE(topo.find("source")->as_string().empty());
+    EXPECT_EQ(p.find("reclamation")->find("pool_remote_returns")->as_int(),
+              0);
 }
 
 TEST(BenchJson, SchemaCatchesMissingOrMistypedKeys) {
     std::string err;
     // Drop each required envelope key in turn.
     for (const char* key : {"smr_bench_version", "kind", "scenario",
-                            "config", "host", "points", "verdict"}) {
+                            "config", "host", "topology", "points",
+                            "verdict"}) {
         harness::json doc = sample_document();
         harness::json stripped = harness::json::object();
         for (const auto& [k, v] : doc.members()) {

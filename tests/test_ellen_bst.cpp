@@ -132,6 +132,31 @@ TYPED_TEST(EllenBstTyped, ChurnReclaimsMemory) {
     }
 }
 
+TYPED_TEST(EllenBstTyped, UpdateWordsAreVersionStamped) {
+    // The recycled-address ABA fix (DESIGN.md Section 7): every CAS on a
+    // node's update word advances the version packed in its high bits, so
+    // expected values compare (pointer, state, version). Observe the
+    // monotone version through the public update word: the first insert
+    // flags the root (IFLAG) and unflags it (CLEAN) -- two CASes.
+    using bst_t = typename TestFixture::bst_t;
+    using sp = typename bst_t::sp;
+    auto* root = this->bst_.root();
+    const std::uintptr_t w0 = root->update.load();
+    EXPECT_EQ(sp::ver(w0), 0u);
+    EXPECT_EQ(sp::state(w0), ds::BST_CLEAN);
+    ASSERT_TRUE(this->bst_.insert(this->acc(), 10, 10));
+    const std::uintptr_t w1 = root->update.load();
+    EXPECT_EQ(sp::ver(w1), 2u);  // flag + unflag
+    EXPECT_EQ(sp::state(w1), ds::BST_CLEAN);
+    EXPECT_NE(sp::ptr(w1), nullptr);  // the insert's descriptor, CLEAN
+    // A second root-level update keeps counting upward: versions never
+    // reset when the descriptor pointer changes.
+    ASSERT_TRUE(this->bst_.erase(this->acc(), 10).has_value());
+    const std::uintptr_t w2 = root->update.load();
+    EXPECT_GT(sp::ver(w2), sp::ver(w1));
+    EXPECT_EQ(sp::state(w2), ds::BST_CLEAN);
+}
+
 TYPED_TEST(EllenBstTyped, NegativeAndExtremeKeys) {
     EXPECT_TRUE(this->bst_.insert(this->acc(), -100, 1));
     EXPECT_TRUE(this->bst_.insert(this->acc(), 0, 2));

@@ -1,5 +1,8 @@
 // Tests for the Pool policies (src/pool/): pass-through, discarding, and
-// the paper's per-thread + shared object pool.
+// the paper's per-thread + shared object pool -- including the NUMA-
+// sharded shared tier (blocks return to their home shard, steals prefer
+// the local shard, and the steal/remote counters surface through
+// debug_stats).
 #include <gtest/gtest.h>
 
 #include <set>
@@ -12,6 +15,7 @@
 #include "pool/pool_discard.h"
 #include "pool/pool_none.h"
 #include "pool/pool_perthread_shared.h"
+#include "topo/topology.h"
 #include "util/debug_stats.h"
 
 namespace smr::pool {
@@ -132,6 +136,7 @@ TEST_F(PerThreadSharedPoolTest, OverflowSpillsFullBlocksToSharedBag) {
     rec* stolen = pool_.allocate(1);
     EXPECT_NE(stolen, nullptr);
     EXPECT_GT(stats_.get(1, stat::records_reused), 0u);
+    pool_.release(1, stolen);  // back to a bag so teardown frees it
 }
 
 TEST_F(PerThreadSharedPoolTest, AcceptChainRespectsLocalBudget) {
@@ -167,6 +172,127 @@ TEST_F(PerThreadSharedPoolTest, CrossThreadRecordCirculation) {
                                        allocated_before),
               originals.size());
     EXPECT_GE(recycled, 8 * B);  // at least the 8 overflow blocks circulated
+}
+
+// ---- sharded shared tier -------------------------------------------------
+
+/// allocator_new plus the home-lookup hook the pool probes for: every
+/// record's home is a fixed shard, so block routing is fully predictable.
+struct home_stamped_alloc : alloc::allocator_new<rec> {
+    using alloc::allocator_new<rec>::allocator_new;
+    static int forced_home;
+    static int home_shard_of(const rec*) noexcept { return forced_home; }
+};
+int home_stamped_alloc::forced_home = 0;
+
+/// Forces a 2-shard topology (tid % 2) around each test; pools snapshot
+/// the shard count at construction, so construction happens inside.
+class ShardedPoolTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        topo::set_topology_for_testing(topo::topology::forced(2, 4));
+    }
+    void TearDown() override { topo::reset_topology_for_testing(); }
+
+    /// Overflows `blocks` full blocks out of `tid`'s local bag into the
+    /// shared tier (fills past the local budget).
+    template <class Pool, class Alloc>
+    void overflow_from(Pool& pool, Alloc& alloc, int tid, int blocks) {
+        const int total = (Pool::LOCAL_MAX_BLOCKS + blocks) * B;
+        for (int i = 0; i < total; ++i) {
+            pool.release(tid, alloc.allocate(tid));
+        }
+    }
+};
+
+TEST_F(ShardedPoolTest, OverflowLandsOnTheLocalShard) {
+    debug_stats stats;
+    alloc::allocator_new<rec> alloc(2, &stats);
+    mem::block_pool_array<rec, B> bps(2, &stats);
+    pool_perthread_shared<rec, alloc::allocator_new<rec>, B> pool(
+        2, alloc, bps, &stats);
+    ASSERT_EQ(pool.shards(), 2);
+    // allocator_new has no home hook, so blocks home to the pushing
+    // thread's shard: tid 0 -> shard 0, tid 1 -> shard 1.
+    overflow_from(pool, alloc, 0, 4);
+    EXPECT_GE(pool.shared_blocks(0), 4);
+    EXPECT_EQ(pool.shared_blocks(1), 0);
+    overflow_from(pool, alloc, 1, 4);
+    EXPECT_GE(pool.shared_blocks(1), 4);
+    EXPECT_EQ(stats.total(stat::pool_remote_returns), 0u);
+}
+
+TEST_F(ShardedPoolTest, StealPrefersLocalShardThenRemote) {
+    debug_stats stats;
+    alloc::allocator_new<rec> alloc(4, &stats);
+    mem::block_pool_array<rec, B> bps(4, &stats);
+    pool_perthread_shared<rec, alloc::allocator_new<rec>, B> pool(
+        4, alloc, bps, &stats);
+    // Seed both shards: tid 0 fills shard 0, tid 1 fills shard 1.
+    overflow_from(pool, alloc, 0, 3);
+    overflow_from(pool, alloc, 1, 3);
+    const long long shard1_before = pool.shared_blocks(1);
+    // tid 2 (shard 0) steals: must drain shard 0 before touching shard 1.
+    rec* p = pool.allocate(2);
+    ASSERT_NE(p, nullptr);
+    EXPECT_GT(stats.get(2, stat::pool_shared_steals), 0u);
+    EXPECT_EQ(stats.get(2, stat::pool_remote_steals), 0u);
+    EXPECT_EQ(pool.shared_blocks(1), shard1_before);
+    pool.release(2, p);
+    // Drain shard 0 completely (freeing the records outright so nothing
+    // flows back into the shared tier); the next steal must come from
+    // shard 1 and count as remote.
+    while (pool.shared_blocks(0) > 0) {
+        rec* q = pool.allocate(2);
+        ASSERT_NE(q, nullptr);
+        pool.deallocate(2, q);
+    }
+    stats.clear();
+    std::vector<rec*> taken;
+    while (stats.get(2, stat::pool_remote_steals) == 0u &&
+           pool.shared_blocks(1) > 0) {
+        rec* q = pool.allocate(2);
+        ASSERT_NE(q, nullptr);
+        taken.push_back(q);
+    }
+    EXPECT_GT(stats.get(2, stat::pool_remote_steals), 0u);
+    for (rec* q : taken) pool.release(2, q);
+}
+
+TEST_F(ShardedPoolTest, HomeAwareAllocatorRoutesBlocksHome) {
+    debug_stats stats;
+    home_stamped_alloc alloc(2, &stats);
+    mem::block_pool_array<rec, B> bps(2, &stats);
+    pool_perthread_shared<rec, home_stamped_alloc, B> pool(2, alloc, bps,
+                                                           &stats);
+    // Every record claims home shard 1, but thread 0 (shard 0) does the
+    // overflowing: blocks must land on shard 1 and count as remote
+    // returns -- the producer/consumer cross-socket case.
+    home_stamped_alloc::forced_home = 1;
+    overflow_from(pool, alloc, 0, 4);
+    EXPECT_EQ(pool.shared_blocks(0), 0);
+    EXPECT_GE(pool.shared_blocks(1), 4);
+    EXPECT_GT(stats.get(0, stat::pool_remote_returns), 0u);
+    home_stamped_alloc::forced_home = 0;
+}
+
+TEST_F(ShardedPoolTest, SingleShardTopologyHasNoRemoteTraffic) {
+    topo::set_topology_for_testing(topo::topology::single_node(4));
+    debug_stats stats;
+    alloc::allocator_new<rec> alloc(2, &stats);
+    mem::block_pool_array<rec, B> bps(2, &stats);
+    pool_perthread_shared<rec, alloc::allocator_new<rec>, B> pool(
+        2, alloc, bps, &stats);
+    EXPECT_EQ(pool.shards(), 1);
+    overflow_from(pool, alloc, 0, 4);
+    while (pool.shared_blocks() > 0) {
+        rec* p = pool.allocate(1);
+        ASSERT_NE(p, nullptr);
+        pool.deallocate(1, p);
+    }
+    EXPECT_GT(stats.total(stat::pool_shared_steals), 0u);
+    EXPECT_EQ(stats.total(stat::pool_remote_steals), 0u);
+    EXPECT_EQ(stats.total(stat::pool_remote_returns), 0u);
 }
 
 TEST_F(PerThreadSharedPoolTest, ConcurrentReleaseAllocateChurn) {

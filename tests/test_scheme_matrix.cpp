@@ -218,6 +218,23 @@ TYPED_TEST(SchemeMatrix, EllenBst) {
     run_set_cell(mgr, bst, 2);
 }
 
+TYPED_TEST(SchemeMatrix, ArenaAllocatorCell) {
+    // The AllocTag axis column: every reclaimer builds and runs over the
+    // size-class arena allocator (alloc_arena + shared pool) with the
+    // same size-invariant and bounded-limbo checks as the malloc cells.
+    // The BST covers both managed record types (node + era-stamped info
+    // wrappers under HE/IBR) and is the one structure that also
+    // instantiates DEBRA+ here.
+    using S = TypeParam;
+    if (skip_leaky_cell<S>()) GTEST_SKIP() << "'none' leaks by design";
+    using mgr_t =
+        record_manager<S, alloc_arena, pool_shared, ds::bst_node<key_t, val_t>,
+                       ds::bst_info<key_t, val_t>>;
+    mgr_t mgr(THREADS, fast_config<mgr_t>());
+    ds::ellen_bst<key_t, val_t, mgr_t> bst(mgr);
+    run_set_cell(mgr, bst, 2);
+}
+
 TYPED_TEST(SchemeMatrix, HashMap) {
     using S = TypeParam;
     if (skip_leaky_cell<S>()) GTEST_SKIP() << "'none' leaks by design";

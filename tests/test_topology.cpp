@@ -1,0 +1,165 @@
+// Tests for the memory-placement topology layer (src/topo/): detection
+// invariants, forced/synthetic topologies, shard mapping, and the
+// compact/scatter pin-policy cpu assignment.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/pin.h"
+#include "topo/topology.h"
+
+namespace smr::topo {
+namespace {
+
+/// Every topology, however obtained, must satisfy these invariants: the
+/// sockets partition the cpus and the two maps agree.
+void expect_well_formed(const topology& t) {
+    ASSERT_GE(t.num_cpus, 1);
+    ASSERT_GE(t.num_sockets, 1);
+    ASSERT_EQ(t.cpu_socket.size(), static_cast<std::size_t>(t.num_cpus));
+    ASSERT_EQ(t.socket_cpus.size(), static_cast<std::size_t>(t.num_sockets));
+    std::set<int> seen;
+    for (int s = 0; s < t.num_sockets; ++s) {
+        for (int c : t.socket_cpus[static_cast<std::size_t>(s)]) {
+            EXPECT_EQ(t.cpu_socket[static_cast<std::size_t>(c)], s);
+            EXPECT_TRUE(seen.insert(c).second) << "cpu in two sockets";
+        }
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(t.num_cpus));
+    for (int c = 0; c < t.num_cpus; ++c) {
+        const int s = t.socket_of_cpu(c);
+        EXPECT_GE(s, 0);
+        EXPECT_LT(s, t.num_sockets);
+    }
+}
+
+TEST(Topology, DetectedTopologyIsWellFormed) {
+    expect_well_formed(topology::detect());
+}
+
+TEST(Topology, SingleNodeFallback) {
+    const topology t = topology::single_node(8);
+    expect_well_formed(t);
+    EXPECT_EQ(t.num_sockets, 1);
+    EXPECT_EQ(t.num_cpus, 8);
+    EXPECT_EQ(t.source, topo_source::fallback);
+}
+
+TEST(Topology, ForcedTopologyDealsCpusRoundRobin) {
+    const topology t = topology::forced(2, 6);
+    expect_well_formed(t);
+    EXPECT_EQ(t.num_sockets, 2);
+    EXPECT_EQ(t.socket_cpus[0].size(), 3u);
+    EXPECT_EQ(t.socket_cpus[1].size(), 3u);
+    EXPECT_EQ(t.socket_of_cpu(0), 0);
+    EXPECT_EQ(t.socket_of_cpu(1), 1);
+    EXPECT_EQ(t.socket_of_cpu(2), 0);
+}
+
+TEST(Topology, ForcedWithFewerCpusThanSocketsStillWellFormed) {
+    expect_well_formed(topology::forced(4, 1));  // cpus clamped up
+    expect_well_formed(topology::forced(0, 0));  // both clamped to 1
+}
+
+class ForcedShardFixture : public ::testing::Test {
+  protected:
+    void SetUp() override { set_topology_for_testing(topology::forced(3, 6)); }
+    void TearDown() override { reset_topology_for_testing(); }
+};
+
+TEST_F(ForcedShardFixture, ShardCountFollowsForcedSockets) {
+    EXPECT_EQ(shard_count(), 3);
+}
+
+TEST_F(ForcedShardFixture, ForcedShardMappingIsTidModulo) {
+    // Forced topologies answer deterministically from the tid, so tests
+    // and single-socket CI can exercise multi-shard code paths.
+    for (int tid = 0; tid < 9; ++tid) {
+        EXPECT_EQ(current_shard(tid), tid % 3) << "tid " << tid;
+    }
+    EXPECT_EQ(current_shard(-1), 0);  // defensive clamp
+}
+
+TEST(Topology, SingleShardHostAlwaysShardZero) {
+    set_topology_for_testing(topology::single_node(4));
+    EXPECT_EQ(shard_count(), 1);
+    for (int tid = 0; tid < 5; ++tid) EXPECT_EQ(current_shard(tid), 0);
+    reset_topology_for_testing();
+}
+
+// ---- pin policies --------------------------------------------------------
+
+TEST(PinPolicy, NamesRoundTrip) {
+    for (pin_policy p : {pin_policy::none, pin_policy::compact,
+                         pin_policy::scatter}) {
+        pin_policy back;
+        ASSERT_TRUE(parse_pin_policy(pin_policy_name(p), &back));
+        EXPECT_EQ(back, p);
+    }
+    pin_policy out;
+    EXPECT_FALSE(parse_pin_policy("spread", &out));
+    EXPECT_FALSE(parse_pin_policy("", &out));
+}
+
+TEST(PinPolicy, CompactFillsSocketsInOrder) {
+    const topology t = topology::forced(2, 8);  // sockets own 4 cpus each
+    // Workers 0..3 land on socket 0's cpus, 4..7 on socket 1's.
+    for (int i = 0; i < 8; ++i) {
+        const int cpu = pin_cpu_for(pin_policy::compact, i, t);
+        ASSERT_GE(cpu, 0);
+        EXPECT_EQ(t.socket_of_cpu(cpu), i < 4 ? 0 : 1) << "worker " << i;
+    }
+    // Distinct workers get distinct cpus up to the cpu count.
+    std::set<int> cpus;
+    for (int i = 0; i < 8; ++i) {
+        cpus.insert(pin_cpu_for(pin_policy::compact, i, t));
+    }
+    EXPECT_EQ(cpus.size(), 8u);
+}
+
+TEST(PinPolicy, ScatterAlternatesSockets) {
+    const topology t = topology::forced(2, 8);
+    for (int i = 0; i < 8; ++i) {
+        const int cpu = pin_cpu_for(pin_policy::scatter, i, t);
+        ASSERT_GE(cpu, 0);
+        EXPECT_EQ(t.socket_of_cpu(cpu), i % 2) << "worker " << i;
+    }
+    std::set<int> cpus;
+    for (int i = 0; i < 8; ++i) {
+        cpus.insert(pin_cpu_for(pin_policy::scatter, i, t));
+    }
+    EXPECT_EQ(cpus.size(), 8u);
+}
+
+TEST(PinPolicy, NonePinsNothing) {
+    const topology t = topology::forced(2, 4);
+    EXPECT_EQ(pin_cpu_for(pin_policy::none, 0, t), -1);
+    EXPECT_EQ(apply_pin(pin_policy::none, 0), -1);
+}
+
+TEST(PinPolicy, OversubscriptionWrapsInsteadOfFailing) {
+    const topology t = topology::forced(2, 4);
+    for (int i = 0; i < 16; ++i) {
+        const int cpu = pin_cpu_for(pin_policy::compact, i, t);
+        EXPECT_GE(cpu, 0);
+        EXPECT_LT(cpu, t.num_cpus);
+        EXPECT_EQ(cpu, pin_cpu_for(pin_policy::compact, i % 4, t));
+    }
+}
+
+TEST(PinPolicy, ApplyPinOnRealTopologyIsNonFatal) {
+    // Whatever the host looks like, pinning worker 0 either works (>= 0)
+    // or degrades to a no-op (-1); it must never abort.
+    const int cpu = apply_pin(pin_policy::compact, 0);
+    EXPECT_GE(cpu, -1);
+    // Undo any affinity we set so later tests see the full machine.
+#ifdef __linux__
+    cpu_set_t all;
+    CPU_ZERO(&all);
+    for (int c = 0; c < CPU_SETSIZE; ++c) CPU_SET(c, &all);
+    pthread_setaffinity_np(pthread_self(), sizeof(all), &all);
+#endif
+}
+
+}  // namespace
+}  // namespace smr::topo

@@ -2,17 +2,23 @@
 // regressions, turning CI's uploaded bench-*.json artifacts into a perf
 // trajectory (ROADMAP "Trend tracking").
 //
-//   bench_diff [--threshold-pct=N] baseline.json candidate.json
+//   bench_diff [--threshold-pct=N] [--strict] baseline.json candidate.json
 //
 // Matching: every workload point is keyed by its configuration hash --
-// (scenario, ds, scheme, policy, threads, key_range, mix) -- and trials of
-// the same key are averaged on each side. Keys present on only one side
-// are reported but are not failures (scenario sets evolve); a matched key
-// whose candidate mean throughput_mops falls more than the threshold
-// below the baseline mean is a REGRESSION.
+// (scenario, ds, scheme, policy, pin, threads, key_range, mix) -- and
+// trials of the same key are averaged on each side. Keys present on only
+// one side are reported but are not failures (scenario sets evolve); a
+// matched key whose candidate mean throughput_mops falls more than the
+// threshold below the baseline mean is a REGRESSION.
 //
-// Exit codes: 0 = no regression beyond the threshold, 1 = at least one
-// regression, 2 = usage / parse / schema error. Non-"workload" documents
+// Gating: by default the tool *warns*: it prints every matched cell, then
+// a per-scenario regression summary table, and exits 0 regardless --
+// right for smoke-length CI runs, where 25 ms trials are noise. With
+// --strict a regression exits 1, which is what paper-length nightly runs
+// gate on (ROADMAP "trend gating").
+//
+// Exit codes: 0 = ran (regressions only warn), 1 = regression found under
+// --strict, 2 = usage / parse / schema error. Non-"workload" documents
 // (tables, ablations) carry no comparable points and exit 0 with a note.
 #include <cinttypes>
 #include <cstdio>
@@ -43,7 +49,7 @@ struct cell {
 std::string point_key(const std::string& scenario_name, const json& p) {
     std::ostringstream os;
     os << scenario_name;
-    for (const char* field : {"ds", "scheme", "policy", "mix"}) {
+    for (const char* field : {"ds", "scheme", "policy", "pin", "mix"}) {
         const json* v = p.find(field);
         os << '|' << (v != nullptr ? v->as_string() : std::string("-"));
     }
@@ -62,31 +68,45 @@ std::uint64_t key_hash(const std::string& key) {
     return h;
 }
 
-bool load_document(const char* path, json* out, std::string* scenario_name,
-                   bool* is_workload) {
+/// Outcome of loading one document: usable, cleanly incomparable (a
+/// different schema version -- expected across schema bumps, and not a
+/// performance signal, so it must not fail a --strict gate), or broken.
+enum class load_status { ok, incomparable, error };
+
+load_status load_document(const char* path, json* out,
+                          std::string* scenario_name, bool* is_workload) {
     std::ifstream in(path);
     if (!in) {
         std::fprintf(stderr, "bench_diff: cannot open '%s'\n", path);
-        return false;
+        return load_status::error;
     }
     std::ostringstream buf;
     buf << in.rdbuf();
     auto parsed = json::parse(buf.str());
     if (!parsed.has_value()) {
         std::fprintf(stderr, "bench_diff: '%s' is not valid JSON\n", path);
-        return false;
+        return load_status::error;
+    }
+    if (const json* v = parsed->find("smr_bench_version");
+        v != nullptr && v->is_integer() &&
+        v->as_int() != smr::harness::SMR_BENCH_SCHEMA_VERSION) {
+        std::printf("bench_diff: '%s' is schema version %lld (this tool "
+                    "speaks %d); nothing to compare\n",
+                    path, v->as_int(),
+                    smr::harness::SMR_BENCH_SCHEMA_VERSION);
+        return load_status::incomparable;
     }
     std::string err;
     if (!smr::harness::validate_run_document(*parsed, &err)) {
         std::fprintf(stderr, "bench_diff: '%s' fails the run-document "
                              "schema: %s\n",
                      path, err.c_str());
-        return false;
+        return load_status::error;
     }
     *scenario_name = parsed->find("scenario")->find("name")->as_string();
     *is_workload = parsed->find("kind")->as_string() == "workload";
     *out = std::move(*parsed);
-    return true;
+    return load_status::ok;
 }
 
 std::map<std::string, cell> collect_cells(const json& doc,
@@ -106,6 +126,7 @@ std::map<std::string, cell> collect_cells(const json& doc,
 
 int diff_main(int argc, char** argv) {
     double threshold_pct = 10.0;
+    bool strict = false;
     std::vector<const char*> paths;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--threshold-pct=", 16) == 0) {
@@ -115,9 +136,13 @@ int diff_main(int argc, char** argv) {
                 std::fprintf(stderr, "bench_diff: bad --threshold-pct\n");
                 return 2;
             }
+        } else if (std::strcmp(argv[i], "--strict") == 0) {
+            strict = true;
         } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::printf("usage: bench_diff [--threshold-pct=N] "
-                        "baseline.json candidate.json\n");
+            std::printf("usage: bench_diff [--threshold-pct=N] [--strict] "
+                        "baseline.json candidate.json\n"
+                        "  --strict   exit 1 on a regression (default: "
+                        "warn and exit 0)\n");
             return 0;
         } else {
             paths.push_back(argv[i]);
@@ -125,15 +150,21 @@ int diff_main(int argc, char** argv) {
     }
     if (paths.size() != 2) {
         std::fprintf(stderr, "usage: bench_diff [--threshold-pct=N] "
-                             "baseline.json candidate.json\n");
+                             "[--strict] baseline.json candidate.json\n");
         return 2;
     }
 
     json base, cand;
     std::string base_name, cand_name;
     bool base_wl = false, cand_wl = false;
-    if (!load_document(paths[0], &base, &base_name, &base_wl)) return 2;
-    if (!load_document(paths[1], &cand, &cand_name, &cand_wl)) return 2;
+    const load_status bs = load_document(paths[0], &base, &base_name,
+                                         &base_wl);
+    if (bs == load_status::incomparable) return 0;
+    if (bs != load_status::ok) return 2;
+    const load_status cs = load_document(paths[1], &cand, &cand_name,
+                                         &cand_wl);
+    if (cs == load_status::incomparable) return 0;
+    if (cs != load_status::ok) return 2;
     if (!base_wl || !cand_wl) {
         std::printf("bench_diff: non-workload document(s) "
                     "(kind != \"workload\"); nothing to compare\n");
@@ -142,6 +173,15 @@ int diff_main(int argc, char** argv) {
 
     const auto base_cells = collect_cells(base, base_name);
     const auto cand_cells = collect_cells(cand, cand_name);
+
+    /// Per-scenario aggregates for the summary table.
+    struct scenario_summary {
+        int matched = 0;
+        int regressions = 0;
+        double worst_delta_pct = 0;    // most negative delta seen
+        double delta_sum_pct = 0;
+    };
+    std::map<std::string, scenario_summary> per_scenario;
 
     int matched = 0, regressions = 0, only_base = 0, only_cand = 0;
     for (const auto& [key, bc] : base_cells) {
@@ -156,6 +196,12 @@ int diff_main(int argc, char** argv) {
         const double delta_pct = b > 0 ? (c - b) / b * 100.0 : 0.0;
         const bool regressed = b > 0 && delta_pct < -threshold_pct;
         if (regressed) ++regressions;
+        scenario_summary& ss =
+            per_scenario[key.substr(0, key.find('|'))];
+        ++ss.matched;
+        if (regressed) ++ss.regressions;
+        ss.delta_sum_pct += delta_pct;
+        if (delta_pct < ss.worst_delta_pct) ss.worst_delta_pct = delta_pct;
         // Report every matched cell; mark the failures loudly.
         std::printf("%s  [%016" PRIx64 "]  %.3f -> %.3f Mops/s  (%+.1f%%)%s\n",
                     key.c_str(), key_hash(key), b, c, delta_pct,
@@ -166,11 +212,25 @@ int diff_main(int argc, char** argv) {
         (void)cc;
     }
 
+    // Per-scenario regression table: the at-a-glance verdict nightly logs
+    // grep for.
+    std::printf("\n%-24s %8s %12s %10s %10s\n", "scenario", "matched",
+                "regressions", "worst", "mean");
+    std::printf("%-24s %8s %12s %10s %10s\n", "--------", "-------",
+                "-----------", "-----", "----");
+    for (const auto& [name, ss] : per_scenario) {
+        std::printf("%-24s %8d %12d %+9.1f%% %+9.1f%%\n", name.c_str(),
+                    ss.matched, ss.regressions, ss.worst_delta_pct,
+                    ss.matched > 0 ? ss.delta_sum_pct / ss.matched : 0.0);
+    }
+
     std::printf("\nbench_diff: %d matched, %d only-baseline, "
-                "%d only-candidate, threshold %.1f%%, %d regression%s\n",
+                "%d only-candidate, threshold %.1f%%, %d regression%s%s\n",
                 matched, only_base, only_cand, threshold_pct, regressions,
-                regressions == 1 ? "" : "s");
-    return regressions > 0 ? 1 : 0;
+                regressions == 1 ? "" : "s",
+                strict ? " (strict: regressions fail)"
+                       : " (advisory: pass --strict to gate)");
+    return strict && regressions > 0 ? 1 : 0;
 }
 
 }  // namespace
