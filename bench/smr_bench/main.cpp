@@ -50,6 +50,8 @@ void print_usage() {
         "  --trials=N           trials per point (each emitted separately)\n"
         "  --keyrange=N         the 'large' key range scenarios refer to\n"
         "  --seed=N             base PRNG seed (trial t uses seed+t)\n"
+        "  --lat-sample=N       time every Nth op per thread (default 32;\n"
+        "                       0 disables latency recording)\n"
         "  --json=PATH          write the run document to PATH ('-' =\n"
         "                       stdout)\n"
         "  --list               list scenarios and exit\n\n"
@@ -118,6 +120,7 @@ harness::json config_to_json(const scenario& sc,
     for (int t : threads) th.push_back(t);
     c.set("threads", std::move(th));
     c.set("seed", static_cast<long long>(cfg.seed));
+    c.set("lat_sample", cfg.lat_sample);
     c.set("policy", policy_name(policies.front()));
     harness::json pol = harness::json::array();
     for (policy_kind p : policies) pol.push_back(policy_name(p));
@@ -262,6 +265,7 @@ int run_workload_scenario(const scenario& sc,
                         wl.dist = sc.shape.dist;
                         wl.phases = sc.shape.phases;
                         wl.pin = pin;
+                        wl.lat_sample = cfg.lat_sample;
                         if (sc.shape.stall_straggler) {
                             wl.stall_tid = t - 1;
                             wl.stall_ms = sc.shape.stall_ms;
@@ -313,6 +317,8 @@ int run_workload_scenario(const scenario& sc,
                             meta.policy = policy_name(policy);
                             meta.threads = t;
                             meta.trial = trial;
+                            meta.rq_pct = sc.shape.rq_pct;
+                            meta.rq_len = sc.shape.rq_len;
                             harness::json p = harness::point_to_json(meta, r);
                             p.set("key_range", range);
                             p.set("mix", mix.name);

@@ -326,6 +326,25 @@ std::vector<scenario> build_registry() {
         reg.push_back(std::move(s));
     }
 
+    {
+        scenario s;
+        s.name = "latency_qos";
+        s.summary = "Reader SLA under writer bursts: a read-mostly phase "
+                    "alternating with a 50/50 write burst, per-phase p99/"
+                    "p999 in the latency stanza separating reclamation "
+                    "stalls (DEBRA+ neutralization, HP/HE scans) from the "
+                    "baseline tail";
+        s.paper_ref = "Section 5 (neutralization cost), measured beyond "
+                      "the paper";
+        s.ds = {"ellen_bst"};
+        s.schemes = {"none", "debra", "debra+", "hp", "he", "ibr"};
+        s.policy = policy_kind::reclaim;
+        s.shape.phases = {{"read_mostly", 5, 5, 60, 0},
+                          {"write_burst", 50, 50, 20, 0}};
+        s.shape.key_ranges = {100000};
+        reg.push_back(std::move(s));
+    }
+
     // ---- custom scenarios (the non-sweep former binaries) ----------------
 
     {
@@ -368,6 +387,18 @@ std::vector<scenario> build_registry() {
         s.paper_ref = "beyond the paper (PR 2); zero-cost-guards claim";
         s.custom = run_guard_overhead;
         s.custom_kind = "guard_overhead";
+        reg.push_back(std::move(s));
+    }
+    {
+        scenario s;
+        s.name = "latency_overhead";
+        s.summary = "A/B: the timed-trial loop with default latency "
+                    "sampling (--lat-sample=32) against recording disabled "
+                    "(PASS when the median paired throughput delta is "
+                    "within the threshold)";
+        s.paper_ref = "beyond the paper; observability-is-free claim";
+        s.custom = run_latency_overhead;
+        s.custom_kind = "latency_overhead";
         reg.push_back(std::move(s));
     }
 

@@ -88,5 +88,7 @@ int run_ablation_thresholds(const scenario&, const harness::bench_config&,
                             harness::json* doc);
 int run_guard_overhead(const scenario&, const harness::bench_config&,
                        harness::json* doc);
+int run_latency_overhead(const scenario&, const harness::bench_config&,
+                         harness::json* doc);
 
 }  // namespace smr::bench

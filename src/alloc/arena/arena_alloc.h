@@ -182,6 +182,9 @@ class allocator_arena {
     /// cursor runs dry. One lock acquisition per batch; hand-out
     /// accounting happens in allocate() via the fresh segment.
     void refill(int tid, magazine& m) {
+        // Stall attribution: the shard lock + batch pull (possibly a slab
+        // carve) is the allocator's blocking path.
+        stall_scope stall(stats_, tid, stall_site::arena);
         const int s = topo::current_shard(tid);
         shard& sh = *shards_[static_cast<std::size_t>(s)];
         const int target = MAG_CAP / 2;
@@ -209,6 +212,8 @@ class allocator_arena {
     void flush(int tid, magazine& m, int n) {
         if (n > m.count) n = m.count;
         if (n <= 0) return;
+        // Stall attribution: per-home-shard lock acquisitions and splices.
+        stall_scope stall(stats_, tid, stall_site::arena);
         const int local = topo::current_shard(tid);
         int remote = 0;
         // Group by home shard: chain the items per shard, then splice each

@@ -17,6 +17,7 @@
 //   SMR_TRIALS          trials per point        (default 1)
 //   SMR_THREADS         comma list, e.g. "1,2,4,8"
 //   SMR_KEYRANGE_LARGE  the paper's large BST key range (default 1000000)
+//   SMR_LAT_SAMPLE      latency sampling period (default 32; 0 disables)
 #pragma once
 
 #include <cstdint>
@@ -68,6 +69,11 @@ struct bench_config {
     std::vector<int> thread_counts = {1, 2, 4, 8};
     long long keyrange_large = 1000000;
     std::uint64_t seed = 1;
+    /// Latency sampling period: every Nth operation per thread is timed
+    /// (0 disables recording entirely, 1 times every op). 32 keeps the
+    /// recording overhead under the guard_overhead-style 2% budget while
+    /// still collecting ~30k samples per second per thread.
+    int lat_sample = 32;
 
     // Driver selection (CLI only; empty = scenario defaults).
     std::string scenario;
@@ -96,6 +102,7 @@ struct bench_config {
         c.trials = env_int("SMR_TRIALS", c.trials);
         c.keyrange_large = env_int("SMR_KEYRANGE_LARGE",
                                    static_cast<int>(c.keyrange_large));
+        c.lat_sample = env_int("SMR_LAT_SAMPLE", c.lat_sample);
         if (const char* ts = std::getenv("SMR_THREADS"); ts != nullptr) {
             auto parsed = parse_int_list(ts);
             if (!parsed.empty()) {
@@ -183,6 +190,12 @@ struct bench_config {
                     return fail("--keyrange: need an integer in [1, 2^30]");
                 }
                 keyrange_large = kr;
+            } else if (name == "--lat-sample") {
+                if (!int_value(0, 1 << 20, &lat_sample)) {
+                    return fail(
+                        "--lat-sample: need an integer in [0, 2^20] "
+                        "(0 disables latency recording)");
+                }
             } else if (name == "--seed") {
                 int s = 0;
                 if (!int_value(0, 1 << 30, &s)) {
@@ -207,6 +220,7 @@ struct bench_config {
         if (trial_ms <= 0) trial_ms = 100;
         if (trials <= 0) trials = 1;
         if (keyrange_large < 1) keyrange_large = 1;
+        if (lat_sample < 0) lat_sample = 32;
         if (thread_counts.empty()) thread_counts = {1, 2, 4, 8};
     }
 };

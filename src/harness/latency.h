@@ -1,0 +1,122 @@
+// latency.h -- the harness's per-operation latency recording layer
+// (schema v3's "latency" stanza, in code).
+//
+// The storage substrate -- fixed-bucket log-scale histograms, lossless
+// merge, percentile extraction, and the calibrated TSC/steady_clock --
+// lives in util/latency_hist.h so debug_stats can hold stall-duration
+// histograms without a harness dependency. This header adds what only the
+// harness needs:
+//
+//   * op_kind              -- the four timed operation classes of the two
+//                             workload shapes (push/pop map onto
+//                             insert/erase, like the op-count columns);
+//   * op_latency_recorder  -- one per worker thread (cache-line padded by
+//                             the harness): a deterministic 1-in-N
+//                             sampling gate plus one histogram per op
+//                             kind. N comes from --lat-sample; N = 0
+//                             disables recording entirely and the timed
+//                             path compiles down to one predictable
+//                             branch per operation.
+//   * latency_result       -- the harvested per-trial aggregate: per-kind
+//                             and total op summaries, the four stall-site
+//                             summaries from debug_stats, the clock
+//                             source, and the sampling rate. report.h
+//                             serializes exactly this.
+//
+// Sampling is a per-thread counter, not a PRNG draw: ++tick == N is two
+// instructions on the untimed path, deterministic across runs with the
+// same op interleaving, and unbiased for the op mix (every N-th op is
+// timed regardless of kind).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "../util/debug_stats.h"
+#include "../util/latency_hist.h"
+
+namespace smr::harness {
+
+/// Timed operation classes. Set-shaped trials use all four; push/pop
+/// trials map push onto insert and pop onto erase (the same reuse as the
+/// ops stanza's count columns).
+enum class op_kind : int { insert, erase, contains, range_query, COUNT };
+
+inline constexpr int N_OP_KINDS = static_cast<int>(op_kind::COUNT);
+
+inline constexpr std::array<std::string_view, N_OP_KINDS> op_kind_names = {
+    "insert", "erase", "contains", "range_query"};
+
+/// Per-worker recorder: the sampling gate plus one histogram per op kind.
+/// Owned and written by exactly one thread; the control thread may read
+/// the histograms mid-trial (relaxed snapshots, see lat_hist).
+class op_latency_recorder {
+  public:
+    /// N <= 0 disables; N = 1 times every operation.
+    void set_sample_every(int n) noexcept {
+        every_ = n > 0 ? static_cast<std::uint32_t>(n) : 0;
+        tick_ = 0;
+    }
+    int sample_every() const noexcept { return static_cast<int>(every_); }
+
+    /// The sampling gate: true on every N-th call. The caller times the
+    /// operation it is about to run only when armed.
+    bool arm() noexcept {
+        if (every_ == 0) return false;
+        if (++tick_ < every_) return false;
+        tick_ = 0;
+        return true;
+    }
+
+    void record(op_kind k, std::uint64_t ns) noexcept {
+        hists_[static_cast<std::size_t>(k)].record(ns);
+    }
+
+    const lat_hist& hist(op_kind k) const noexcept {
+        return hists_[static_cast<std::size_t>(k)];
+    }
+
+    void clear() noexcept {
+        for (auto& h : hists_) h.clear();
+        tick_ = 0;
+    }
+
+  private:
+    std::uint32_t every_ = 0;
+    std::uint32_t tick_ = 0;
+    std::array<lat_hist, N_OP_KINDS> hists_{};
+};
+
+/// Times one data structure call when a recorder is armed; a null
+/// recorder makes construction and done() each a single branch. Start the
+/// scope immediately before the call so key-draw and tally overhead stay
+/// out of the measurement; restarts inside the call (neutralization,
+/// validation failures) stay in -- they are precisely the tail this layer
+/// exists to expose.
+struct op_timing {
+    op_latency_recorder* lat;
+    std::uint64_t t0;
+
+    explicit op_timing(op_latency_recorder* l) noexcept
+        : lat(l), t0(l != nullptr ? lat_clock::now() : 0) {}
+
+    void done(op_kind k) noexcept {
+        if (lat != nullptr) {
+            lat->record(k, lat_clock::to_nanos(lat_clock::now() - t0));
+        }
+    }
+};
+
+/// The per-trial latency harvest (trial_result::latency). Summaries are
+/// lossless merges of the per-thread histograms; `total` merges the four
+/// op kinds; `stalls` comes from debug_stats::stall_summary.
+struct latency_result {
+    int sample_every = 0;
+    std::string clock = "steady_clock";
+    std::array<lat_summary, N_OP_KINDS> ops{};
+    lat_summary total{};
+    std::array<lat_summary, static_cast<int>(stall_site::COUNT)> stalls{};
+};
+
+}  // namespace smr::harness

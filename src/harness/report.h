@@ -8,11 +8,13 @@
 // job on the uploaded artifact). Keeping builder and validator adjacent
 // is what stops the schema from drifting.
 //
-// Document shape (schema_version 2; v2 added the topology stanza and the
-// memory-placement counters in workload points):
+// Document shape (schema_version 3; v2 added the topology stanza and the
+// memory-placement counters in workload points; v3 adds per-point tail-
+// latency observability and the range-query shape keys):
 //   {
-//     "smr_bench_version": 2,
-//     "kind": "workload" | "table" | "ablation" | "guard_overhead",
+//     "smr_bench_version": 3,
+//     "kind": "workload" | "table" | "ablation" | "guard_overhead"
+//             | "latency_overhead",
 //     "scenario": {"name", "summary", "paper_ref"},
 //     "config":   {"trial_ms", "trials", "threads": [..], "seed", ...},
 //     "host":     {"hardware_threads"},
@@ -23,10 +25,24 @@
 // Workload points carry throughput, the op breakdown (including range-
 // query counts; push/pop points reuse the insert/delete columns), the
 // reclamation counters harvested from debug_stats, per-phase op counts,
-// per-phase-boundary counter snapshots (phase_metrics), and the size-
-// invariant verdict. Custom scenarios (kind != "workload") emit their own
-// point shape but share the envelope, so downstream tooling can always
-// read scenario/config/verdict.
+// per-phase-boundary counter snapshots (phase_metrics, which since v3
+// include sampled-latency deltas), the size-invariant verdict, and -- new
+// in v3 -- the workload shape keys rq_pct / rq_len (so two points that
+// differ only in range-scan shape are distinguishable downstream) plus a
+// "latency" stanza:
+//   "latency": {
+//     "clock": "tsc" | "steady_clock",
+//     "sample_every": N,                  // 0 = recording disabled
+//     "ops":   {"insert"|"erase"|"contains"|"range_query": <summary>},
+//     "total": <summary>,                 // all op kinds merged
+//     "stalls": {"neutralize"|"scan_free"|"rotation"|"arena": <summary>}
+//   }
+// where <summary> is {"count", "p50_ns", "p90_ns", "p99_ns", "p999_ns",
+// "max_ns", "buckets": [[bucket_index, count], ...]} -- buckets sparse
+// (zero-count entries omitted), indices into the log-scale layout of
+// src/util/latency_hist.h so documents merge losslessly offline. Custom
+// scenarios (kind != "workload") emit their own point shape but share the
+// envelope, so downstream tooling can always read scenario/config/verdict.
 #pragma once
 
 #include <string>
@@ -39,15 +55,65 @@
 
 namespace smr::harness {
 
-inline constexpr int SMR_BENCH_SCHEMA_VERSION = 2;
+inline constexpr int SMR_BENCH_SCHEMA_VERSION = 3;
 
 struct point_meta {
     std::string ds;
     std::string scheme;
-    std::string policy;  // "overhead" / "reclaim" / "malloc"
+    std::string policy;  // "overhead" / "reclaim" / "malloc" / "arena"
     int threads = 0;
     int trial = 0;
+    /// Range-query workload shape (part of the point identity since v3:
+    /// scenarios sweep rq_pct/rq_len at otherwise-identical settings, and
+    /// diff tooling must not collapse those points into one key).
+    int rq_pct = 0;
+    int rq_len = 0;
 };
+
+/// One latency summary -> JSON: percentiles for humans, sparse buckets for
+/// tools (offline merging, re-deriving percentiles at other quantiles).
+inline json latency_summary_to_json(const lat_summary& s) {
+    json o = json::object();
+    o.set("count", static_cast<long long>(s.count));
+    o.set("p50_ns", static_cast<long long>(s.percentile(0.50)));
+    o.set("p90_ns", static_cast<long long>(s.percentile(0.90)));
+    o.set("p99_ns", static_cast<long long>(s.percentile(0.99)));
+    o.set("p999_ns", static_cast<long long>(s.percentile(0.999)));
+    o.set("max_ns", static_cast<long long>(s.max_ns));
+    json buckets = json::array();
+    for (int i = 0; i < LAT_BUCKETS; ++i) {
+        if (s.buckets[static_cast<std::size_t>(i)] == 0) continue;
+        json pair = json::array();
+        pair.push_back(i);
+        pair.push_back(static_cast<long long>(
+            s.buckets[static_cast<std::size_t>(i)]));
+        buckets.push_back(std::move(pair));
+    }
+    o.set("buckets", std::move(buckets));
+    return o;
+}
+
+/// The per-point latency stanza (see the header comment for the shape).
+inline json latency_to_json(const latency_result& lat) {
+    json o = json::object();
+    o.set("clock", lat.clock);
+    o.set("sample_every", lat.sample_every);
+    json ops = json::object();
+    for (int k = 0; k < N_OP_KINDS; ++k) {
+        ops.set(std::string(op_kind_names[static_cast<std::size_t>(k)]),
+                latency_summary_to_json(lat.ops[static_cast<std::size_t>(k)]));
+    }
+    o.set("ops", std::move(ops));
+    o.set("total", latency_summary_to_json(lat.total));
+    json stalls = json::object();
+    for (int s = 0; s < static_cast<int>(stall_site::COUNT); ++s) {
+        stalls.set(
+            std::string(stall_site_names[static_cast<std::size_t>(s)]),
+            latency_summary_to_json(lat.stalls[static_cast<std::size_t>(s)]));
+    }
+    o.set("stalls", std::move(stalls));
+    return o;
+}
 
 inline json point_to_json(const point_meta& m, const trial_result& r) {
     json p = json::object();
@@ -56,6 +122,8 @@ inline json point_to_json(const point_meta& m, const trial_result& r) {
     p.set("policy", m.policy);
     p.set("threads", m.threads);
     p.set("trial", m.trial);
+    p.set("rq_pct", m.rq_pct);
+    p.set("rq_len", m.rq_len);
     p.set("throughput_mops", r.mops_per_sec());
     p.set("seconds", r.seconds);
     p.set("total_ops", r.total_ops);
@@ -108,9 +176,18 @@ inline json point_to_json(const point_meta& m, const trial_result& r) {
         o.set("hp_scans", m.hp_scans);
         o.set("neutralize_sent", m.neutralize_sent);
         o.set("limbo_estimate", m.limbo_estimate);
+        // Sampled-latency view of the closing phase occurrence (v3):
+        // deltas except lat_max_ns, which is cumulative (see workload.h).
+        o.set("lat_samples", static_cast<long long>(m.lat_samples));
+        o.set("lat_p50_ns", static_cast<long long>(m.lat_p50_ns));
+        o.set("lat_p99_ns", static_cast<long long>(m.lat_p99_ns));
+        o.set("lat_p999_ns", static_cast<long long>(m.lat_p999_ns));
+        o.set("lat_max_ns", static_cast<long long>(m.lat_max_ns));
         pm.push_back(std::move(o));
     }
     p.set("phase_metrics", std::move(pm));
+
+    p.set("latency", latency_to_json(r.latency));
 
     json inv = json::object();
     inv.set("ok", r.size_invariant_holds());
@@ -208,6 +285,77 @@ inline bool check_keys(const json& obj, const char* where,
     return true;
 }
 
+/// Shape check for one latency <summary> object (see latency_summary_to_json).
+inline bool check_latency_summary(const json& s, const std::string& where,
+                                  std::string* err) {
+    if (!check_keys(s, where.c_str(),
+                    {{"count", json::kind::integer},
+                     {"p50_ns", json::kind::integer},
+                     {"p90_ns", json::kind::integer},
+                     {"p99_ns", json::kind::integer},
+                     {"p999_ns", json::kind::integer},
+                     {"max_ns", json::kind::integer},
+                     {"buckets", json::kind::array}},
+                    err)) {
+        return false;
+    }
+    const json& buckets = *s.find("buckets");
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        const json& pair = buckets[i];
+        if (!require(pair.is_array() && pair.size() == 2 &&
+                         pair[0].is_integer() && pair[1].is_integer() &&
+                         pair[0].as_int() >= 0 &&
+                         pair[0].as_int() < LAT_BUCKETS,
+                     where + ".buckets[" + std::to_string(i) +
+                         "] must be [bucket_index, count]",
+                     err)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Shape check for a point's full "latency" stanza.
+inline bool check_latency_stanza(const json& lat, const std::string& where,
+                                 std::string* err) {
+    if (!check_keys(lat, where.c_str(),
+                    {{"clock", json::kind::string},
+                     {"sample_every", json::kind::integer},
+                     {"ops", json::kind::object},
+                     {"total", json::kind::object},
+                     {"stalls", json::kind::object}},
+                    err)) {
+        return false;
+    }
+    const json& ops = *lat.find("ops");
+    for (std::string_view name : op_kind_names) {
+        const json* s = ops.find(std::string(name));
+        if (!require(s != nullptr,
+                     where + ".ops missing key '" + std::string(name) + "'",
+                     err) ||
+            !check_latency_summary(*s, where + ".ops." + std::string(name),
+                                   err)) {
+            return false;
+        }
+    }
+    if (!check_latency_summary(*lat.find("total"), where + ".total", err)) {
+        return false;
+    }
+    const json& stalls = *lat.find("stalls");
+    for (std::string_view name : stall_site_names) {
+        const json* s = stalls.find(std::string(name));
+        if (!require(s != nullptr,
+                     where + ".stalls missing key '" + std::string(name) +
+                         "'",
+                     err) ||
+            !check_latency_summary(*s, where + ".stalls." + std::string(name),
+                                   err)) {
+            return false;
+        }
+    }
+    return true;
+}
+
 }  // namespace report_detail
 
 /// Schema check for a full run document. Strict on the envelope for every
@@ -287,6 +435,8 @@ inline bool validate_run_document(const json& doc, std::string* err) {
                          {"policy", k::string},
                          {"threads", k::integer},
                          {"trial", k::integer},
+                         {"rq_pct", k::integer},
+                         {"rq_len", k::integer},
                          {"throughput_mops", k::real},
                          {"seconds", k::real},
                          {"total_ops", k::integer},
@@ -294,6 +444,7 @@ inline bool validate_run_document(const json& doc, std::string* err) {
                          {"reclamation", k::object},
                          {"phase_ops", k::array},
                          {"phase_metrics", k::array},
+                         {"latency", k::object},
                          {"invariant", k::object}},
                         err)) {
             return false;
@@ -317,10 +468,19 @@ inline bool validate_run_document(const json& doc, std::string* err) {
                             {{"phase", k::integer},
                              {"at_ms", k::integer},
                              {"records_retired", k::integer},
-                             {"limbo_estimate", k::integer}},
+                             {"limbo_estimate", k::integer},
+                             {"lat_samples", k::integer},
+                             {"lat_p50_ns", k::integer},
+                             {"lat_p99_ns", k::integer},
+                             {"lat_p999_ns", k::integer},
+                             {"lat_max_ns", k::integer}},
                             err)) {
                 return false;
             }
+        }
+        if (!report_detail::check_latency_stanza(
+                *p.find("latency"), where + ".latency", err)) {
+            return false;
         }
         if (!check_keys(*p.find("reclamation"),
                         (where + ".reclamation").c_str(),

@@ -41,10 +41,12 @@
 #include "../topo/pin.h"
 #include "../util/barrier.h"
 #include "../util/debug_stats.h"
+#include "../util/padded.h"
 #include "../util/prng.h"
 #include "../util/timing.h"
 #include "bench_config.h"
 #include "key_dist.h"
+#include "latency.h"
 #include "schedule.h"
 
 namespace smr::harness {
@@ -79,6 +81,10 @@ struct workload_config {
     /// registration time (worker t = pin index t). Default: scheduler's
     /// choice, the pre-topology behavior.
     topo::pin_policy pin = topo::pin_policy::none;
+    /// Per-op latency sampling: every N-th operation per thread is timed
+    /// into the per-op-kind histograms (--lat-sample). 0 disables
+    /// recording; 1 times every operation.
+    int lat_sample = 32;
 };
 
 /// One snapshot of the (cumulative) reclamation counters, taken by the
@@ -96,6 +102,15 @@ struct phase_metric {
     /// retired - pooled: records sitting in limbo bags, estimated from the
     /// race-free counters (limbo bag sizes themselves are owner-local).
     long long limbo_estimate = 0;
+    /// Latency of the phase occurrence that just ended: percentiles of the
+    /// *delta* histogram (all op kinds merged) between this snapshot and
+    /// the previous one. lat_max_ns is cumulative (a max cannot be
+    /// differenced); lat_samples counts this occurrence's timed ops.
+    std::uint64_t lat_samples = 0;
+    std::uint64_t lat_p50_ns = 0;
+    std::uint64_t lat_p99_ns = 0;
+    std::uint64_t lat_p999_ns = 0;
+    std::uint64_t lat_max_ns = 0;
 };
 
 struct trial_result {
@@ -139,6 +154,10 @@ struct trial_result {
     /// Cumulative counter snapshots at phase boundaries (phased trials
     /// only; empty otherwise). See phase_metric.
     std::vector<phase_metric> phase_metrics;
+
+    /// Per-op latency histograms + stall attribution (schema v3's
+    /// "latency" stanza). Empty (count 0) when lat_sample was 0.
+    latency_result latency;
 
     double mops_per_sec() const {
         return seconds > 0 ? total_ops / seconds / 1e6 : 0.0;
@@ -211,21 +230,32 @@ struct set_shape {
                           cfg.seed);
     }
 
+    /// `lat` is non-null only for operations the sampling gate armed; the
+    /// op_timing scopes bracket just the data structure call, so restarts
+    /// inside it (neutralization, validation failures) are measured and
+    /// the harness's own dice/tally work is not.
     template <class DS, class Acc>
     static void do_op(DS& ds, Acc acc, const workload_config& cfg,
                       const key_dist_shared& dist, prng& rng, int ins_pct,
-                      int del_pct, per_thread& mine) {
+                      int del_pct, per_thread& mine,
+                      op_latency_recorder* lat) {
         const long long key = dist.next(rng);
         const std::uint64_t dice = rng.next(100);
         if (dice < static_cast<std::uint64_t>(ins_pct)) {
             ++mine.ins_att;
-            if (ds.insert(acc, key, key)) {
+            op_timing tm(lat);
+            const bool ok = ds.insert(acc, key, key);
+            tm.done(op_kind::insert);
+            if (ok) {
                 ++mine.ins_ok;
                 ++mine.net_keys;
             }
         } else if (dice < static_cast<std::uint64_t>(ins_pct + del_pct)) {
             ++mine.del_att;
-            if (ds.erase(acc, key).has_value()) {
+            op_timing tm(lat);
+            const bool ok = ds.erase(acc, key).has_value();
+            tm.done(op_kind::erase);
+            if (ok) {
                 ++mine.del_ok;
                 --mine.net_keys;
             }
@@ -238,11 +268,16 @@ struct set_shape {
             long long hi = key + cfg.rq_len - 1;
             if (hi >= cfg.key_range) hi = cfg.key_range - 1;
             ++mine.rqs;
-            mine.rq_keys += ds.range_query(
+            op_timing tm(lat);
+            const long long delivered = ds.range_query(
                 acc, key, hi, [](const auto&, const auto&) { return true; });
+            tm.done(op_kind::range_query);
+            mine.rq_keys += delivered;
         } else {
             ++mine.finds;
+            op_timing tm(lat);
             (void)ds.contains(acc, key);
+            tm.done(op_kind::contains);
         }
     }
 };
@@ -259,20 +294,28 @@ struct pushpop_shape {
         return target;
     }
 
+    /// Push times as op_kind::insert and pop as op_kind::erase, the same
+    /// column reuse as the op-count tallies.
     template <class DS, class Acc>
     static void do_op(DS& ds, Acc acc, const workload_config& cfg,
                       const key_dist_shared& dist, prng& rng, int ins_pct,
-                      int /*del_pct*/, per_thread& mine) {
+                      int /*del_pct*/, per_thread& mine,
+                      op_latency_recorder* lat) {
         const long long value = dist.next(rng);
         const std::uint64_t dice = rng.next(100);
         if (dice < static_cast<std::uint64_t>(ins_pct)) {
             ++mine.ins_att;
+            op_timing tm(lat);
             ds.push(acc, value);
+            tm.done(op_kind::insert);
             ++mine.ins_ok;
             ++mine.net_keys;
         } else {
             ++mine.del_att;
-            if (ds.try_pop(acc).has_value()) {
+            op_timing tm(lat);
+            const bool ok = ds.try_pop(acc).has_value();
+            tm.done(op_kind::erase);
+            if (ok) {
                 ++mine.del_ok;
                 --mine.net_keys;
             }
@@ -327,6 +370,27 @@ trial_result run_timed_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
         static_cast<std::size_t>(cfg.num_threads));
     for (auto& s : stats) s.phase_ops.assign(num_phases, 0);
 
+    // Per-thread latency recorders, cache-line padded like the counter
+    // blocks. Workers write their own recorder only; the control thread
+    // reads them concurrently (relaxed histogram loads -- a mid-phase
+    // snapshot may trail by an op, which a per-phase delta tolerates).
+    std::vector<padded<op_latency_recorder>> recorders(
+        static_cast<std::size_t>(cfg.num_threads));
+    for (auto& r : recorders) r->set_sample_every(cfg.lat_sample);
+    // Cumulative merge across threads and op kinds; phase harvests diff
+    // successive snapshots of this.
+    auto merge_latency = [&recorders, &cfg] {
+        lat_summary out;
+        for (int t = 0; t < cfg.num_threads; ++t) {
+            for (int k = 0; k < N_OP_KINDS; ++k) {
+                out.add(recorders[static_cast<std::size_t>(t)]->hist(
+                    static_cast<op_kind>(k)));
+            }
+        }
+        return out;
+    };
+    lat_summary prev_lat;
+
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(cfg.num_threads));
     for (int t = 0; t < cfg.num_threads; ++t) {
@@ -338,6 +402,8 @@ trial_result run_timed_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
             auto acc = mgr.access(handle);
             prng rng(cfg.seed * 1000003ULL + static_cast<std::uint64_t>(t));
             per_thread& mine = stats[static_cast<std::size_t>(t)];
+            op_latency_recorder& rec =
+                *recorders[static_cast<std::size_t>(t)];
             ready.arrive_and_wait();
             while (!start.load(std::memory_order_acquire)) {
                 std::this_thread::yield();
@@ -369,7 +435,7 @@ trial_result run_timed_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
                         pause_us = ph.pause_us;
                     }
                     Shape::do_op(ds, acc, cfg, dist, rng, ins_pct, del_pct,
-                                 mine);
+                                 mine, rec.arm() ? &rec : nullptr);
                     ++mine.ops;
                     ++mine.phase_ops[static_cast<std::size_t>(pi)];
                     if (pause_us > 0) {
@@ -400,6 +466,19 @@ trial_result run_timed_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
         // reclamation counters (per-phase metric harvest). Workers never
         // read the clock.
         int last_phase = 0;
+        // Latency view of a closing phase: diff the cumulative merged
+        // summary against the previous boundary's. max_ns is reported
+        // cumulatively (a max cannot be differenced).
+        auto fill_phase_latency = [&](phase_metric& m) {
+            const lat_summary cur = merge_latency();
+            const lat_summary d = lat_summary::delta(cur, prev_lat);
+            m.lat_samples = d.count;
+            m.lat_p50_ns = d.percentile(0.50);
+            m.lat_p99_ns = d.percentile(0.99);
+            m.lat_p999_ns = d.percentile(0.999);
+            m.lat_max_ns = cur.max_ns;
+            prev_lat = cur;
+        };
         for (;;) {
             const long long elapsed_ms =
                 static_cast<long long>(timer.elapsed_seconds() * 1000.0);
@@ -408,6 +487,7 @@ trial_result run_timed_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
             if (!cfg.phases.empty() && now_phase != last_phase) {
                 res.phase_metrics.push_back(workload_detail::snapshot_counters(
                     mgr.stats(), last_phase, elapsed_ms));
+                fill_phase_latency(res.phase_metrics.back());
                 last_phase = now_phase;
             }
             phase_idx.store(now_phase, std::memory_order_relaxed);
@@ -419,6 +499,7 @@ trial_result run_timed_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
             res.phase_metrics.push_back(workload_detail::snapshot_counters(
                 mgr.stats(), last_phase,
                 static_cast<long long>(timer.elapsed_seconds() * 1000.0)));
+            fill_phase_latency(res.phase_metrics.back());
         }
     }
     stop.store(true, std::memory_order_release);
@@ -462,6 +543,23 @@ trial_result run_timed_trial(DS& ds, Mgr& mgr, const workload_config& cfg) {
     res.arena_remote_frees = d.total(stat::arena_remote_frees);
     res.limbo_records = mgr.total_limbo_all_types();
     res.allocated_bytes = mgr.total_allocated_bytes();
+
+    // Latency harvest: workers have joined, so the recorder histograms are
+    // stable; merge losslessly per op kind, then across kinds.
+    res.latency.sample_every = cfg.lat_sample;
+    res.latency.clock = lat_clock::source_name();
+    for (int k = 0; k < N_OP_KINDS; ++k) {
+        for (int t = 0; t < cfg.num_threads; ++t) {
+            res.latency.ops[static_cast<std::size_t>(k)].add(
+                recorders[static_cast<std::size_t>(t)]->hist(
+                    static_cast<op_kind>(k)));
+        }
+        res.latency.total.add(res.latency.ops[static_cast<std::size_t>(k)]);
+    }
+    for (int s = 0; s < static_cast<int>(stall_site::COUNT); ++s) {
+        res.latency.stalls[static_cast<std::size_t>(s)] =
+            d.stall_summary(static_cast<stall_site>(s));
+    }
     return res;
 }
 

@@ -165,6 +165,9 @@ class era_limbo {
     /// none of them intersects. Public so tests and draining shutdown paths
     /// can force a pass.
     void scan(int tid) {
+        // Stall attribution: the reservation snapshot + interval partition
+        // is the era schemes' stop-the-thread pass.
+        stall_scope stall(stats_, tid, stall_site::scan_free);
         if (stats_) stats_->add(tid, stat::era_scans);
         tstate& st = *states_[tid];
         st.snap.collect(global_);

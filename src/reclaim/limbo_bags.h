@@ -56,6 +56,9 @@ class limbo_bags {
     /// Rotate on announcement change; move all full blocks of the (old)
     /// oldest bag to the pool. O(1) plus work proportional to blocks freed.
     void rotate_and_reclaim(int tid) {
+        // Stall attribution: the rotation (and the pool hand-off of the
+        // freed bag) is the epoch schemes' stop-the-thread moment.
+        stall_scope stall(stats_, tid, stall_site::rotation);
         tstate& st = *states_[tid];
         st.index = (st.index + 1) % 3;
         if (stats_) stats_->add(tid, stat::rotations);

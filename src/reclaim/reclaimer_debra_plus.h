@@ -246,6 +246,10 @@ struct reclaim_debra_plus {
             if (bag.size_in_blocks() < global_.cfg().scan_threshold_blocks)
                 return;  // defer: records simply wait one more rotation
 
+            // Stall attribution: past the deferral check this is DEBRA+'s
+            // scan-and-free pass (RProtected partition), not the O(1)
+            // rotation -- file it with the HP/HE scans.
+            stall_scope stall(this->stats_, tid, stall_site::scan_free);
             mem::ptr_hashset& scan_set = *scan_sets_[tid];
             scan_set.clear();
             global_.collect_rprotected(scan_set);

@@ -277,6 +277,9 @@ struct reclaim_hp {
         };
 
         void scan(int tid) {
+            // Stall attribution: the full hazard scan is HP's dominant
+            // per-thread pause (O(retired + hazards) with the set build).
+            stall_scope stall(stats_, tid, stall_site::scan_free);
             if (stats_) stats_->add(tid, stat::hp_scans);
             tstate& st = *states_[tid];
             // Slot chains may have grown since construction (guard_span);

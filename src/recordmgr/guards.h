@@ -506,6 +506,11 @@ class accessor {
                 return done;
             },
             [&](int) {
+                // Stall attribution: this arm only runs after a
+                // neutralization longjmp (quiescent, signals benign), so
+                // its duration is the neutralization recovery cost.
+                stall_scope stall(&mgr->stats(), tid,
+                                  stall_site::neutralize);
                 const bool done = recovery();
                 mgr->runprotect_all(tid);
                 return done;

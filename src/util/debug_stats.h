@@ -5,13 +5,22 @@
 // counts, and the Figure 9 discussion needs neutralization counts. Every
 // component in this library bumps a per-thread padded counter (one relaxed
 // add, no sharing) and the harness sums them after the trial.
+//
+// Stall attribution (schema v3): besides plain counters, debug_stats keeps
+// one duration histogram per (thread, stall_site). The known stall sites --
+// DEBRA+ neutralization recovery, HP/HE scan-and-free passes, limbo-bag
+// rotation, arena magazine refill/flush -- bracket themselves with a
+// stall_scope, so a p999 spike in the op-latency histograms can be
+// attributed to a reclamation event instead of guessed at.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string_view>
 
+#include "latency_hist.h"
 #include "padded.h"
 
 namespace smr {
@@ -63,6 +72,21 @@ inline constexpr std::array<std::string_view,
         "arena_remote_frees",     "arena_slabs",
 };
 
+/// Known stall sites, each bracketed with a stall_scope where it happens:
+///   neutralize -- DEBRA+ recovery after a neutralization longjmp
+///                 (accessor::run_guarded's recovery arm);
+///   scan_free  -- scan-and-free passes: HP hazard scans, HE/IBR era
+///                 limbo scans, DEBRA+'s RProtected rotation scan;
+///   rotation   -- plain limbo-bag rotation (DEBRA/EBR), including the
+///                 pool hand-off of the freed bag;
+///   arena      -- arena magazine refill/flush (lock acquisition + batch
+///                 free-list splice, the allocator's only blocking path).
+enum class stall_site : int { neutralize, scan_free, rotation, arena, COUNT };
+
+inline constexpr std::array<std::string_view,
+                            static_cast<int>(stall_site::COUNT)>
+    stall_site_names = {"neutralize", "scan_free", "rotation", "arena"};
+
 /// Per-thread counter matrix. Writes are relaxed single-writer; totals are
 /// only meaningful once the writing threads have quiesced (harness sums
 /// after joining / barrier).
@@ -84,10 +108,34 @@ class debug_stats {
         return sum;
     }
 
+    /// Records one stall of `ns` nanoseconds at `site` (single writer per
+    /// tid, like add()). The histogram doubles as the stall counter: its
+    /// total count is the number of stall events.
+    void stall(int tid, stall_site site, std::uint64_t ns) noexcept {
+        stalls_->cells[static_cast<std::size_t>(tid)]
+            [static_cast<std::size_t>(site)]
+                .record(ns);
+    }
+
+    const lat_hist& stall_hist(int tid, stall_site site) const noexcept {
+        return stalls_->cells[static_cast<std::size_t>(tid)]
+            [static_cast<std::size_t>(site)];
+    }
+
+    /// All threads' histograms for one site, merged (post-trial harvest).
+    lat_summary stall_summary(stall_site site) const noexcept {
+        lat_summary s;
+        for (int t = 0; t < MAX_THREADS; ++t) s.add(stall_hist(t, site));
+        return s;
+    }
+
     void clear() noexcept {
-        for (int t = 0; t < MAX_THREADS; ++t)
+        for (int t = 0; t < MAX_THREADS; ++t) {
             for (auto& c : cells_[t]->counts)
                 c.store(0, std::memory_order_relaxed);
+            for (auto& h : stalls_->cells[static_cast<std::size_t>(t)])
+                h.clear();
+        }
     }
 
   private:
@@ -95,7 +143,43 @@ class debug_stats {
         std::array<std::atomic<std::uint64_t>, static_cast<int>(stat::COUNT)>
             counts{};
     };
+    /// ~1 MiB of histograms, heap-held so record_manager instances (which
+    /// embed a debug_stats by value) stay cheap to place on a stack frame.
+    /// No per-site padding: all four site histograms of a tid share one
+    /// writer, and distinct tids are already slabs apart.
+    struct stall_matrix {
+        std::array<std::array<lat_hist, static_cast<int>(stall_site::COUNT)>,
+                   MAX_THREADS>
+            cells{};
+    };
     std::array<padded<cell>, MAX_THREADS> cells_{};
+    std::unique_ptr<stall_matrix> stalls_ =
+        std::make_unique<stall_matrix>();
+};
+
+/// RAII bracket for a stall site: times its scope with lat_clock and files
+/// the duration under (tid, site). A null stats pointer disables it.
+class stall_scope {
+  public:
+    stall_scope(debug_stats* stats, int tid, stall_site site) noexcept
+        : stats_(stats), tid_(tid), site_(site),
+          t0_(stats != nullptr ? lat_clock::now() : 0) {}
+
+    stall_scope(const stall_scope&) = delete;
+    stall_scope& operator=(const stall_scope&) = delete;
+
+    ~stall_scope() {
+        if (stats_ != nullptr) {
+            stats_->stall(tid_, site_,
+                          lat_clock::to_nanos(lat_clock::now() - t0_));
+        }
+    }
+
+  private:
+    debug_stats* stats_;
+    int tid_;
+    stall_site site_;
+    std::uint64_t t0_;
 };
 
 }  // namespace smr

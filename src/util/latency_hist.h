@@ -1,0 +1,293 @@
+// latency_hist.h -- fixed-bucket log-scale latency histograms and the
+// calibrated cycle clock behind them.
+//
+// Mean throughput hides exactly what the paper's reclamation schemes do to
+// real traffic: a DEBRA+ neutralization signal, an HP full-scan, or an
+// arena shard refill surfaces as a p999 spike, not a throughput dip. This
+// header is the storage layer for making those spikes first-class metrics:
+//
+//   * lat_clock    -- a TSC fast path (x86, calibrated once against
+//                     steady_clock, fixed-point ticks->ns conversion) with
+//                     a steady_clock fallback everywhere else. Reading two
+//                     timestamps per sampled operation must cost tens of
+//                     nanoseconds, not a syscall.
+//   * lat_hist     -- a zero-allocation HDR-style histogram: log2 octaves
+//                     subdivided into 8 linear subbuckets, so every bucket
+//                     is at most 12.5% wide. Values below 8 ns are exact;
+//                     the last bucket absorbs overflow (> ~2^35 ns = 34 s).
+//                     Counts are relaxed atomics written by one owner
+//                     thread, so a control thread can snapshot mid-trial.
+//   * lat_summary  -- the plain (non-atomic) merge/percentile side:
+//                     lossless element-wise merge (associative and
+//                     commutative) and p50/p90/p99/p999/max extraction with
+//                     linear interpolation inside the landing bucket.
+//
+// Layering: this file lives in util/ (not harness/) because debug_stats.h
+// -- included by every reclaimer -- stores stall-duration histograms. The
+// harness-facing recording layer (operation kinds, sampling recorders) is
+// src/harness/latency.h, which builds on this one. Depend only on padded.h
+// and the standard library here.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "padded.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define SMR_LAT_HAVE_TSC 1
+#else
+#define SMR_LAT_HAVE_TSC 0
+#endif
+
+namespace smr {
+
+// ---- bucket geometry -------------------------------------------------------
+
+/// Subbuckets per octave: 2^3 = 8 linear subdivisions, bounding every
+/// bucket's relative width at 1/8 (12.5%) -- tight enough that percentile
+/// interpolation error stays within the noise of the measurement itself.
+inline constexpr int LAT_SUB_BITS = 3;
+inline constexpr int LAT_SUBBUCKETS = 1 << LAT_SUB_BITS;
+
+/// Octaves up to 2^35 ns (~34 s) are resolved; anything slower clamps into
+/// the final bucket. 34 s covers any stall a benchmark trial can survive.
+inline constexpr int LAT_MAX_EXP = 35;
+
+/// Total bucket count: values < 8 map 1:1 (the first octave block), then
+/// 8 buckets per octave up to LAT_MAX_EXP. 264 buckets * 8 B = ~2 KiB.
+inline constexpr int LAT_BUCKETS =
+    (LAT_MAX_EXP - LAT_SUB_BITS + 1) << LAT_SUB_BITS;
+
+/// Bucket index for a nanosecond value. Exact below LAT_SUBBUCKETS;
+/// otherwise the top LAT_SUB_BITS+1 significant bits select the bucket.
+constexpr int lat_bucket_of(std::uint64_t ns) noexcept {
+    if (ns < LAT_SUBBUCKETS) return static_cast<int>(ns);
+    const int h = 63 - std::countl_zero(ns);  // floor(log2(ns))
+    if (h >= LAT_MAX_EXP) return LAT_BUCKETS - 1;
+    return ((h - LAT_SUB_BITS + 1) << LAT_SUB_BITS) +
+           static_cast<int>((ns >> (h - LAT_SUB_BITS)) &
+                            (LAT_SUBBUCKETS - 1));
+}
+
+/// Smallest value landing in bucket `i` (inverse of lat_bucket_of).
+constexpr std::uint64_t lat_bucket_lo(int i) noexcept {
+    if (i < LAT_SUBBUCKETS) return static_cast<std::uint64_t>(i);
+    const int group = i >> LAT_SUB_BITS;  // >= 1
+    const int sub = i & (LAT_SUBBUCKETS - 1);
+    const int h = group + LAT_SUB_BITS - 1;
+    return (std::uint64_t{1} << h) +
+           (static_cast<std::uint64_t>(sub) << (h - LAT_SUB_BITS));
+}
+
+/// One past the largest value in bucket `i`; the final (overflow) bucket
+/// is unbounded.
+constexpr std::uint64_t lat_bucket_hi(int i) noexcept {
+    return i + 1 < LAT_BUCKETS ? lat_bucket_lo(i + 1)
+                               : ~std::uint64_t{0};
+}
+
+// ---- the clock -------------------------------------------------------------
+
+namespace lat_detail {
+
+/// One-time calibration of the TSC against steady_clock. Modern x86 parts
+/// have an invariant, constant-rate TSC; the sanity window below rejects
+/// hosts where the measured rate is implausible (emulators, stopped
+/// clocks) and falls back to steady_clock.
+struct lat_calibration {
+    bool use_tsc = false;
+    /// ns = ticks * mult >> SHIFT (fixed-point; 128-bit intermediate).
+    std::uint64_t mult = 1;
+    static constexpr int SHIFT = 24;
+};
+
+inline const lat_calibration& calibration() noexcept {
+    static const lat_calibration cal = [] {
+        lat_calibration c;
+#if SMR_LAT_HAVE_TSC
+        const auto w0 = std::chrono::steady_clock::now();
+        const std::uint64_t t0 = __rdtsc();
+        // 2 ms is enough for <0.1% rate error; paid once per process.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        const auto w1 = std::chrono::steady_clock::now();
+        const std::uint64_t t1 = __rdtsc();
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            w1 - w0)
+                            .count();
+        if (t1 > t0 && ns > 0) {
+            const double ns_per_tick =
+                static_cast<double>(ns) / static_cast<double>(t1 - t0);
+            // Plausible clock rates: 10 MHz .. 100 GHz.
+            if (ns_per_tick > 0.01 && ns_per_tick < 100.0) {
+                c.use_tsc = true;
+                c.mult = static_cast<std::uint64_t>(
+                    ns_per_tick * (1 << lat_calibration::SHIFT));
+            }
+        }
+#endif
+        return c;
+    }();
+    return cal;
+}
+
+}  // namespace lat_detail
+
+/// The sampling clock: raw timestamps via now(), tick deltas converted to
+/// nanoseconds via to_nanos(). On x86 the fast path is one rdtsc (~10 ns
+/// and no serialization -- adjacent-op reordering is noise at the
+/// durations we histogram); elsewhere now() already returns nanoseconds.
+class lat_clock {
+  public:
+    static std::uint64_t now() noexcept {
+#if SMR_LAT_HAVE_TSC
+        if (lat_detail::calibration().use_tsc) return __rdtsc();
+#endif
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    static std::uint64_t to_nanos(std::uint64_t tick_delta) noexcept {
+#if SMR_LAT_HAVE_TSC
+        const auto& c = lat_detail::calibration();
+        if (c.use_tsc) {
+            return static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(tick_delta) * c.mult) >>
+                lat_detail::lat_calibration::SHIFT);
+        }
+#endif
+        return tick_delta;
+    }
+
+    /// Emitted into the run document so a reader knows what produced the
+    /// numbers ("tsc" or "steady_clock").
+    static const char* source_name() noexcept {
+#if SMR_LAT_HAVE_TSC
+        if (lat_detail::calibration().use_tsc) return "tsc";
+#endif
+        return "steady_clock";
+    }
+};
+
+// ---- the histogram ---------------------------------------------------------
+
+/// Owner-written histogram: record() is a relaxed fetch_add on the landing
+/// bucket plus a single-writer max update. Readers (the harness control
+/// thread snapshotting mid-trial, the post-trial harvest) see counts that
+/// are each individually exact; cross-bucket skew during a snapshot is at
+/// most the handful of operations in flight.
+class lat_hist {
+  public:
+    void record(std::uint64_t ns) noexcept {
+        buckets_[static_cast<std::size_t>(lat_bucket_of(ns))].fetch_add(
+            1, std::memory_order_relaxed);
+        // Single writer: a plain load/store pair cannot lose updates.
+        if (ns > max_.load(std::memory_order_relaxed)) {
+            max_.store(ns, std::memory_order_relaxed);
+        }
+    }
+
+    std::uint64_t bucket_count(int i) const noexcept {
+        return buckets_[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed);
+    }
+    std::uint64_t max_ns() const noexcept {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+    void clear() noexcept {
+        for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+        max_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::array<std::atomic<std::uint64_t>, LAT_BUCKETS> buckets_{};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/// The plain aggregation side: merged bucket counts plus total and max.
+/// add() is element-wise and therefore lossless, associative, and
+/// commutative -- per-thread histograms merge in any order to the same
+/// summary, and summaries of summaries are exact.
+struct lat_summary {
+    std::array<std::uint64_t, LAT_BUCKETS> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t max_ns = 0;
+
+    void add(const lat_hist& h) noexcept {
+        for (int i = 0; i < LAT_BUCKETS; ++i) {
+            const std::uint64_t c = h.bucket_count(i);
+            buckets[static_cast<std::size_t>(i)] += c;
+            count += c;
+        }
+        if (h.max_ns() > max_ns) max_ns = h.max_ns();
+    }
+
+    void add(const lat_summary& o) noexcept {
+        for (int i = 0; i < LAT_BUCKETS; ++i) {
+            buckets[static_cast<std::size_t>(i)] +=
+                o.buckets[static_cast<std::size_t>(i)];
+        }
+        count += o.count;
+        if (o.max_ns > max_ns) max_ns = o.max_ns;
+    }
+
+    /// cur - prev for cumulative snapshots of the same histograms (the
+    /// per-phase harvest). Counts are monotone, so the subtraction is
+    /// exact per bucket. The max is not differencable; callers report the
+    /// cumulative max alongside.
+    static lat_summary delta(const lat_summary& cur,
+                             const lat_summary& prev) noexcept {
+        lat_summary d;
+        for (int i = 0; i < LAT_BUCKETS; ++i) {
+            const auto s = static_cast<std::size_t>(i);
+            d.buckets[s] = cur.buckets[s] - prev.buckets[s];
+            d.count += d.buckets[s];
+        }
+        d.max_ns = cur.max_ns;
+        return d;
+    }
+
+    /// Quantile q in [0,1] with linear interpolation inside the landing
+    /// bucket (rank convention: ceil(q*count), matching a sorted-sample
+    /// oracle). Clamped to the recorded max so the overflow bucket cannot
+    /// report a value larger than anything observed.
+    std::uint64_t percentile(double q) const noexcept {
+        if (count == 0) return 0;
+        if (q < 0) q = 0;
+        if (q > 1) q = 1;
+        std::uint64_t rank = static_cast<std::uint64_t>(
+            q * static_cast<double>(count) + 0.9999999);
+        if (rank < 1) rank = 1;
+        if (rank > count) rank = count;
+        std::uint64_t cum = 0;
+        for (int i = 0; i < LAT_BUCKETS; ++i) {
+            const std::uint64_t c = buckets[static_cast<std::size_t>(i)];
+            if (cum + c < rank) {
+                cum += c;
+                continue;
+            }
+            const std::uint64_t lo = lat_bucket_lo(i);
+            std::uint64_t hi = lat_bucket_hi(i);
+            if (hi > max_ns + 1) hi = max_ns + 1;  // overflow/last bucket
+            if (hi <= lo) return lo > max_ns ? max_ns : lo;
+            const double frac = static_cast<double>(rank - cum) /
+                                static_cast<double>(c);
+            std::uint64_t v =
+                lo + static_cast<std::uint64_t>(
+                         frac * static_cast<double>(hi - lo));
+            if (v > max_ns) v = max_ns;
+            return v;
+        }
+        return max_ns;
+    }
+};
+
+}  // namespace smr

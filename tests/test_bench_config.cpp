@@ -135,6 +135,34 @@ TEST(BenchConfig, AllocAndPinFilters) {
     EXPECT_NE(err.find("--pin"), std::string::npos);
 }
 
+TEST(BenchConfig, LatSampleKnob) {
+    // Default, env overlay, and flag-over-env, like every other knob.
+    ::unsetenv("SMR_LAT_SAMPLE");
+    EXPECT_EQ(bench_config::from_env().lat_sample, 32);
+    {
+        env_guard g("SMR_LAT_SAMPLE", "64");
+        EXPECT_EQ(bench_config::from_env().lat_sample, 64);
+        bool ok = false;
+        EXPECT_EQ(from_args({"--lat-sample=8"}, &ok).lat_sample, 8);
+        ASSERT_TRUE(ok);
+    }
+    // 0 is a legal value: it disables recording rather than falling back.
+    bool ok = false;
+    EXPECT_EQ(from_args({"--lat-sample=0"}, &ok).lat_sample, 0);
+    ASSERT_TRUE(ok);
+    // Negative values repair to the default (normalize), like trial_ms.
+    {
+        env_guard g("SMR_LAT_SAMPLE", "-4");
+        EXPECT_EQ(bench_config::from_env().lat_sample, 32);
+    }
+    std::string err;
+    from_args({"--lat-sample=abc"}, &ok, &err);
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("--lat-sample"), std::string::npos);
+    from_args({"--lat-sample=-1"}, &ok, &err);
+    EXPECT_FALSE(ok);
+}
+
 TEST(BenchConfig, BareFlags) {
     bool ok = false;
     EXPECT_TRUE(from_args({"--list"}, &ok).list);

@@ -96,12 +96,31 @@ harness::json sample_document() {
     r.limbo_records = 17;
     r.phase_ops = {600, 400};
 
+    // A plausible latency harvest (schema v3): a handful of samples per op
+    // kind plus one stall histogram entry, exercising the sparse-bucket
+    // emission and the stanza validator.
+    r.latency.sample_every = 32;
+    r.latency.clock = "steady_clock";
+    for (int k = 0; k < harness::N_OP_KINDS; ++k) {
+        lat_summary& s = r.latency.ops[static_cast<std::size_t>(k)];
+        s.buckets[40] = 4;
+        s.buckets[80] = 1;
+        s.count = 5;
+        s.max_ns = lat_bucket_lo(80) + 1;
+        r.latency.total.add(s);
+    }
+    r.latency.stalls[0].buckets[100] = 2;
+    r.latency.stalls[0].count = 2;
+    r.latency.stalls[0].max_ns = lat_bucket_lo(100);
+
     harness::point_meta meta;
     meta.ds = "ellen_bst";
     meta.scheme = "debra";
     meta.policy = "reclaim";
     meta.threads = 2;
     meta.trial = 0;
+    meta.rq_pct = 10;
+    meta.rq_len = 100;
 
     harness::json points = harness::json::array();
     points.push_back(harness::point_to_json(meta, r));
@@ -147,6 +166,116 @@ TEST(BenchJson, RunDocumentValidatesAndRoundTrips) {
     EXPECT_FALSE(topo.find("source")->as_string().empty());
     EXPECT_EQ(p.find("reclamation")->find("pool_remote_returns")->as_int(),
               0);
+
+    // The latency stanza (schema v3): clock + sampling config, per-op and
+    // merged summaries with sparse buckets, stall-site summaries.
+    const json& lat = *p.find("latency");
+    EXPECT_EQ(lat.find("clock")->as_string(), "steady_clock");
+    EXPECT_EQ(lat.find("sample_every")->as_int(), 32);
+    const json& ins = *lat.find("ops")->find("insert");
+    EXPECT_EQ(ins.find("count")->as_int(), 5);
+    EXPECT_EQ(ins.find("buckets")->size(), 2u);  // sparse: two live buckets
+    EXPECT_EQ((*ins.find("buckets"))[0][0].as_int(), 40);
+    EXPECT_EQ((*ins.find("buckets"))[0][1].as_int(), 4);
+    EXPECT_EQ(lat.find("total")->find("count")->as_int(),
+              5 * harness::N_OP_KINDS);
+    // p50 of 4-at-bucket-40 + 1-at-bucket-80 lies in bucket 40.
+    const long long p50 = ins.find("p50_ns")->as_int();
+    EXPECT_GE(p50, static_cast<long long>(lat_bucket_lo(40)));
+    EXPECT_LT(p50, static_cast<long long>(lat_bucket_hi(40)));
+    EXPECT_EQ(lat.find("stalls")->find("neutralize")->find("count")->as_int(),
+              2);
+    EXPECT_EQ(lat.find("stalls")->find("scan_free")->find("count")->as_int(),
+              0);
+
+    // The range-scan shape keys (schema v3) are emitted per point.
+    EXPECT_EQ(p.find("rq_pct")->as_int(), 10);
+    EXPECT_EQ(p.find("rq_len")->as_int(), 100);
+}
+
+TEST(BenchJson, SchemaCatchesBrokenLatencyStanza) {
+    std::string err;
+    // A workload point without the latency stanza fails validation.
+    {
+        harness::json doc = sample_document();
+        harness::json& p =
+            const_cast<harness::json&>((*doc.find("points"))[0]);
+        harness::json stripped = harness::json::object();
+        for (const auto& [k, v] : p.members()) {
+            if (k != std::string("latency")) stripped.set(k, v);
+        }
+        p = std::move(stripped);
+        EXPECT_FALSE(harness::validate_run_document(doc, &err));
+        EXPECT_NE(err.find("latency"), std::string::npos) << err;
+    }
+    // A mistyped percentile inside a summary fails validation.
+    {
+        harness::json doc = sample_document();
+        harness::json& p =
+            const_cast<harness::json&>((*doc.find("points"))[0]);
+        harness::json& total =
+            const_cast<harness::json&>(*p.find("latency")->find("total"));
+        total.set("p99_ns", "slow");
+        EXPECT_FALSE(harness::validate_run_document(doc, &err));
+        EXPECT_NE(err.find("p99_ns"), std::string::npos) << err;
+    }
+    // A malformed sparse-bucket entry (wrong arity) fails validation.
+    {
+        harness::json doc = sample_document();
+        harness::json& p =
+            const_cast<harness::json&>((*doc.find("points"))[0]);
+        harness::json& total =
+            const_cast<harness::json&>(*p.find("latency")->find("total"));
+        harness::json buckets = harness::json::array();
+        harness::json entry = harness::json::array();
+        entry.push_back(3);
+        buckets.push_back(std::move(entry));
+        total.set("buckets", std::move(buckets));
+        EXPECT_FALSE(harness::validate_run_document(doc, &err));
+        EXPECT_NE(err.find("buckets"), std::string::npos) << err;
+    }
+    // A missing stall site fails validation.
+    {
+        harness::json doc = sample_document();
+        harness::json& p =
+            const_cast<harness::json&>((*doc.find("points"))[0]);
+        harness::json& lat = const_cast<harness::json&>(*p.find("latency"));
+        harness::json stalls = harness::json::object();
+        lat.set("stalls", std::move(stalls));
+        EXPECT_FALSE(harness::validate_run_document(doc, &err));
+        EXPECT_NE(err.find("stalls"), std::string::npos) << err;
+    }
+}
+
+// Regression test for bench_diff point-key collisions: two points that
+// differ only in range-scan shape must stay distinguishable, which
+// requires rq_pct/rq_len in the emitted point (the diff key includes
+// them). Before v3, range_scan_mix's per-rq_pct points collapsed into one
+// diff cell.
+TEST(BenchJson, RangeShapeKeysDistinguishPoints) {
+    harness::trial_result r;
+    r.seconds = 0.1;
+    r.total_ops = 100;
+
+    harness::point_meta a;
+    a.ds = "ellen_bst";
+    a.scheme = "debra";
+    a.policy = "reclaim";
+    a.threads = 2;
+    a.trial = 0;
+    a.rq_pct = 1;
+    a.rq_len = 10;
+    harness::point_meta b = a;
+    b.rq_pct = 10;
+    b.rq_len = 1000;
+
+    const harness::json pa = harness::point_to_json(a, r);
+    const harness::json pb = harness::point_to_json(b, r);
+    EXPECT_EQ(pa.find("rq_pct")->as_int(), 1);
+    EXPECT_EQ(pa.find("rq_len")->as_int(), 10);
+    EXPECT_EQ(pb.find("rq_pct")->as_int(), 10);
+    EXPECT_EQ(pb.find("rq_len")->as_int(), 1000);
+    EXPECT_NE(pa, pb);
 }
 
 TEST(BenchJson, SchemaCatchesMissingOrMistypedKeys) {

@@ -1,21 +1,30 @@
 // bench_diff -- compares two smr_bench run documents and flags throughput
-// regressions, turning CI's uploaded bench-*.json artifacts into a perf
-// trajectory (ROADMAP "Trend tracking").
+// and tail-latency regressions, turning CI's uploaded bench-*.json
+// artifacts into a perf trajectory (ROADMAP "Trend tracking").
 //
-//   bench_diff [--threshold-pct=N] [--strict] baseline.json candidate.json
+//   bench_diff [--threshold-pct=N] [--tail-threshold-pct=N] [--strict]
+//              baseline.json candidate.json
 //
 // Matching: every workload point is keyed by its configuration hash --
-// (scenario, ds, scheme, policy, pin, threads, key_range, mix) -- and
-// trials of the same key are averaged on each side. Keys present on only
-// one side are reported but are not failures (scenario sets evolve); a
-// matched key whose candidate mean throughput_mops falls more than the
-// threshold below the baseline mean is a REGRESSION.
+// (scenario, ds, scheme, policy, pin, threads, key_range, rq_pct, rq_len,
+// mix) -- and trials of the same key are averaged on each side. Keys
+// present on only one side are reported but are not failures (scenario
+// sets evolve); a matched key whose candidate mean throughput_mops falls
+// more than the threshold below the baseline mean is a REGRESSION.
+//
+// Tail gating (schema v3): each point's latency.total carries p99_ns and
+// p999_ns; trial means of those are compared with a *separate* threshold
+// (--tail-threshold-pct, default 25 -- tails are noisier than means, and
+// deliberately do not reuse the throughput threshold). A candidate tail
+// more than the threshold *above* the baseline is a TAIL-REGRESSION.
+// Cells where either side has no latency samples (e.g. --lat-sample=0)
+// are skipped for tail purposes, never failed.
 //
 // Gating: by default the tool *warns*: it prints every matched cell, then
 // a per-scenario regression summary table, and exits 0 regardless --
 // right for smoke-length CI runs, where 25 ms trials are noise. With
-// --strict a regression exits 1, which is what paper-length nightly runs
-// gate on (ROADMAP "trend gating").
+// --strict a regression (throughput or tail) exits 1, which is what
+// paper-length nightly runs gate on (ROADMAP "trend gating").
 //
 // Exit codes: 0 = ran (regressions only warn), 1 = regression found under
 // --strict, 2 = usage / parse / schema error. Non-"workload" documents
@@ -41,11 +50,26 @@ using smr::harness::json;
 struct cell {
     double mops_sum = 0;
     int trials = 0;
+    // Tail aggregates from the point's latency.total summary. lat_trials
+    // counts only trials that actually sampled (count > 0), so a run with
+    // recording disabled neither fails nor skews the tail means.
+    double p99_sum = 0;
+    double p999_sum = 0;
+    int lat_trials = 0;
     double mean() const { return trials > 0 ? mops_sum / trials : 0.0; }
+    double p99_mean() const {
+        return lat_trials > 0 ? p99_sum / lat_trials : 0.0;
+    }
+    double p999_mean() const {
+        return lat_trials > 0 ? p999_sum / lat_trials : 0.0;
+    }
 };
 
 /// The point's configuration key: every axis that makes two measurements
 /// comparable. The human-readable key doubles as the hash input.
+/// rq_pct/rq_len are part of the key (since schema v3): range-scan
+/// scenarios sweep scan shape at otherwise-identical settings, and those
+/// points must not collapse into one cell.
 std::string point_key(const std::string& scenario_name, const json& p) {
     std::ostringstream os;
     os << scenario_name;
@@ -53,7 +77,7 @@ std::string point_key(const std::string& scenario_name, const json& p) {
         const json* v = p.find(field);
         os << '|' << (v != nullptr ? v->as_string() : std::string("-"));
     }
-    for (const char* field : {"threads", "key_range"}) {
+    for (const char* field : {"threads", "key_range", "rq_pct", "rq_len"}) {
         const json* v = p.find(field);
         os << '|' << (v != nullptr ? v->as_int() : -1);
     }
@@ -120,12 +144,27 @@ std::map<std::string, cell> collect_cells(const json& doc,
         cell& c = cells[point_key(scenario_name, p)];
         c.mops_sum += mops->as_double();
         ++c.trials;
+        // Tail aggregates: latency.total, when the trial sampled anything.
+        const json* lat = p.find("latency");
+        const json* total = lat != nullptr ? lat->find("total") : nullptr;
+        if (total != nullptr) {
+            const json* count = total->find("count");
+            const json* p99 = total->find("p99_ns");
+            const json* p999 = total->find("p999_ns");
+            if (count != nullptr && p99 != nullptr && p999 != nullptr &&
+                count->as_int() > 0) {
+                c.p99_sum += p99->as_double();
+                c.p999_sum += p999->as_double();
+                ++c.lat_trials;
+            }
+        }
     }
     return cells;
 }
 
 int diff_main(int argc, char** argv) {
     double threshold_pct = 10.0;
+    double tail_threshold_pct = 25.0;
     bool strict = false;
     std::vector<const char*> paths;
     for (int i = 1; i < argc; ++i) {
@@ -136,21 +175,37 @@ int diff_main(int argc, char** argv) {
                 std::fprintf(stderr, "bench_diff: bad --threshold-pct\n");
                 return 2;
             }
+        } else if (std::strncmp(argv[i], "--tail-threshold-pct=", 21) == 0) {
+            char* end = nullptr;
+            tail_threshold_pct = std::strtod(argv[i] + 21, &end);
+            if (end == nullptr || *end != '\0' || tail_threshold_pct < 0) {
+                std::fprintf(stderr,
+                             "bench_diff: bad --tail-threshold-pct\n");
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--strict") == 0) {
             strict = true;
         } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::printf("usage: bench_diff [--threshold-pct=N] [--strict] "
-                        "baseline.json candidate.json\n"
-                        "  --strict   exit 1 on a regression (default: "
-                        "warn and exit 0)\n");
+            std::printf(
+                "usage: bench_diff [--threshold-pct=N] "
+                "[--tail-threshold-pct=N] [--strict] "
+                "baseline.json candidate.json\n"
+                "  --threshold-pct=N       mean-throughput drop that counts "
+                "as a regression (default 10)\n"
+                "  --tail-threshold-pct=N  p99/p999 latency rise that counts "
+                "as a tail regression (default 25)\n"
+                "  --strict   exit 1 on any regression (default: "
+                "warn and exit 0)\n");
             return 0;
         } else {
             paths.push_back(argv[i]);
         }
     }
     if (paths.size() != 2) {
-        std::fprintf(stderr, "usage: bench_diff [--threshold-pct=N] "
-                             "[--strict] baseline.json candidate.json\n");
+        std::fprintf(stderr,
+                     "usage: bench_diff [--threshold-pct=N] "
+                     "[--tail-threshold-pct=N] [--strict] "
+                     "baseline.json candidate.json\n");
         return 2;
     }
 
@@ -178,12 +233,15 @@ int diff_main(int argc, char** argv) {
     struct scenario_summary {
         int matched = 0;
         int regressions = 0;
+        int tail_regressions = 0;
         double worst_delta_pct = 0;    // most negative delta seen
         double delta_sum_pct = 0;
+        double worst_tail_pct = 0;     // most positive p99/p999 rise seen
     };
     std::map<std::string, scenario_summary> per_scenario;
 
-    int matched = 0, regressions = 0, only_base = 0, only_cand = 0;
+    int matched = 0, regressions = 0, tail_regressions = 0;
+    int only_base = 0, only_cand = 0;
     for (const auto& [key, bc] : base_cells) {
         const auto it = cand_cells.find(key);
         if (it == cand_cells.end()) {
@@ -191,21 +249,56 @@ int diff_main(int argc, char** argv) {
             continue;
         }
         ++matched;
+        const cell& cc = it->second;
         const double b = bc.mean();
-        const double c = it->second.mean();
+        const double c = cc.mean();
         const double delta_pct = b > 0 ? (c - b) / b * 100.0 : 0.0;
         const bool regressed = b > 0 && delta_pct < -threshold_pct;
         if (regressed) ++regressions;
+
+        // Tail comparison: only when both sides sampled. A rise beyond the
+        // tail threshold in *either* p99 or p999 flags the cell.
+        const bool tails_comparable =
+            bc.lat_trials > 0 && cc.lat_trials > 0 && bc.p99_mean() > 0 &&
+            bc.p999_mean() > 0;
+        double p99_delta_pct = 0, p999_delta_pct = 0;
+        bool tail_regressed = false;
+        if (tails_comparable) {
+            p99_delta_pct =
+                (cc.p99_mean() - bc.p99_mean()) / bc.p99_mean() * 100.0;
+            p999_delta_pct =
+                (cc.p999_mean() - bc.p999_mean()) / bc.p999_mean() * 100.0;
+            tail_regressed = p99_delta_pct > tail_threshold_pct ||
+                             p999_delta_pct > tail_threshold_pct;
+            if (tail_regressed) ++tail_regressions;
+        }
+
         scenario_summary& ss =
             per_scenario[key.substr(0, key.find('|'))];
         ++ss.matched;
         if (regressed) ++ss.regressions;
+        if (tail_regressed) ++ss.tail_regressions;
         ss.delta_sum_pct += delta_pct;
         if (delta_pct < ss.worst_delta_pct) ss.worst_delta_pct = delta_pct;
+        if (tails_comparable) {
+            const double worst =
+                p99_delta_pct > p999_delta_pct ? p99_delta_pct
+                                               : p999_delta_pct;
+            if (worst > ss.worst_tail_pct) ss.worst_tail_pct = worst;
+        }
+
         // Report every matched cell; mark the failures loudly.
-        std::printf("%s  [%016" PRIx64 "]  %.3f -> %.3f Mops/s  (%+.1f%%)%s\n",
+        std::printf("%s  [%016" PRIx64 "]  %.3f -> %.3f Mops/s  (%+.1f%%)%s",
                     key.c_str(), key_hash(key), b, c, delta_pct,
                     regressed ? "  REGRESSION" : "");
+        if (tails_comparable) {
+            std::printf("  p99 %.0f -> %.0f ns (%+.1f%%), p999 %.0f -> "
+                        "%.0f ns (%+.1f%%)%s",
+                        bc.p99_mean(), cc.p99_mean(), p99_delta_pct,
+                        bc.p999_mean(), cc.p999_mean(), p999_delta_pct,
+                        tail_regressed ? "  TAIL-REGRESSION" : "");
+        }
+        std::printf("\n");
     }
     for (const auto& [key, cc] : cand_cells) {
         if (base_cells.find(key) == base_cells.end()) ++only_cand;
@@ -214,23 +307,29 @@ int diff_main(int argc, char** argv) {
 
     // Per-scenario regression table: the at-a-glance verdict nightly logs
     // grep for.
-    std::printf("\n%-24s %8s %12s %10s %10s\n", "scenario", "matched",
-                "regressions", "worst", "mean");
-    std::printf("%-24s %8s %12s %10s %10s\n", "--------", "-------",
-                "-----------", "-----", "----");
+    std::printf("\n%-24s %8s %12s %10s %10s %6s %10s\n", "scenario",
+                "matched", "regressions", "worst", "mean", "tails",
+                "worst-tail");
+    std::printf("%-24s %8s %12s %10s %10s %6s %10s\n", "--------", "-------",
+                "-----------", "-----", "----", "-----", "----------");
     for (const auto& [name, ss] : per_scenario) {
-        std::printf("%-24s %8d %12d %+9.1f%% %+9.1f%%\n", name.c_str(),
-                    ss.matched, ss.regressions, ss.worst_delta_pct,
-                    ss.matched > 0 ? ss.delta_sum_pct / ss.matched : 0.0);
+        std::printf("%-24s %8d %12d %+9.1f%% %+9.1f%% %6d %+9.1f%%\n",
+                    name.c_str(), ss.matched, ss.regressions,
+                    ss.worst_delta_pct,
+                    ss.matched > 0 ? ss.delta_sum_pct / ss.matched : 0.0,
+                    ss.tail_regressions, ss.worst_tail_pct);
     }
 
     std::printf("\nbench_diff: %d matched, %d only-baseline, "
-                "%d only-candidate, threshold %.1f%%, %d regression%s%s\n",
-                matched, only_base, only_cand, threshold_pct, regressions,
-                regressions == 1 ? "" : "s",
+                "%d only-candidate, threshold %.1f%%, tail threshold "
+                "%.1f%%, %d regression%s, %d tail regression%s%s\n",
+                matched, only_base, only_cand, threshold_pct,
+                tail_threshold_pct, regressions,
+                regressions == 1 ? "" : "s", tail_regressions,
+                tail_regressions == 1 ? "" : "s",
                 strict ? " (strict: regressions fail)"
                        : " (advisory: pass --strict to gate)");
-    return strict && regressions > 0 ? 1 : 0;
+    return strict && (regressions > 0 || tail_regressions > 0) ? 1 : 0;
 }
 
 }  // namespace
