@@ -46,7 +46,7 @@ void BM_BlockbagTakeFullBlocks(benchmark::State& state) {
         benchmark::DoNotOptimize(chain.count);
         state.PauseTiming();
         for (auto* b = chain.head; b != nullptr;) {
-            auto* n = b->next;
+            auto* n = b->next_relaxed();
             b->size = 0;
             pool.release(b);
             b = n;

@@ -257,7 +257,10 @@ class ellen_bst {
 
             switch (ctx.outcome) {
                 case attempt::SUCCESS: {
-                    // -- quiescent postamble: retire what this op removed --
+                    // -- quiescent postamble: retire what this op removed.
+                    // Unlinked by the child CAS inside insert_body /
+                    // help_insert; SUCCESS is only reported after it took.
+                    // smr-lint: retire-ok (unlink CAS lives in insert_body)
                     acc.retire(ctx.old_leaf.load(std::memory_order_relaxed));
                     retire_info(
                         acc, ctx.overwritten.load(std::memory_order_relaxed));
@@ -299,9 +302,12 @@ class ellen_bst {
                 case attempt::SUCCESS: {
                     node_t* leaf = ctx.old_leaf.load(std::memory_order_relaxed);
                     const V removed_value = leaf->value;  // before retiring
+                    // Both records were unlinked by the dchild CAS inside
+                    // help_marked; SUCCESS is only reported after it took.
+                    // smr-lint: retire-ok (unlink CAS lives in help_marked)
                     acc.retire(
                         ctx.removed_parent.load(std::memory_order_relaxed));
-                    acc.retire(leaf);
+                    acc.retire(leaf);  // smr-lint: retire-ok (see above)
                     retire_info(acc, ctx.overwritten.load(
                                          std::memory_order_relaxed));
                     retire_info(acc, ctx.overwritten_mark.load(
@@ -831,8 +837,8 @@ class ellen_bst {
                     Visitor& vis) {
         ctx.stack.clear();
         span_t span = acc.make_span();
-        K resume = ctx.resume.load(std::memory_order_relaxed);
-        bool exclusive = ctx.exclusive.load(std::memory_order_relaxed);
+        K frontier = ctx.resume.load(std::memory_order_relaxed);
+        bool frontier_excl = ctx.exclusive.load(std::memory_order_relaxed);
 
         // The root is never retired; admit it without validation.
         if (!span.protect(root_)) {
@@ -847,7 +853,8 @@ class ellen_bst {
             if (l == nullptr) {  // leaf
                 const bool eligible =
                     n->inf == 0 && !(hi < n->key) &&
-                    (exclusive ? resume < n->key : !(n->key < resume));
+                    (frontier_excl ? frontier < n->key
+                                   : !(n->key < frontier));
                 if (eligible) {
                     // Frontier first (a neutralization longjmp inside the
                     // visitor must not re-deliver the key: at-most-once),
@@ -856,9 +863,9 @@ class ellen_bst {
                     // under neutralizing schemes the returned count is
                     // therefore a lower bound of actual deliveries, and
                     // exact everywhere else.
-                    resume = n->key;
-                    exclusive = true;
-                    ctx.resume.store(resume, std::memory_order_relaxed);
+                    frontier = n->key;
+                    frontier_excl = true;
+                    ctx.resume.store(frontier, std::memory_order_relaxed);
                     ctx.exclusive.store(true, std::memory_order_relaxed);
                     const bool keep_going =
                         visit_adapter(vis, n->key, n->value);
@@ -880,7 +887,7 @@ class ellen_bst {
             // the frontier sits below n's routing key); right subtrees of
             // sentinel internals hold only sentinel leaves -- real keys
             // always route left past a sentinel -- so they are skipped.
-            const bool go_left = key_less(resume, n);
+            const bool go_left = key_less(frontier, n);
             const bool go_right = n->inf == 0 && !(hi < n->key);
             if (ctx.stack.size() + 2 > ctx.stack.capacity()) {
                 // Preallocated stack exhausted; regrow outside the body
@@ -924,6 +931,10 @@ class ellen_bst {
     // ---- shared tails -----------------------------------------------------------------
 
     void retire_info(accessor_t acc, info_t* op) {
+        // An info record is superseded, not unlinked: callers pass the
+        // CLEAN-state predecessor their flag/mark CAS overwrote in the
+        // update word, so no later traversal can reach it.
+        // smr-lint: retire-ok (superseded via the caller's update-word CAS)
         if (op != nullptr) acc.retire(op);
     }
 

@@ -247,7 +247,10 @@ class lazy_skiplist {
                 break;
             }
         }
-        // Quiescent postamble.
+        // Quiescent postamble. The level-by-level next-pointer splices
+        // above happened under the pred/victim locks with victim already
+        // marked -- a lock-based unlink, so there is no CAS to find.
+        // smr-lint: retire-ok (lock-based unlink under pred/victim locks)
         if (result.has_value()) acc.retire(victim);
         return result;
     }

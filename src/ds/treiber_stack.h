@@ -26,10 +26,18 @@
 
 namespace smr::ds {
 
+// Ordering table (DESIGN.md Section 11.4):
+//   next   atomic. Written relaxed pre-publication (the top_ CAS publishes
+//          it); read relaxed in pop, where a stale reader can race the
+//          node's recycled reincarnation being linked by a new pusher --
+//          the reader's own CAS then fails against top_, discarding the
+//          value, but the access itself must be atomic to be defined.
+//   value  plain. Written before publication, read only by the pop that
+//          won the detach CAS; both edges run through top_.
 template <class T>
 struct stack_node {
     T value;
-    stack_node* next;
+    std::atomic<stack_node*> next;
 };
 
 /// Lock-free stack of T. `RecordMgr` must manage `stack_node<T>`.
@@ -56,7 +64,7 @@ class treiber_stack {
     ~treiber_stack() {
         node_t* n = top_.load(std::memory_order_relaxed);
         while (n != nullptr) {
-            node_t* next = n->next;
+            node_t* next = n->next.load(std::memory_order_relaxed);
             mgr_.template deallocate<node_t>(0, n);
             n = next;
         }
@@ -69,7 +77,7 @@ class treiber_stack {
         auto op = acc.op();
         node_t* expected = top_.load(std::memory_order_acquire);
         do {
-            n->next = expected;
+            n->next.store(expected, std::memory_order_relaxed);
         } while (!top_.compare_exchange_weak(expected, n,
                                              std::memory_order_seq_cst,
                                              std::memory_order_acquire));
@@ -93,7 +101,7 @@ class treiber_stack {
                     acc.note(stat::op_restarts);
                     continue;
                 }
-                node_t* next = top->next;
+                node_t* next = top->next.load(std::memory_order_relaxed);
                 node_t* expected = top;
                 if (top_.compare_exchange_strong(expected, next,
                                                  std::memory_order_seq_cst)) {
@@ -119,7 +127,7 @@ class treiber_stack {
     long long size_slow() const {
         long long n = 0;
         for (node_t* cur = top_.load(std::memory_order_acquire);
-             cur != nullptr; cur = cur->next) {
+             cur != nullptr; cur = cur->next.load(std::memory_order_relaxed)) {
             ++n;
         }
         return n;

@@ -20,6 +20,7 @@
 //   SMR_LAT_SAMPLE      latency sampling period (default 32; 0 disables)
 #pragma once
 
+#include <climits>
 #include <cstdint>
 #include <cstdlib>
 #include <string>
@@ -27,10 +28,23 @@
 
 namespace smr::harness {
 
-/// Environment-variable knob: integer with fallback.
-inline int env_int(const char* name, int fallback) {
+/// Environment-variable knob: integer with fallback. Strict full-token
+/// parse -- the atoi() of the per-binary era accepted "100abc" as 100 and
+/// turned any typo into a silent 0, which normalize() then quietly
+/// replaced with the default; a malformed value now keeps the fallback
+/// instead of smuggling a zero through validation.
+inline long long env_ll(const char* name, long long fallback) {
     const char* v = std::getenv(name);
-    return v != nullptr ? std::atoi(v) : fallback;
+    if (v == nullptr || *v == '\0') return fallback;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(v, &end, 10);
+    return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+inline int env_int(const char* name, int fallback) {
+    const long long v = env_ll(name, fallback);
+    if (v < INT_MIN || v > INT_MAX) return fallback;
+    return static_cast<int>(v);
 }
 
 /// Splits a comma-separated list, dropping empty tokens. The one
@@ -100,8 +114,10 @@ struct bench_config {
         bench_config c;
         c.trial_ms = env_int("SMR_TRIAL_MS", c.trial_ms);
         c.trials = env_int("SMR_TRIALS", c.trials);
-        c.keyrange_large = env_int("SMR_KEYRANGE_LARGE",
-                                   static_cast<int>(c.keyrange_large));
+        // Parsed as long long end-to-end: the old int round-trip truncated
+        // any SMR_KEYRANGE_LARGE above 2^31 (the paper's large range is
+        // 10^6, but soak configs legitimately go bigger).
+        c.keyrange_large = env_ll("SMR_KEYRANGE_LARGE", c.keyrange_large);
         c.lat_sample = env_int("SMR_LAT_SAMPLE", c.lat_sample);
         if (const char* ts = std::getenv("SMR_THREADS"); ts != nullptr) {
             auto parsed = parse_int_list(ts);

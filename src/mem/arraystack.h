@@ -52,6 +52,8 @@ class arraystack {
     /// published slot beyond the count, which must not survive the clear.
     /// Touching count+1 slots instead of all CAP keeps this O(live
     /// protections) -- it runs on every operation's postamble.
+    // smr-lint: signal-safe (recovery-path root via runprotect_all: bounded
+    // loop of atomic stores on preallocated slots)
     void clear() noexcept {
         const int c = count_.load(std::memory_order_relaxed);
         const int upto = c < CAP ? c + 1 : CAP;

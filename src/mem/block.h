@@ -7,6 +7,7 @@
 // intrusive next pointer; bags are singly-linked lists of blocks.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 
@@ -15,14 +16,35 @@ namespace smr::mem {
 /// Default records per block, matching the paper's experimental B = 256.
 inline constexpr int DEFAULT_BLOCK_SIZE = 256;
 
+// Ordering table (DESIGN.md Section 11.4):
+//   next     atomic, all accesses relaxed. Chains are owner-private in
+//            every tier except the shared bag's Treiber stack, where the
+//            tagged 16-byte head CAS (release on push, acquire on pop)
+//            carries the cross-thread edge; `next` itself never
+//            synchronizes. Atomicity is still required: a losing pop's
+//            speculative `top->next` read races with the winner's
+//            detach-store, and the loser discards the value when its CAS
+//            fails -- well-defined only as a relaxed atomic access.
+//   size,
+//   entries  plain fields. Only ever touched by the block's current owner;
+//            ownership transfers through the head CAS (or through a
+//            quiescence barrier in the single-threaded tiers).
 template <class T, int B = DEFAULT_BLOCK_SIZE>
 struct block {
     static_assert(B >= 2, "blocks must hold at least two records");
     static constexpr int capacity = B;
 
-    block* next = nullptr;
+    std::atomic<block*> next{nullptr};
     int size = 0;
     T* entries[B];
+
+    /// Owner-side chain traversal/splicing (see ordering table).
+    block* next_relaxed() const noexcept {
+        return next.load(std::memory_order_relaxed);
+    }
+    void set_next(block* b) noexcept {
+        next.store(b, std::memory_order_relaxed);
+    }
 
     bool full() const noexcept { return size == B; }
     bool empty() const noexcept { return size == 0; }

@@ -42,7 +42,7 @@ class block_pool {
     ~block_pool() {
         while (top_ != nullptr) {
             block_t* b = top_;
-            top_ = b->next;
+            top_ = b->next_relaxed();
             delete b;
         }
     }
@@ -51,9 +51,9 @@ class block_pool {
     block_t* acquire() {
         if (top_ != nullptr) {
             block_t* b = top_;
-            top_ = b->next;
+            top_ = b->next_relaxed();
             --count_;
-            b->next = nullptr;
+            b->set_next(nullptr);
             b->size = 0;
             if (stats_) stats_->add(tid_, stat::blocks_recycled);
             return b;
@@ -66,7 +66,7 @@ class block_pool {
     /// The caller must have emptied it of live record pointers.
     void release(block_t* b) noexcept {
         if (count_ < capacity_) {
-            b->next = top_;
+            b->set_next(top_);
             top_ = b;
             ++count_;
         } else {

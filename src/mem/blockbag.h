@@ -39,7 +39,7 @@ class blockbag {
         // records before destruction. Blocks go back to the block pool.
         while (head_ != nullptr) {
             block_t* b = head_;
-            head_ = b->next;
+            head_ = b->next_relaxed();
             bpool_.release(b);
         }
     }
@@ -59,7 +59,7 @@ class blockbag {
         head_->push(p);
         if (head_->full()) {
             block_t* fresh = bpool_.acquire();
-            fresh->next = head_;
+            fresh->set_next(head_);
             head_ = fresh;
             ++blocks_;
         }
@@ -68,9 +68,9 @@ class blockbag {
     /// O(1): removes and returns an arbitrary record, or nullptr when empty.
     T* remove() noexcept {
         if (head_->empty()) {
-            if (head_->next == nullptr) return nullptr;
+            if (head_->next_relaxed() == nullptr) return nullptr;
             block_t* old = head_;
-            head_ = old->next;
+            head_ = old->next_relaxed();
             --blocks_;
             bpool_.release(old);
         }
@@ -82,13 +82,13 @@ class blockbag {
     /// rotateAndReclaim to hand an entire epoch's retirees to the pool.
     chain_t take_full_blocks() noexcept {
         chain_t c;
-        c.head = head_->next;
+        c.head = head_->next_relaxed();
         if (c.head == nullptr) return c;
-        head_->next = nullptr;
+        head_->set_next(nullptr);
         c.count = blocks_ - 1;
         blocks_ = 1;
         c.tail = c.head;
-        while (c.tail->next != nullptr) c.tail = c.tail->next;
+        while (c.tail->next_relaxed() != nullptr) c.tail = c.tail->next_relaxed();
         return c;
     }
 
@@ -96,18 +96,18 @@ class blockbag {
     /// adopting donated blocks.
     void add_full_block(block_t* b) noexcept {
         assert(b->full());
-        b->next = head_->next;
-        head_->next = b;
+        b->set_next(head_->next_relaxed());
+        head_->set_next(b);
         ++blocks_;
     }
 
     /// Removes one full block (the one after the head), or nullptr if the
     /// bag holds no full block. Used by pools donating to the shared bag.
     block_t* pop_full_block() noexcept {
-        block_t* b = head_->next;
+        block_t* b = head_->next_relaxed();
         if (b == nullptr) return nullptr;
-        head_->next = b->next;
-        b->next = nullptr;
+        head_->set_next(b->next_relaxed());
+        b->set_next(nullptr);
         --blocks_;
         return b;
     }
@@ -150,7 +150,7 @@ class blockbag {
         void normalize() noexcept {
             // Only the head block can be non-full, so at most one hop.
             while (b_ != nullptr && i_ >= b_->size) {
-                b_ = b_->next;
+                b_ = b_->next_relaxed();
                 i_ = 0;
                 ++ord_;
             }
@@ -174,13 +174,13 @@ class blockbag {
         chain_t c;
         block_t* boundary = it.current_block();
         if (boundary == nullptr) return c;  // end(): keep everything
-        c.head = boundary->next;
+        c.head = boundary->next_relaxed();
         if (c.head == nullptr) return c;
-        boundary->next = nullptr;
+        boundary->set_next(nullptr);
         c.count = blocks_ - (it.block_ordinal() + 1);
         blocks_ = it.block_ordinal() + 1;
         c.tail = c.head;
-        while (c.tail->next != nullptr) c.tail = c.tail->next;
+        while (c.tail->next_relaxed() != nullptr) c.tail = c.tail->next_relaxed();
         return c;
     }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "../util/padded.h"
+#include "../util/tsan_annotate.h"
 #include "block.h"
 
 namespace smr::mem {
@@ -28,7 +29,11 @@ class shared_blockbag {
   public:
     using block_t = block<T, B>;
 
-    shared_blockbag() noexcept { head_.store(pack(nullptr, 0)); }
+    shared_blockbag() noexcept {
+        // Pre-publication: the bag is not shared until the owning pool's
+        // constructor returns.
+        head_.store(pack(nullptr, 0), std::memory_order_relaxed);
+    }
 
     shared_blockbag(const shared_blockbag&) = delete;
     shared_blockbag& operator=(const shared_blockbag&) = delete;
@@ -39,7 +44,7 @@ class shared_blockbag {
     ~shared_blockbag() {
         block_t* b = unpack_ptr(head_.load(std::memory_order_relaxed));
         while (b != nullptr) {
-            block_t* next = b->next;
+            block_t* next = b->next_relaxed();
             delete b;
             b = next;
         }
@@ -47,9 +52,14 @@ class shared_blockbag {
 
     /// Pushes a full block. Lock-free.
     void push(block_t* b) noexcept {
+        // TSan cannot see the 16-byte CAS's release edge (libatomic
+        // libcall); republish it, keyed by the block (DESIGN.md S11.2).
+        util::tsan_release(b);
         u128 h = head_.load(std::memory_order_acquire);
         for (;;) {
-            b->next = unpack_ptr(h);
+            // Relaxed: the release CAS below publishes the link (block.h
+            // ordering table).
+            b->set_next(unpack_ptr(h));
             const u128 desired = pack(b, unpack_tag(h) + 1);
             if (head_.compare_exchange_weak(h, desired,
                                             std::memory_order_release,
@@ -68,12 +78,18 @@ class shared_blockbag {
             if (top == nullptr) return nullptr;
             // The tag makes this safe even though `top` may be concurrently
             // popped, refilled, and pushed again: the tag would differ.
-            const u128 desired = pack(top->next, unpack_tag(h) + 1);
+            // The speculative next read is relaxed-atomic: a winner may be
+            // detaching `top` right now, in which case our CAS fails and
+            // the value is discarded (block.h ordering table).
+            const u128 desired = pack(top->next_relaxed(), unpack_tag(h) + 1);
             if (head_.compare_exchange_weak(h, desired,
                                             std::memory_order_acq_rel,
                                             std::memory_order_acquire)) {
                 approx_blocks_.fetch_sub(1, std::memory_order_relaxed);
-                top->next = nullptr;
+                // Pairs with the tsan_release in push: the real acquire is
+                // the successful CAS above, invisible to TSan.
+                util::tsan_acquire(top);
+                top->set_next(nullptr);
                 return top;
             }
         }

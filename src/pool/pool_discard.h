@@ -42,7 +42,7 @@ class pool_discard {
     void accept_chain(int tid, chain_t chain) {
         block_t* b = chain.head;
         while (b != nullptr) {
-            block_t* next = b->next;
+            block_t* next = b->next_relaxed();
             if (stats_) stats_->add(tid, stat::records_pooled, b->size);
             b->size = 0;
             block_pools_[tid].release(b);

@@ -39,7 +39,7 @@ class pool_none {
     void accept_chain(int tid, chain_t chain) {
         block_t* b = chain.head;
         while (b != nullptr) {
-            block_t* next = b->next;
+            block_t* next = b->next_relaxed();
             if (stats_) stats_->add(tid, stat::records_pooled, b->size);
             for (int i = 0; i < b->size; ++i) alloc_.deallocate(tid, b->entries[i]);
             b->size = 0;

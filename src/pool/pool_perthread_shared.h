@@ -106,7 +106,7 @@ class pool_perthread_shared {
         auto& bag = *bags_[static_cast<std::size_t>(tid)];
         block_t* b = chain.head;
         while (b != nullptr) {
-            block_t* next = b->next;
+            block_t* next = b->next_relaxed();
             if (stats_) stats_->add(tid, stat::records_pooled, b->size);
             if (bag.size_in_blocks() < LOCAL_MAX_BLOCKS) {
                 bag.add_full_block(b);

@@ -19,6 +19,18 @@
 // A `suspect` hook decides what to do with a thread that is non-quiescent
 // and behind the epoch: DEBRA returns false (wait for it; not fault
 // tolerant), DEBRA+ neutralizes it with a signal and returns true.
+//
+// Ordering table (DESIGN.md Section 11.4):
+//   announce_[t]   seq_cst stores on the announce/quiesce edges, matching
+//                  the paper's "announce then scan" fence: the epoch
+//                  announcement must be totally ordered against other
+//                  threads' announcement scans, or two threads could each
+//                  miss the other and advance past a live reservation.
+//                  Owner-side re-reads are relaxed (single writer).
+//   epoch_         acquire loads (a thread adopting epoch e must see the
+//                  retirements justifying e's safety), seq_cst CAS on
+//                  advance (the advance is itself an announcement scan
+//                  conclusion and orders against the stores above).
 #pragma once
 
 #include <array>

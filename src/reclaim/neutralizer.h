@@ -51,6 +51,8 @@ struct neutral_ctx {
 /// most one DEBRA+ instance at a time.
 inline thread_local neutral_ctx* tl_neutral_ctx = nullptr;
 
+// smr-lint: signal-safe (the handler itself: lock-free atomics plus
+// siglongjmp, both async-signal-safe; see the header comment)
 inline void neutralize_handler(int /*signum*/) {
     neutral_ctx* c = tl_neutral_ctx;
     if (c == nullptr || c->announce == nullptr) return;  // disarmed: absorb

@@ -104,6 +104,8 @@ class debra_plus_global {
     /// (run_op uses sigsetjmp without mask saving to keep the hot path
     /// syscall-free; this syscall happens only when a signal actually
     /// landed.)
+    // smr-lint: signal-safe (recovery-path root: sigemptyset/sigaddset/
+    // pthread_sigmask are async-signal-safe per POSIX)
     void prepare_recovery(int /*tid*/) noexcept {
         sigset_t set;
         sigemptyset(&set);
@@ -130,7 +132,7 @@ class debra_plus_global {
 
     // ---- recovery hazard pointers (paper Figure 6) ----------------------
     bool rprotect(int tid, const void* p) noexcept {
-        rprotected_[tid]->push(const_cast<void*>(p));
+        rprotected_[tid]->push(p);
         return true;
     }
     void runprotect_all(int tid) noexcept { rprotected_[tid]->clear(); }
@@ -205,7 +207,10 @@ class debra_plus_global {
     debug_stats* stats_;
     epoch_core core_;
     std::array<padded<target>, MAX_THREADS> targets_;
-    std::array<padded<mem::arraystack<void, RPROT_CAP>>, MAX_THREADS>
+    // arraystack<const void>: RProtect announcements are read-only
+    // pointers end to end (scanners hash them, recovery compares them),
+    // so no const_cast laundering on push.
+    std::array<padded<mem::arraystack<const void, RPROT_CAP>>, MAX_THREADS>
         rprotected_;
 };
 

@@ -97,7 +97,7 @@ class hp_global {
     /// fresh chunk (grow-on-demand: only bulk spans ever reach this).
     template <class ValidateFn>
     bool protect(int tid, const void* p, ValidateFn&& validate) {
-        std::atomic<void*>* slot = nullptr;
+        std::atomic<const void*>* slot = nullptr;
         slot_chunk* chunk = &*rows_[tid];
         for (;;) {
             for (int i = 0; i < K; ++i) {
@@ -108,22 +108,22 @@ class hp_global {
                 }
             }
             if (slot != nullptr) break;
-            slot_chunk* next = chunk->next.load(std::memory_order_relaxed);
-            if (next == nullptr) {
+            slot_chunk* link = chunk->next.load(std::memory_order_relaxed);
+            if (link == nullptr) {
                 // Owner-only append. seq_cst publish so the standard HP
                 // scan argument covers chained slots: the publish
                 // precedes the announcement in the seq_cst total order,
                 // so a scan ordered after a successful validation's
                 // unlink observes the chunk (and hence the slot).
-                next = new slot_chunk;
-                chunk->next.store(next, std::memory_order_seq_cst);
+                link = new slot_chunk;
+                chunk->next.store(link, std::memory_order_seq_cst);
                 total_slots_.fetch_add(K, std::memory_order_relaxed);
             }
-            chunk = next;
+            chunk = link;
         }
         // seq_cst store doubles as the announcement fence (paper: "a memory
         // barrier must be issued immediately after a HP is announced").
-        slot->store(const_cast<void*>(p), std::memory_order_seq_cst);
+        slot->store(p, std::memory_order_seq_cst);
         if (!validate()) {
             slot->store(nullptr, std::memory_order_release);
             if (stats_) stats_->add(tid, stat::hp_validation_failures);
@@ -197,7 +197,9 @@ class hp_global {
     /// One chunk of a thread's hazard-slot chain. Only the owning thread
     /// appends; `next` is written once (release) and read with acquire.
     struct slot_chunk {
-        std::array<std::atomic<void*>, K> v{};
+        // const void*: announcement slots only ever compare and hash; the
+        // const_cast that used to launder retire-side pointers is gone.
+        std::array<std::atomic<const void*>, K> v{};
         std::atomic<slot_chunk*> next{nullptr};
     };
 

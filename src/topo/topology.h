@@ -93,8 +93,14 @@ struct topology {
         const int cpus = static_cast<int>(std::thread::hardware_concurrency());
         if (const char* forced_env = std::getenv("SMR_TOPO_SHARDS");
             forced_env != nullptr) {
-            const int n = std::atoi(forced_env);
-            if (n >= 1) return forced(n, cpus);
+            // Strict full-token parse: "2x" or "" falls through to real
+            // detection rather than forcing a garbage shard count.
+            char* end = nullptr;
+            const long n = std::strtol(forced_env, &end, 10);
+            if (end != nullptr && end != forced_env && *end == '\0' &&
+                n >= 1 && n <= 1024) {
+                return forced(static_cast<int>(n), cpus);
+            }
         }
 #ifdef __linux__
         topology t = detect_sysfs(cpus < 1 ? 1 : cpus);

@@ -92,6 +92,8 @@ inline constexpr std::array<std::string_view,
 /// after joining / barrier).
 class debug_stats {
   public:
+    // smr-lint: signal-safe (called from neutralize_handler: one relaxed
+    // fetch_add on a preallocated cell, no allocation or locking)
     void add(int tid, stat s, std::uint64_t delta = 1) noexcept {
         cells_[tid]->counts[static_cast<int>(s)].fetch_add(
             delta, std::memory_order_relaxed);
@@ -111,6 +113,8 @@ class debug_stats {
     /// Records one stall of `ns` nanoseconds at `site` (single writer per
     /// tid, like add()). The histogram doubles as the stall counter: its
     /// total count is the number of stall events.
+    // smr-lint: signal-safe (recovery-path root via stall_scope: delegates
+    // to lat_hist::record on a preallocated histogram)
     void stall(int tid, stall_site site, std::uint64_t ns) noexcept {
         stalls_->cells[static_cast<std::size_t>(tid)]
             [static_cast<std::size_t>(site)]

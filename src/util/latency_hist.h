@@ -66,6 +66,7 @@ inline constexpr int LAT_BUCKETS =
 
 /// Bucket index for a nanosecond value. Exact below LAT_SUBBUCKETS;
 /// otherwise the top LAT_SUB_BITS+1 significant bits select the bucket.
+// smr-lint: signal-safe (pure integer arithmetic, no memory effects)
 constexpr int lat_bucket_of(std::uint64_t ns) noexcept {
     if (ns < LAT_SUBBUCKETS) return static_cast<int>(ns);
     const int h = 63 - std::countl_zero(ns);  // floor(log2(ns))
@@ -185,6 +186,8 @@ class lat_clock {
 /// most the handful of operations in flight.
 class lat_hist {
   public:
+    // smr-lint: signal-safe (relaxed fetch_add + single-writer max on
+    // preallocated buckets; reached from the recovery path via stall())
     void record(std::uint64_t ns) noexcept {
         buckets_[static_cast<std::size_t>(lat_bucket_of(ns))].fetch_add(
             1, std::memory_order_relaxed);

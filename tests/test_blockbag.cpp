@@ -96,15 +96,15 @@ TEST_F(BlockbagTest, TakeFullBlocksLeavesHead) {
     EXPECT_EQ(bag.size(), 2);  // leftovers in the head block
     // Chain holds the other 3*B records, all full blocks.
     int chained = 0;
-    for (auto* b = chain.head; b != nullptr; b = b->next) {
+    for (auto* b = chain.head; b != nullptr; b = b->next_relaxed()) {
         EXPECT_TRUE(b->full());
         chained += b->size;
-        if (b->next == nullptr) { EXPECT_EQ(b, chain.tail); }
+        if (b->next_relaxed() == nullptr) { EXPECT_EQ(b, chain.tail); }
     }
     EXPECT_EQ(chained, 3 * B);
     // Return blocks to the pool to avoid leaking them.
     for (auto* b = chain.head; b != nullptr;) {
-        auto* next = b->next;
+        auto* next = b->next_relaxed();
         b->size = 0;
         pool_.release(b);
         b = next;
@@ -192,7 +192,7 @@ TEST_F(BlockbagTest, TakeBlocksAfterPartitionPoint) {
     auto chain = bag.take_blocks_after(it2);
     // Everything sheds except the blocks up to (and including) it2's block.
     long long shed = 0;
-    for (auto* b = chain.head; b != nullptr; b = b->next) {
+    for (auto* b = chain.head; b != nullptr; b = b->next_relaxed()) {
         EXPECT_TRUE(b->full());
         shed += b->size;
         for (int i = 0; i < b->size; ++i) EXPECT_GE(b->entries[i]->v, 3);
@@ -205,7 +205,7 @@ TEST_F(BlockbagTest, TakeBlocksAfterPartitionPoint) {
     }
     EXPECT_EQ(still_protected, 3);
     for (auto* b = chain.head; b != nullptr;) {
-        auto* next = b->next;
+        auto* next = b->next_relaxed();
         b->size = 0;
         pool_.release(b);
         b = next;

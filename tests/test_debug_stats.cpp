@@ -68,6 +68,81 @@ TEST(DebugStats, ConcurrentWritersOnDistinctTids) {
               static_cast<std::uint64_t>(N) * ITERS);
 }
 
+// Counter-integrity stress (concurrency-audit satellite): many writers --
+// including several sharing one tid slot, the hardest case for a torn or
+// plain-increment implementation -- race a live harvester calling total(),
+// and the post-join harvest must equal ground truth exactly. A debug_stats
+// that bumped its cells with non-atomic increments would fail this count
+// under load and be flagged by TSan; the relaxed fetch_add contract is
+// exactly what this pins.
+TEST(DebugStats, HarvestEqualsGroundTruthUnderContention) {
+#ifdef SMR_TSAN
+    constexpr int WRITERS = 4;
+    constexpr int ITERS = 20000;
+#else
+    constexpr int WRITERS = 8;
+    constexpr int ITERS = 200000;
+#endif
+    debug_stats s;
+    std::vector<std::thread> threads;
+    // Writers 0 and 1 share tid slot 0: add() must be atomic, not just
+    // single-writer-safe, for the total to come out exact.
+    for (int w = 0; w < WRITERS; ++w) {
+        const int tid = (w < 2) ? 0 : w;
+        threads.emplace_back([&s, tid] {
+            for (int i = 0; i < ITERS; ++i) {
+                s.add(tid, stat::records_retired);
+                if ((i & 7) == 0) s.add(tid, stat::records_pooled, 3);
+            }
+        });
+    }
+    // A live harvester: total() while writers run must be TSan-clean (it
+    // may observe any intermediate value; only the final sum is asserted).
+    std::thread harvester([&s] {
+        std::uint64_t last = 0;
+        for (int i = 0; i < 200; ++i) {
+            const std::uint64_t now = s.total(stat::records_retired);
+            EXPECT_GE(now, last) << "monotone while writers only add";
+            last = now;
+        }
+    });
+    for (auto& th : threads) th.join();
+    harvester.join();
+    const auto expected_retired =
+        static_cast<std::uint64_t>(WRITERS) * ITERS;
+    const auto expected_pooled =
+        static_cast<std::uint64_t>(WRITERS) * ((ITERS + 7) / 8) * 3;
+    EXPECT_EQ(s.total(stat::records_retired), expected_retired);
+    EXPECT_EQ(s.total(stat::records_pooled), expected_pooled);
+}
+
+// The stall matrix is single-writer-per-tid by contract; distinct tids
+// recording concurrently while a reader merges summaries must be clean and
+// lose no events (the histogram count doubles as the event counter).
+TEST(DebugStats, StallMatrixConcurrentRecordAndMerge) {
+    debug_stats s;
+    constexpr int N = 4;
+    constexpr int EVENTS = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < N; ++t) {
+        threads.emplace_back([&s, t] {
+            for (int i = 0; i < EVENTS; ++i) {
+                s.stall(t, stall_site::rotation,
+                        static_cast<std::uint64_t>(100 + i % 1000));
+            }
+        });
+    }
+    std::thread reader([&s] {
+        for (int i = 0; i < 100; ++i) {
+            (void)s.stall_summary(stall_site::rotation);
+        }
+    });
+    for (auto& th : threads) th.join();
+    reader.join();
+    EXPECT_EQ(s.stall_summary(stall_site::rotation).count,
+              static_cast<std::uint64_t>(N) * EVENTS);
+}
+
 TEST(DebugStats, MaxThreadsBound) {
     debug_stats s;
     s.add(MAX_THREADS - 1, stat::rotations);

@@ -1,0 +1,40 @@
+// test_tsan_canary.cpp -- liveness canary for the ThreadSanitizer CI job.
+//
+// A CI job that runs a race detector proves nothing unless the detector is
+// demonstrably armed: a miswired TSAN_OPTIONS, a build that silently dropped
+// -fsanitize=thread, or an over-broad suppressions file would all turn the
+// "TSan-clean" claim into a no-op. This binary contains one deliberate,
+// textbook data race -- two threads bumping the same plain (non-atomic)
+// counter -- and CMake registers it with WILL_FAIL under SMR_SANITIZE=thread
+// with the suppression file bypassed, so the tsan job goes red the moment
+// the detector stops detecting.
+//
+// In non-TSan builds the racy increments are benign in practice (the test
+// asserts nothing about the count) and the test passes like any other.
+//
+// smr-lint: skip-file -- the race below is this file's entire purpose.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace {
+
+// Deliberately NOT std::atomic: this is the race TSan must flag.
+long racy_counter = 0;
+
+TEST(TsanCanary, DeliberateRaceIsDetected) {
+    std::thread a([] {
+        for (int i = 0; i < 100000; ++i) racy_counter++;
+    });
+    std::thread b([] {
+        for (int i = 0; i < 100000; ++i) racy_counter++;
+    });
+    a.join();
+    b.join();
+    // No assertion on the (torn) count: outside TSan this must pass, and
+    // under TSan the process has already died with halt_on_error=1.
+    SUCCEED() << "final count " << racy_counter;
+}
+
+}  // namespace
