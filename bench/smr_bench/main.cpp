@@ -55,8 +55,30 @@ void print_usage() {
         "  --json=PATH          write the run document to PATH ('-' =\n"
         "                       stdout)\n"
         "  --list               list scenarios and exit\n\n"
+        "serve mode (the smr_serve scenario):\n"
+        "  --serve-rate=N       offered load in ops/s across all workers\n"
+        "                       (token bucket per worker; default 100000)\n"
+        "  --snapshot-ms=N      telemetry snapshot period (default 100)\n"
+        "  --serve-churn-ms=N   thread-registration churn wave period\n"
+        "                       (0 with --serve-churn-threads=0 = scenario\n"
+        "                       default: 250ms, one churner)\n"
+        "  --serve-churn-threads=N  workers that deregister/re-register\n"
+        "                       each wave\n"
+        "  --serve-monitor-window=N  leak-monitor sliding window, in\n"
+        "                       snapshots (default 8)\n"
+        "  --serve-monitor-growth=N  minimum per-window growth (records)\n"
+        "                       counted as a violation (default 4096)\n"
+        "  --serve-canary=N     leak one retired record every N ops on\n"
+        "                       worker 0 (0 = off; the run must FAIL)\n"
+        "  --timeline=PREFIX    write one JSONL timeline per cell to\n"
+        "                       PREFIX.<ds>.<scheme>.jsonl\n"
+        "  --trace-ring=N       per-thread event ring capacity (default\n"
+        "                       4096, rounded up to a power of two)\n\n"
         "environment defaults (flags win): SMR_TRIAL_MS, SMR_TRIALS,\n"
-        "SMR_THREADS, SMR_KEYRANGE_LARGE\n");
+        "SMR_THREADS, SMR_KEYRANGE_LARGE, SMR_SERVE_RATE, SMR_SNAPSHOT_MS,\n"
+        "SMR_SERVE_CHURN_MS, SMR_SERVE_CHURN_THREADS,\n"
+        "SMR_SERVE_MONITOR_WINDOW, SMR_SERVE_MONITOR_GROWTH,\n"
+        "SMR_SERVE_CANARY, SMR_TIMELINE, SMR_TRACE_RING\n");
 }
 
 void print_list() {
@@ -429,13 +451,23 @@ int driver_main(int argc, char** argv) {
                      cfg.scenario.c_str());
         return 2;
     }
-    if (sc->custom != nullptr &&
+    if (sc->custom != nullptr && !sc->accepts_filters &&
         (!cfg.ds_filter.empty() || !cfg.scheme_filter.empty() ||
          !cfg.alloc_filter.empty() || !cfg.pin_filter.empty())) {
         // Silently running the wrong schemes would be worse than refusing.
         std::fprintf(stderr,
                      "smr_bench: scenario '%s' has a fixed shape and does "
                      "not take --ds/--scheme/--alloc/--pin\n",
+                     sc->name.c_str());
+        return 2;
+    }
+    if (sc->custom != nullptr && sc->accepts_filters &&
+        (!cfg.alloc_filter.empty() || !cfg.pin_filter.empty())) {
+        // smr_serve honors --ds/--scheme but fixes its memory policy and
+        // thread placement; refuse the filters it would silently ignore.
+        std::fprintf(stderr,
+                     "smr_bench: scenario '%s' takes --ds/--scheme but not "
+                     "--alloc/--pin\n",
                      sc->name.c_str());
         return 2;
     }

@@ -1,0 +1,145 @@
+// scenario_telemetry_overhead.cpp -- A/B benchmark bounding the cost of
+// the event-tracing + snapshot-streaming layer: the closed-loop trial with
+// the global event trace armed and a snapshot streamer sampling at 50ms
+// against the same trial with tracing disabled.
+//
+// The claim under test (ISSUE acceptance): recording is cheap enough to
+// leave compiled in everywhere -- the disabled fast path is one pointer
+// load and a branch, and the armed path is bounded by <= SMR_OBS_DELTA_PCT
+// percent (default 2) of throughput. Protocol is the same paired-median
+// A/B as guard_overhead / latency_overhead: both phases of a pair run on
+// one warm steady-state tree, the order alternates per trial to cancel
+// cache drift, and the verdict is the median paired delta.
+//
+// The traced phase is the *worst plausible* configuration: every
+// reclamation event emitted (debra's rotations + epoch advances), a live
+// sampler draining rings every 50ms, monitor on. No timeline file -- disk
+// write cost would measure the filesystem, not the recording path (the
+// soak's file writes happen on the sampler thread anyway).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "harness/report.h"
+#include "obs/snapshot.h"
+#include "scenarios.h"
+
+namespace smr::bench {
+
+namespace {
+
+constexpr long long KEY_RANGE = 1 << 16;
+
+}  // namespace
+
+int run_telemetry_overhead(const scenario& sc,
+                           const harness::bench_config& cfg,
+                           harness::json* doc) {
+    const int threshold = harness::env_int("SMR_OBS_DELTA_PCT", 2);
+    const int threads = cfg.thread_counts.front();
+    const int trials = cfg.trials < 3 ? 3 : cfg.trials;
+
+    std::printf("telemetry_overhead: event trace + 50ms snapshot streamer "
+                "vs tracing disabled, ellen_bst + debra, 50i-50d "
+                "(%lld keys, %d ms x %d trials, threshold %d%%)\n",
+                KEY_RANGE, cfg.trial_ms, trials, threshold);
+
+    using mgr_t = record_manager<reclaim::reclaim_debra, alloc_bump,
+                                 pool_shared, ds::bst_node<key_t, val_t>,
+                                 ds::bst_info<key_t, val_t>>;
+    mgr_t mgr(threads);
+    ds::ellen_bst<key_t, val_t, mgr_t> tree(mgr);
+
+    harness::workload_config wl;
+    wl.num_threads = threads;
+    wl.key_range = KEY_RANGE;
+    wl.insert_pct = 50;
+    wl.delete_pct = 50;
+    wl.trial_ms = cfg.trial_ms;
+    wl.lat_sample = 0;  // isolate the tracing axis from the sampling axis
+
+    const auto run_traced = [&](std::uint64_t* events) {
+        obs::g_event_trace.enable(threads, 4096);
+        obs::snapshot_config scfg;
+        scfg.snapshot_ms = 50;
+        scfg.path = "";  // sample + monitor, no file I/O in the loop
+        obs::snapshot_streamer streamer(scfg, &mgr.stats());
+        streamer.start(harness::SMR_BENCH_SCHEMA_VERSION,
+                       harness::json::object());
+        const harness::trial_result r = harness::run_trial(tree, mgr, wl);
+        streamer.stop();
+        *events += streamer.events_drained();
+        obs::g_event_trace.disable();
+        return r;
+    };
+
+    double traced_mops = 0, plain_mops = 0;
+    std::uint64_t events = 0;
+    std::vector<double> deltas;
+    {
+        // Warmup: prefill + one unscored trial so measured pairs start
+        // from a warm steady-state tree.
+        wl.prefill = true;
+        wl.seed = cfg.seed;
+        (void)harness::run_trial(tree, mgr, wl);
+        wl.prefill = false;
+    }
+    for (int trial = 0; trial < trials; ++trial) {
+        wl.seed = cfg.seed + static_cast<std::uint64_t>(trial);
+        const bool traced_first = trial % 2 == 0;
+        harness::trial_result r1, r2;
+        if (traced_first) {
+            r1 = run_traced(&events);
+            r2 = harness::run_trial(tree, mgr, wl);
+        } else {
+            r1 = harness::run_trial(tree, mgr, wl);
+            r2 = run_traced(&events);
+        }
+        const harness::trial_result& rt = traced_first ? r1 : r2;
+        const harness::trial_result& rp = traced_first ? r2 : r1;
+        const double t = rt.mops_per_sec();
+        const double p = rp.mops_per_sec();
+        traced_mops = std::max(traced_mops, t);
+        plain_mops = std::max(plain_mops, p);
+        if (p > 0) deltas.push_back((p - t) / p * 100.0);
+    }
+    std::sort(deltas.begin(), deltas.end());
+    const double delta_pct = deltas.empty() ? 0.0
+                                            : deltas[deltas.size() / 2];
+
+    const bool ok = delta_pct <= threshold;
+    std::printf("%2d thr   traced %8.3f Mops/s   plain %8.3f Mops/s   "
+                "median paired delta %+6.2f%%   (%llu events drained)\n",
+                threads, traced_mops, plain_mops, delta_pct,
+                static_cast<unsigned long long>(events));
+    std::printf("%s: event tracing + snapshot streaming is%s within %d%% "
+                "of tracing disabled\n",
+                ok ? "PASS" : "FAIL", ok ? "" : " NOT", threshold);
+
+    harness::json points = harness::json::array();
+    harness::json p = harness::json::object();
+    p.set("scheme", "debra");
+    p.set("threads", threads);
+    p.set("traced_mops", traced_mops);
+    p.set("plain_mops", plain_mops);
+    p.set("median_paired_delta_pct", delta_pct);
+    p.set("threshold_pct", threshold);
+    p.set("events_drained", static_cast<long long>(events));
+    points.push_back(std::move(p));
+
+    harness::json config = harness::json::object();
+    config.set("key_range", KEY_RANGE);
+    config.set("threshold_pct", threshold);
+    config.set("trial_ms", cfg.trial_ms);
+    config.set("trials", trials);
+    harness::json th = harness::json::array();
+    for (int t : cfg.thread_counts) th.push_back(t);
+    config.set("threads", std::move(th));
+    config.set("seed", static_cast<long long>(cfg.seed));
+    *doc = harness::make_run_document(sc.kind(), sc.name, sc.summary,
+                                      sc.paper_ref, std::move(config),
+                                      std::move(points), true, ok);
+    return ok ? 0 : 1;
+}
+
+}  // namespace smr::bench

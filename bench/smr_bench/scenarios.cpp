@@ -391,6 +391,34 @@ std::vector<scenario> build_registry() {
     }
     {
         scenario s;
+        s.name = "smr_serve";
+        s.summary = "Sustained-service soak: open-loop offered load (token "
+                    "bucket per worker) under a drifting hotspot and "
+                    "thread-registration churn waves, streaming JSONL "
+                    "snapshot timelines and failing on sustained limbo/"
+                    "footprint growth (the leak sentinel)";
+        s.paper_ref = "beyond the paper; long-running-service telemetry";
+        s.ds = {"ellen_bst"};
+        s.schemes = {"none", "debra", "debra+", "hp", "he", "ibr"};
+        s.custom = run_smr_serve;
+        s.custom_kind = "serve";
+        s.accepts_filters = true;
+        reg.push_back(std::move(s));
+    }
+    {
+        scenario s;
+        s.name = "telemetry_overhead";
+        s.summary = "A/B: the timed-trial loop with the event trace armed "
+                    "and a 50ms snapshot streamer sampling against tracing "
+                    "disabled (PASS when the median paired throughput "
+                    "delta is within the threshold)";
+        s.paper_ref = "beyond the paper; recording-is-cheap claim";
+        s.custom = run_telemetry_overhead;
+        s.custom_kind = "telemetry_overhead";
+        reg.push_back(std::move(s));
+    }
+    {
+        scenario s;
         s.name = "latency_overhead";
         s.summary = "A/B: the timed-trial loop with default latency "
                     "sampling (--lat-sample=32) against recording disabled "

@@ -67,6 +67,10 @@ struct scenario {
     std::vector<policy_kind> policies;
     workload_shape shape;
     custom_run_fn custom = nullptr;  // nullptr = generic workload sweep
+    /// Custom scenarios normally reject --ds/--scheme/--alloc/--pin (their
+    /// sweep is fixed by construction); ones that honor the filters
+    /// themselves (smr_serve) opt in here.
+    bool accepts_filters = false;
 
     const char* kind() const {
         return custom == nullptr ? "workload" : custom_kind;
@@ -90,5 +94,9 @@ int run_guard_overhead(const scenario&, const harness::bench_config&,
                        harness::json* doc);
 int run_latency_overhead(const scenario&, const harness::bench_config&,
                          harness::json* doc);
+int run_smr_serve(const scenario&, const harness::bench_config&,
+                  harness::json* doc);
+int run_telemetry_overhead(const scenario&, const harness::bench_config&,
+                           harness::json* doc);
 
 }  // namespace smr::bench

@@ -37,6 +37,7 @@
 #include <new>
 #include <vector>
 
+#include "../../obs/event_ring.h"
 #include "../../topo/topology.h"
 #include "../../util/debug_stats.h"
 #include "../../util/padded.h"
@@ -204,6 +205,9 @@ class allocator_arena {
             sh.bump += SLOT;
         }
         m.fresh_hi = m.count;
+        obs::trace_emit(tid, obs::trace_event::arena_refill,
+                        static_cast<std::uint64_t>(m.count),
+                        static_cast<std::uint64_t>(s));
     }
 
     /// Sends the oldest `n` magazine slots to their *home* shards (slab
@@ -214,6 +218,8 @@ class allocator_arena {
         if (n <= 0) return;
         // Stall attribution: per-home-shard lock acquisitions and splices.
         stall_scope stall(stats_, tid, stall_site::arena);
+        obs::trace_emit(tid, obs::trace_event::arena_flush,
+                        static_cast<std::uint64_t>(n));
         const int local = topo::current_shard(tid);
         int remote = 0;
         // Group by home shard: chain the items per shard, then splice each

@@ -18,6 +18,20 @@
 //   SMR_THREADS         comma list, e.g. "1,2,4,8"
 //   SMR_KEYRANGE_LARGE  the paper's large BST key range (default 1000000)
 //   SMR_LAT_SAMPLE      latency sampling period (default 32; 0 disables)
+//
+// Sustained-service (smr_serve) knobs, all env + CLI:
+//   SMR_SERVE_RATE            offered load, total ops/sec (default 100000;
+//                             0 = unpaced)
+//   SMR_SNAPSHOT_MS           snapshot streamer period (default 100)
+//   SMR_SERVE_CHURN_MS        thread-churn wave period (default 0 = off)
+//   SMR_SERVE_CHURN_THREADS   workers that churn per wave (default 0)
+//   SMR_SERVE_MONITOR_WINDOW  leak-monitor window, samples (default 8)
+//   SMR_SERVE_MONITOR_GROWTH  leak-monitor min growth, records (default
+//                             4096)
+//   SMR_SERVE_CANARY          leak 1 retired record every N ops on worker
+//                             0 (default 0 = off; the WILL_FAIL sentinel)
+//   SMR_TIMELINE              JSONL timeline path prefix ("" = no file)
+//   SMR_TRACE_RING            per-thread event-ring capacity (default 4096)
 #pragma once
 
 #include <climits>
@@ -89,6 +103,18 @@ struct bench_config {
     /// still collecting ~30k samples per second per thread.
     int lat_sample = 32;
 
+    // Sustained-service (smr_serve / soak) shape. Threaded into
+    // workload_config::serve by the serve scenario.
+    long long serve_rate = 100000;
+    int snapshot_ms = 100;
+    int serve_churn_ms = 0;
+    int serve_churn_threads = 0;
+    int serve_monitor_window = 8;
+    long long serve_monitor_growth = 4096;
+    long long serve_canary = 0;
+    std::string timeline_path;
+    long long trace_ring = 4096;
+
     // Driver selection (CLI only; empty = scenario defaults).
     std::string scenario;
     std::vector<std::string> ds_filter;
@@ -119,6 +145,21 @@ struct bench_config {
         // 10^6, but soak configs legitimately go bigger).
         c.keyrange_large = env_ll("SMR_KEYRANGE_LARGE", c.keyrange_large);
         c.lat_sample = env_int("SMR_LAT_SAMPLE", c.lat_sample);
+        c.serve_rate = env_ll("SMR_SERVE_RATE", c.serve_rate);
+        c.snapshot_ms = env_int("SMR_SNAPSHOT_MS", c.snapshot_ms);
+        c.serve_churn_ms = env_int("SMR_SERVE_CHURN_MS", c.serve_churn_ms);
+        c.serve_churn_threads =
+            env_int("SMR_SERVE_CHURN_THREADS", c.serve_churn_threads);
+        c.serve_monitor_window =
+            env_int("SMR_SERVE_MONITOR_WINDOW", c.serve_monitor_window);
+        c.serve_monitor_growth =
+            env_ll("SMR_SERVE_MONITOR_GROWTH", c.serve_monitor_growth);
+        c.serve_canary = env_ll("SMR_SERVE_CANARY", c.serve_canary);
+        if (const char* tl = std::getenv("SMR_TIMELINE");
+            tl != nullptr && *tl != '\0') {
+            c.timeline_path = tl;
+        }
+        c.trace_ring = env_ll("SMR_TRACE_RING", c.trace_ring);
         if (const char* ts = std::getenv("SMR_THREADS"); ts != nullptr) {
             auto parsed = parse_int_list(ts);
             if (!parsed.empty()) {
@@ -153,6 +194,17 @@ struct bench_config {
                     return false;
                 }
                 *out = static_cast<int>(v);
+                return true;
+            };
+            const auto ll_value = [&](long long lo, long long hi,
+                                      long long* out) {
+                char* end = nullptr;
+                const long long v = std::strtoll(value.c_str(), &end, 10);
+                if (value.empty() || end == nullptr || *end != '\0' ||
+                    v < lo || v > hi) {
+                    return false;
+                }
+                *out = v;
                 return true;
             };
             if (name == "--list") {
@@ -218,6 +270,51 @@ struct bench_config {
                     return fail("--seed: need an integer in [0, 2^30]");
                 }
                 seed = static_cast<std::uint64_t>(s);
+            } else if (name == "--serve-rate") {
+                if (!ll_value(0, 1LL << 40, &serve_rate)) {
+                    return fail("--serve-rate: need ops/sec in [0, 2^40] "
+                                "(0 = unpaced)");
+                }
+            } else if (name == "--snapshot-ms") {
+                if (!int_value(1, 1 << 20, &snapshot_ms)) {
+                    return fail("--snapshot-ms: need an integer in "
+                                "[1, 2^20]");
+                }
+            } else if (name == "--serve-churn-ms") {
+                if (!int_value(0, 1 << 24, &serve_churn_ms)) {
+                    return fail("--serve-churn-ms: need an integer in "
+                                "[0, 2^24] (0 disables churn)");
+                }
+            } else if (name == "--serve-churn-threads") {
+                if (!int_value(0, 1 << 10, &serve_churn_threads)) {
+                    return fail("--serve-churn-threads: need an integer in "
+                                "[0, 1024]");
+                }
+            } else if (name == "--serve-monitor-window") {
+                if (!int_value(1, 1 << 16, &serve_monitor_window)) {
+                    return fail("--serve-monitor-window: need an integer "
+                                "in [1, 65536]");
+                }
+            } else if (name == "--serve-monitor-growth") {
+                if (!ll_value(0, 1LL << 40, &serve_monitor_growth)) {
+                    return fail("--serve-monitor-growth: need records in "
+                                "[0, 2^40]");
+                }
+            } else if (name == "--serve-canary") {
+                if (!ll_value(0, 1LL << 40, &serve_canary)) {
+                    return fail("--serve-canary: need an op period in "
+                                "[0, 2^40] (0 disables the leak canary)");
+                }
+            } else if (name == "--timeline") {
+                if (value.empty()) {
+                    return fail("--timeline needs a path prefix");
+                }
+                timeline_path = value;
+            } else if (name == "--trace-ring") {
+                if (!ll_value(8, 1LL << 24, &trace_ring)) {
+                    return fail("--trace-ring: need a capacity in "
+                                "[8, 2^24]");
+                }
             } else if (name == "--json") {
                 if (value.empty()) {
                     return fail("--json needs a path (or '-' for stdout)");
@@ -237,6 +334,14 @@ struct bench_config {
         if (trials <= 0) trials = 1;
         if (keyrange_large < 1) keyrange_large = 1;
         if (lat_sample < 0) lat_sample = 32;
+        if (serve_rate < 0) serve_rate = 100000;
+        if (snapshot_ms <= 0) snapshot_ms = 100;
+        if (serve_churn_ms < 0) serve_churn_ms = 0;
+        if (serve_churn_threads < 0) serve_churn_threads = 0;
+        if (serve_monitor_window <= 0) serve_monitor_window = 8;
+        if (serve_monitor_growth < 0) serve_monitor_growth = 4096;
+        if (serve_canary < 0) serve_canary = 0;
+        if (trace_ring < 8) trace_ring = 4096;
         if (thread_counts.empty()) thread_counts = {1, 2, 4, 8};
     }
 };

@@ -8,11 +8,16 @@
 // job on the uploaded artifact). Keeping builder and validator adjacent
 // is what stops the schema from drifting.
 //
-// Document shape (schema_version 3; v2 added the topology stanza and the
-// memory-placement counters in workload points; v3 adds per-point tail-
-// latency observability and the range-query shape keys):
+// Document shape (schema_version 4; v2 added the topology stanza and the
+// memory-placement counters in workload points; v3 added per-point tail-
+// latency observability and the range-query shape keys; v4 adds the
+// optional per-point "serve" stanza -- sustained-service telemetry -- and
+// the JSONL *timeline* sidecar format, validated line-by-line by
+// validate_timeline_line below. Validation accepts any version in
+// [SMR_BENCH_SCHEMA_MIN_VERSION, SMR_BENCH_SCHEMA_VERSION] so v3 nightly
+// baselines keep gating v4 runs):
 //   {
-//     "smr_bench_version": 3,
+//     "smr_bench_version": 4,
 //     "kind": "workload" | "table" | "ablation" | "guard_overhead"
 //             | "latency_overhead",
 //     "scenario": {"name", "summary", "paper_ref"},
@@ -55,7 +60,11 @@
 
 namespace smr::harness {
 
-inline constexpr int SMR_BENCH_SCHEMA_VERSION = 3;
+inline constexpr int SMR_BENCH_SCHEMA_VERSION = 4;
+/// Oldest schema this build still reads (validators and bench_diff accept
+/// the closed range up to SMR_BENCH_SCHEMA_VERSION). v3 documents lack
+/// only additive stanzas (serve, timelines), so they stay comparable.
+inline constexpr int SMR_BENCH_SCHEMA_MIN_VERSION = 3;
 
 struct point_meta {
     std::string ds;
@@ -188,6 +197,24 @@ inline json point_to_json(const point_meta& m, const trial_result& r) {
     p.set("phase_metrics", std::move(pm));
 
     p.set("latency", latency_to_json(r.latency));
+
+    // Sustained-service stanza (v4, additive): present only for points
+    // produced by run_serve_trial.
+    if (r.serve.ran) {
+        json sv = json::object();
+        sv.set("snapshots", r.serve.snapshots);
+        sv.set("monitor_violations", r.serve.monitor_violations);
+        sv.set("first_violation_snapshot", r.serve.first_violation_snapshot);
+        sv.set("target_ops_per_sec", r.serve.target_ops_per_sec);
+        sv.set("achieved_ops_per_sec", r.serve.achieved_ops_per_sec);
+        sv.set("churn_cycles", r.serve.churn_cycles);
+        sv.set("canary_leaks", r.serve.canary_leaks);
+        sv.set("events_drained",
+               static_cast<long long>(r.serve.events_drained));
+        sv.set("events_dropped",
+               static_cast<long long>(r.serve.events_dropped));
+        p.set("serve", std::move(sv));
+    }
 
     json inv = json::object();
     inv.set("ok", r.size_invariant_holds());
@@ -378,8 +405,9 @@ inline bool validate_run_document(const json& doc, std::string* err) {
                     err)) {
         return false;
     }
-    if (!require(doc.find("smr_bench_version")->as_int() ==
-                     SMR_BENCH_SCHEMA_VERSION,
+    const long long ver = doc.find("smr_bench_version")->as_int();
+    if (!require(ver >= SMR_BENCH_SCHEMA_MIN_VERSION &&
+                     ver <= SMR_BENCH_SCHEMA_VERSION,
                  "unsupported smr_bench_version", err)) {
         return false;
     }
@@ -504,8 +532,105 @@ inline bool validate_run_document(const json& doc, std::string* err) {
                         err)) {
             return false;
         }
+        // The serve stanza is additive and optional (closed-loop points
+        // omit it), but when present its shape is pinned.
+        if (const json* sv = p.find("serve"); sv != nullptr) {
+            if (!check_keys(*sv, (where + ".serve").c_str(),
+                            {{"snapshots", k::integer},
+                             {"monitor_violations", k::integer},
+                             {"first_violation_snapshot", k::integer},
+                             {"target_ops_per_sec", k::real},
+                             {"achieved_ops_per_sec", k::real},
+                             {"churn_cycles", k::integer},
+                             {"canary_leaks", k::integer},
+                             {"events_drained", k::integer},
+                             {"events_dropped", k::integer}},
+                            err)) {
+                return false;
+            }
+        }
     }
     return true;
+}
+
+/// Schema check for one line of a JSONL timeline (the snapshot streamer's
+/// sidecar format, schema v4). Three line types share the file:
+/// "timeline_header" (first line), "snapshot", and "events". Unknown
+/// types fail -- the format is append-only but closed.
+inline bool validate_timeline_line(const json& line, std::string* err) {
+    using report_detail::check_keys;
+    using report_detail::require;
+    using k = json::kind;
+    if (err != nullptr) err->clear();
+    if (!check_keys(line, "timeline line", {{"type", k::string}}, err)) {
+        return false;
+    }
+    const std::string type = line.find("type")->as_string();
+    if (type == "timeline_header") {
+        if (!check_keys(line, "timeline_header",
+                        {{"smr_bench_version", k::integer},
+                         {"snapshot_ms", k::integer},
+                         {"clock", k::string},
+                         {"ring_capacity", k::integer}},
+                        err)) {
+            return false;
+        }
+        const long long ver = line.find("smr_bench_version")->as_int();
+        return require(ver >= SMR_BENCH_SCHEMA_MIN_VERSION &&
+                           ver <= SMR_BENCH_SCHEMA_VERSION,
+                       "timeline_header: unsupported smr_bench_version",
+                       err);
+    }
+    if (type == "snapshot") {
+        if (!check_keys(line, "snapshot",
+                        {{"seq", k::integer},
+                         {"t_ms", k::integer},
+                         {"limbo_estimate", k::integer},
+                         {"footprint_records", k::integer},
+                         {"events_drained", k::integer},
+                         {"events_dropped", k::integer},
+                         {"counters", k::object},
+                         {"monitor", k::object}},
+                        err)) {
+            return false;
+        }
+        const json& counters = *line.find("counters");
+        for (std::string_view name : stat_names) {
+            const json* c = counters.find(std::string(name));
+            if (!require(c != nullptr && c->is_integer(),
+                         "snapshot.counters missing or non-integer '" +
+                             std::string(name) + "'",
+                         err)) {
+                return false;
+            }
+        }
+        return check_keys(*line.find("monitor"), "snapshot.monitor",
+                          {{"violations", k::integer},
+                           {"limbo_streak", k::integer},
+                           {"footprint_streak", k::integer}},
+                          err);
+    }
+    if (type == "events") {
+        if (!check_keys(line, "events", {{"batch", k::array}}, err)) {
+            return false;
+        }
+        const json& batch = *line.find("batch");
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const json& row = batch[i];
+            if (!require(row.is_array() && row.size() == 6 &&
+                             row[0].is_integer() && row[1].is_integer() &&
+                             row[2].is_string() && row[3].is_integer() &&
+                             row[4].is_integer() && row[5].is_integer() &&
+                             row[0].as_int() >= 0,
+                         "events.batch[" + std::to_string(i) +
+                             "] must be [t_ns, tid, name, a0, a1, seq]",
+                         err)) {
+                return false;
+            }
+        }
+        return true;
+    }
+    return require(false, "unknown timeline line type '" + type + "'", err);
 }
 
 }  // namespace smr::harness

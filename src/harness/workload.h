@@ -51,6 +51,53 @@
 
 namespace smr::harness {
 
+/// Sustained-service ("soak") mode: instead of a closed loop saturating the
+/// structure, every worker paces itself against an open-loop arrival rate
+/// (token bucket), while a sampler thread streams snapshot + event timelines
+/// and an invariant monitor watches limbo / footprint for monotone growth
+/// (the leak sentinel). See src/harness/serve.h for the trial loop.
+struct serve_config {
+    bool enabled = false;
+    /// Total offered load across all workers, ops/sec. Split evenly per
+    /// thread; 0 = unpaced (degenerates to the closed loop, still with
+    /// snapshots + monitor).
+    long long ops_per_sec = 100000;
+    /// Sampler period for the snapshot streamer.
+    int snapshot_ms = 100;
+    /// Thread-churn waves: every churn_period_ms the last `churn_threads`
+    /// workers deregister and re-register (fresh thread_handle), exercising
+    /// the register/deregister path mid-service. 0 disables churn.
+    int churn_period_ms = 0;
+    int churn_threads = 0;
+    /// JSONL timeline destination; empty = monitor-only (no file).
+    std::string timeline_path;
+    /// Event-ring capacity per thread (rounded up to a power of two).
+    long long ring_capacity = 4096;
+    /// Invariant-monitor tuning (see obs::monitor_config).
+    int monitor_window = 8;
+    long long monitor_min_growth = 4096;
+    int monitor_consecutive = 3;
+    int monitor_warmup = 4;
+    /// Leak canary: when > 0, worker 0 deliberately leaks one retired
+    /// record every N operations (record_manager::leak_retired_record).
+    /// The monitor must trip on it -- proves the sentinel detects leaks.
+    long long canary_leak_every = 0;
+};
+
+/// Serve-mode harvest, populated only when serve_config::enabled.
+struct serve_result {
+    bool ran = false;
+    long long snapshots = 0;
+    long long monitor_violations = 0;
+    long long first_violation_snapshot = -1;
+    double target_ops_per_sec = 0;
+    double achieved_ops_per_sec = 0;
+    long long churn_cycles = 0;
+    long long canary_leaks = 0;
+    std::uint64_t events_drained = 0;
+    std::uint64_t events_dropped = 0;
+};
+
 struct workload_config {
     int num_threads = 2;
     long long key_range = 10000;
@@ -85,6 +132,9 @@ struct workload_config {
     /// into the per-op-kind histograms (--lat-sample). 0 disables
     /// recording; 1 times every operation.
     int lat_sample = 32;
+    /// Sustained-service mode (run_serve_trial); ignored by the closed-loop
+    /// trial runners.
+    serve_config serve;
 };
 
 /// One snapshot of the (cumulative) reclamation counters, taken by the
@@ -158,6 +208,10 @@ struct trial_result {
     /// Per-op latency histograms + stall attribution (schema v3's
     /// "latency" stanza). Empty (count 0) when lat_sample was 0.
     latency_result latency;
+
+    /// Serve-mode telemetry (schema v4's "serve" stanza); ran == false for
+    /// closed-loop trials.
+    serve_result serve;
 
     double mops_per_sec() const {
         return seconds > 0 ? total_ops / seconds / 1e6 : 0.0;

@@ -37,6 +37,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "../obs/event_ring.h"
 #include "../util/debug_stats.h"
 #include "../util/padded.h"
 
@@ -144,6 +145,8 @@ class epoch_core {
                 if (epoch_.compare_exchange_strong(expected, read_epoch + 2,
                                                    std::memory_order_seq_cst)) {
                     if (stats_) stats_->add(tid, stat::epochs_advanced);
+                    obs::trace_emit(tid, obs::trace_event::epoch_advance,
+                                    read_epoch + 2);
                 }
                 return;  // someone advanced the epoch; next leave re-reads it
             }

@@ -36,6 +36,7 @@
 
 #include "../../mem/block_pool.h"
 #include "../../mem/blockbag.h"
+#include "../../obs/event_ring.h"
 #include "../../util/debug_stats.h"
 #include "../../util/padded.h"
 
@@ -70,8 +71,10 @@ class era_clock {
         local& L = *locals_[tid];
         if (++L.retires_since_advance >= era_freq_) {
             L.retires_since_advance = 0;
-            era_.fetch_add(1, std::memory_order_seq_cst);
+            const std::uint64_t e =
+                era_.fetch_add(1, std::memory_order_seq_cst) + 1;
             if (stats_) stats_->add(tid, stat::epochs_advanced);
+            obs::trace_emit(tid, obs::trace_event::era_advance, e);
         }
     }
 
@@ -170,6 +173,8 @@ class era_limbo {
         stall_scope stall(stats_, tid, stall_site::scan_free);
         if (stats_) stats_->add(tid, stat::era_scans);
         tstate& st = *states_[tid];
+        obs::trace_emit(tid, obs::trace_event::scan_free,
+                        static_cast<std::uint64_t>(st.bag.size()));
         st.snap.collect(global_);
         auto it1 = st.bag.begin();
         auto it2 = st.bag.begin();

@@ -16,6 +16,7 @@
 
 #include "../mem/block_pool.h"
 #include "../mem/blockbag.h"
+#include "../obs/event_ring.h"
 #include "../util/debug_stats.h"
 #include "../util/padded.h"
 
@@ -62,6 +63,9 @@ class limbo_bags {
         tstate& st = *states_[tid];
         st.index = (st.index + 1) % 3;
         if (stats_) stats_->add(tid, stat::rotations);
+        obs::trace_emit(
+            tid, obs::trace_event::limbo_rotation,
+            static_cast<std::uint64_t>(st.current().size_in_blocks()));
         pool_.accept_chain(tid, st.current().take_full_blocks());
     }
 

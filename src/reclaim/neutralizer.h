@@ -32,6 +32,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "../obs/event_ring.h"
 #include "../util/debug_stats.h"
 
 namespace smr::reclaim {
@@ -61,11 +62,15 @@ inline void neutralize_handler(int /*signum*/) {
         // Quiescent: between operations, inside a preamble/postamble, or
         // already executing recovery. Resume as if nothing happened.
         if (c->stats) c->stats->add(c->tid, stat::benign_signals_received);
+        obs::trace_emit(c->tid, obs::trace_event::neutralize_benign);
         return;
     }
-    // Non-quiescent: enter a quiescent state and jump to recovery.
+    // Non-quiescent: enter a quiescent state and jump to recovery. The
+    // trace record must precede the siglongjmp (nothing runs after it);
+    // trace_emit is part of the signal-safe closure.
     c->announce->store(a | 1, std::memory_order_seq_cst);
     if (c->stats) c->stats->add(c->tid, stat::neutralize_signals_received);
+    obs::trace_emit(c->tid, obs::trace_event::neutralize_handled);
     siglongjmp(c->env, 1);
 }
 

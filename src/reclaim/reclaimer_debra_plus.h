@@ -35,6 +35,7 @@
 #include "../mem/arraystack.h"
 #include "../mem/block_pool.h"
 #include "../mem/ptr_hashset.h"
+#include "../obs/event_ring.h"
 #include "../util/debug_stats.h"
 #include "../util/padded.h"
 #include "epoch_core.h"
@@ -198,6 +199,8 @@ class debra_plus_global {
         if (t.active.load(std::memory_order_seq_cst) &&
             pthread_kill(t.pthread, NEUTRALIZE_SIGNAL) == 0) {
             if (stats_) stats_->add(tid, stat::neutralize_signals_sent);
+            obs::trace_emit(tid, obs::trace_event::neutralize_sent,
+                            static_cast<std::uint64_t>(other));
         }
         t.gate.unlock();
         return true;  // signaled, or already deregistered: quiescent either way
@@ -248,6 +251,9 @@ struct reclaim_debra_plus {
             st.index = (st.index + 1) % 3;
             if (this->stats_) this->stats_->add(tid, stat::rotations);
             auto& bag = st.current();
+            obs::trace_emit(
+                tid, obs::trace_event::limbo_rotation,
+                static_cast<std::uint64_t>(bag.size_in_blocks()));
             if (bag.size_in_blocks() < global_.cfg().scan_threshold_blocks)
                 return;  // defer: records simply wait one more rotation
 
@@ -255,6 +261,9 @@ struct reclaim_debra_plus {
             // scan-and-free pass (RProtected partition), not the O(1)
             // rotation -- file it with the HP/HE scans.
             stall_scope stall(this->stats_, tid, stall_site::scan_free);
+            obs::trace_emit(
+                tid, obs::trace_event::scan_free,
+                static_cast<std::uint64_t>(bag.size_in_blocks()));
             mem::ptr_hashset& scan_set = *scan_sets_[tid];
             scan_set.clear();
             global_.collect_rprotected(scan_set);

@@ -26,6 +26,7 @@
 
 #include "../mem/block_pool.h"
 #include "../mem/ptr_hashset.h"
+#include "../obs/event_ring.h"
 #include "../util/debug_stats.h"
 #include "../util/padded.h"
 
@@ -284,6 +285,8 @@ struct reclaim_hp {
             stall_scope stall(stats_, tid, stall_site::scan_free);
             if (stats_) stats_->add(tid, stat::hp_scans);
             tstate& st = *states_[tid];
+            obs::trace_emit(tid, obs::trace_event::scan_free,
+                            static_cast<std::uint64_t>(st.bag.size()));
             // Slot chains may have grown since construction (guard_span);
             // re-size the set to the current capacity before collecting.
             st.scan_set.reserve(global_.max_hazards());

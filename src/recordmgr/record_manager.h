@@ -49,6 +49,7 @@
 
 #include "../mem/block.h"
 #include "../mem/block_pool.h"
+#include "../obs/event_ring.h"
 #include "../util/debug_stats.h"
 #include "../util/padded.h"
 #include "guards.h"
@@ -174,6 +175,8 @@ class record_manager {
                "init_thread: tid is already registered (double init)");
         st.store(LIFE_REGISTERED, std::memory_order_relaxed);
         global_.init_thread(tid);
+        obs::trace_emit(tid, obs::trace_event::thread_register,
+                        static_cast<std::uint64_t>(tid));
     }
 
     /// Must be called on the owning thread when it is done. Idempotent: a
@@ -193,6 +196,8 @@ class record_manager {
                    "deinit_thread: tid was never registered");
             return;  // double deinit: idempotent by design
         }
+        obs::trace_emit(tid, obs::trace_event::thread_deregister,
+                        static_cast<std::uint64_t>(tid));
         st.store(LIFE_PARKED, std::memory_order_relaxed);
         global_.deinit_thread(tid);
     }
@@ -274,6 +279,18 @@ class record_manager {
         } else {
             get<T>().rec.retire(tid, p);
         }
+    }
+
+    /// Leak sentinel (smr_serve's WILL_FAIL canary; see DESIGN.md Section
+    /// 12.4): allocates a record of the first managed type, accounts it as
+    /// retired, and abandons the storage -- the exact counter signature of
+    /// a retire whose record never reaches a pool. The invariant monitor
+    /// must flag a soak that calls this periodically; a monitor that stays
+    /// green under this call is not armed. Never call outside leak tests.
+    void leak_retired_record(int tid) {
+        using T0 = std::tuple_element_t<0, std::tuple<Ts...>>;
+        (void)get<T0>().pool.allocate(tid);  // deliberately abandoned
+        stats_.add(tid, stat::records_retired);
     }
 
     // ---- per-access protection (hazard-pointer schemes) ---------------------

@@ -163,6 +163,105 @@ TEST(BenchConfig, LatSampleKnob) {
     EXPECT_FALSE(ok);
 }
 
+TEST(BenchConfig, ServeKnobDefaults) {
+    for (const char* name :
+         {"SMR_SERVE_RATE", "SMR_SNAPSHOT_MS", "SMR_SERVE_CHURN_MS",
+          "SMR_SERVE_CHURN_THREADS", "SMR_SERVE_MONITOR_WINDOW",
+          "SMR_SERVE_MONITOR_GROWTH", "SMR_SERVE_CANARY", "SMR_TIMELINE",
+          "SMR_TRACE_RING"}) {
+        ::unsetenv(name);
+    }
+    const bench_config c = bench_config::from_env();
+    EXPECT_EQ(c.serve_rate, 100000);
+    EXPECT_EQ(c.snapshot_ms, 100);
+    EXPECT_EQ(c.serve_churn_ms, 0);
+    EXPECT_EQ(c.serve_churn_threads, 0);
+    EXPECT_EQ(c.serve_monitor_window, 8);
+    EXPECT_EQ(c.serve_monitor_growth, 4096);
+    EXPECT_EQ(c.serve_canary, 0);
+    EXPECT_TRUE(c.timeline_path.empty());
+    EXPECT_EQ(c.trace_ring, 4096);
+}
+
+TEST(BenchConfig, ServeKnobsEnvThenFlags) {
+    env_guard g1("SMR_SERVE_RATE", "250000");
+    env_guard g2("SMR_SNAPSHOT_MS", "50");
+    env_guard g3("SMR_SERVE_CHURN_MS", "500");
+    env_guard g4("SMR_SERVE_CHURN_THREADS", "2");
+    env_guard g5("SMR_SERVE_MONITOR_WINDOW", "16");
+    env_guard g6("SMR_SERVE_MONITOR_GROWTH", "1024");
+    env_guard g7("SMR_SERVE_CANARY", "5000");
+    env_guard g8("SMR_TIMELINE", "/tmp/tl");
+    env_guard g9("SMR_TRACE_RING", "512");
+    const bench_config c = bench_config::from_env();
+    EXPECT_EQ(c.serve_rate, 250000);
+    EXPECT_EQ(c.snapshot_ms, 50);
+    EXPECT_EQ(c.serve_churn_ms, 500);
+    EXPECT_EQ(c.serve_churn_threads, 2);
+    EXPECT_EQ(c.serve_monitor_window, 16);
+    EXPECT_EQ(c.serve_monitor_growth, 1024);
+    EXPECT_EQ(c.serve_canary, 5000);
+    EXPECT_EQ(c.timeline_path, "/tmp/tl");
+    EXPECT_EQ(c.trace_ring, 512);
+
+    bool ok = false;
+    const bench_config f = from_args(
+        {"--serve-rate=75000", "--snapshot-ms=20", "--serve-churn-ms=250",
+         "--serve-churn-threads=1", "--serve-monitor-window=4",
+         "--serve-monitor-growth=64", "--serve-canary=100",
+         "--timeline=/tmp/other", "--trace-ring=8192"},
+        &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(f.serve_rate, 75000);
+    EXPECT_EQ(f.snapshot_ms, 20);
+    EXPECT_EQ(f.serve_churn_ms, 250);
+    EXPECT_EQ(f.serve_churn_threads, 1);
+    EXPECT_EQ(f.serve_monitor_window, 4);
+    EXPECT_EQ(f.serve_monitor_growth, 64);
+    EXPECT_EQ(f.serve_canary, 100);
+    EXPECT_EQ(f.timeline_path, "/tmp/other");
+    EXPECT_EQ(f.trace_ring, 8192);
+}
+
+TEST(BenchConfig, ServeKnobRejectionAndRepair) {
+    // Flags reject garbage and out-of-range values loudly.
+    bool ok = true;
+    std::string err;
+    from_args({"--serve-rate=abc"}, &ok, &err);
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("--serve-rate"), std::string::npos);
+    from_args({"--serve-rate=-1"}, &ok, &err);
+    EXPECT_FALSE(ok);
+    from_args({"--snapshot-ms=0"}, &ok, &err);
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("--snapshot-ms"), std::string::npos);
+    from_args({"--serve-churn-threads=2000"}, &ok, &err);
+    EXPECT_FALSE(ok);
+    from_args({"--serve-monitor-window=0"}, &ok, &err);
+    EXPECT_FALSE(ok);
+    from_args({"--serve-monitor-growth=12kb"}, &ok, &err);
+    EXPECT_FALSE(ok);
+    from_args({"--serve-canary=1e6"}, &ok, &err);
+    EXPECT_FALSE(ok);
+    from_args({"--timeline="}, &ok, &err);
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("--timeline"), std::string::npos);
+    from_args({"--trace-ring=4"}, &ok, &err);  // below MIN_CAPACITY
+    EXPECT_FALSE(ok);
+
+    // Unusable env values repair to defaults via normalize, like trial_ms
+    // (strict full-token parse: trailing junk is ignored as unusable).
+    {
+        env_guard g1("SMR_SERVE_RATE", "100k");
+        env_guard g2("SMR_SNAPSHOT_MS", "-5");
+        env_guard g3("SMR_TRACE_RING", "2");
+        const bench_config c = bench_config::from_env();
+        EXPECT_EQ(c.serve_rate, 100000);
+        EXPECT_EQ(c.snapshot_ms, 100);
+        EXPECT_EQ(c.trace_ring, 4096);
+    }
+}
+
 TEST(BenchConfig, BareFlags) {
     bool ok = false;
     EXPECT_TRUE(from_args({"--list"}, &ok).list);

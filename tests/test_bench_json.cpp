@@ -334,5 +334,143 @@ TEST(BenchJson, SchemaCatchesMissingOrMistypedKeys) {
     }
 }
 
+// ---- schema v4: version range, serve stanza, timeline lines ----------------
+
+TEST(BenchJson, VersionRangeAcceptsSupportedOlderDocuments) {
+    std::string err;
+    // The current version and every version back to MIN validate (nightly
+    // baselines from the previous schema keep gating across the bump).
+    for (int v = harness::SMR_BENCH_SCHEMA_MIN_VERSION;
+         v <= harness::SMR_BENCH_SCHEMA_VERSION; ++v) {
+        harness::json doc = sample_document();
+        doc.set("smr_bench_version", v);
+        EXPECT_TRUE(harness::validate_run_document(doc, &err))
+            << "version " << v << ": " << err;
+    }
+    // Below the floor and above the ceiling both fail.
+    harness::json doc = sample_document();
+    doc.set("smr_bench_version", harness::SMR_BENCH_SCHEMA_MIN_VERSION - 1);
+    EXPECT_FALSE(harness::validate_run_document(doc, &err));
+}
+
+TEST(BenchJson, ServeStanzaValidatesWhenPresent) {
+    std::string err;
+    // A workload point gains an optional serve stanza when the trial ran
+    // in serve mode; its shape is checked strictly.
+    harness::trial_result r;
+    r.seconds = 1.0;
+    r.total_ops = 60000;
+    r.serve.ran = true;
+    r.serve.snapshots = 40;
+    r.serve.monitor_violations = 0;
+    r.serve.first_violation_snapshot = -1;
+    r.serve.target_ops_per_sec = 60000;
+    r.serve.achieved_ops_per_sec = 59900;
+    r.serve.churn_cycles = 4;
+    r.serve.canary_leaks = 0;
+    r.serve.events_drained = 1234;
+    r.serve.events_dropped = 0;
+
+    harness::point_meta meta;
+    meta.ds = "ellen_bst";
+    meta.scheme = "debra+";
+    meta.policy = "reclaim";
+    meta.threads = 2;
+    meta.trial = 0;
+
+    harness::json doc = sample_document();
+    harness::json& points = const_cast<harness::json&>(*doc.find("points"));
+    points.push_back(harness::point_to_json(meta, r));
+    harness::json& v = const_cast<harness::json&>(*doc.find("verdict"));
+    v.set("points", 2);
+    ASSERT_TRUE(harness::validate_run_document(doc, &err)) << err;
+
+    const harness::json& sp = *points[1].find("serve");
+    EXPECT_EQ(sp.find("snapshots")->as_int(), 40);
+    EXPECT_EQ(sp.find("first_violation_snapshot")->as_int(), -1);
+    EXPECT_EQ(sp.find("events_drained")->as_int(), 1234);
+
+    // A mistyped serve field fails validation.
+    harness::json& sp_mut =
+        const_cast<harness::json&>(*points[1].find("serve"));
+    sp_mut.set("monitor_violations", "many");
+    EXPECT_FALSE(harness::validate_run_document(doc, &err));
+    EXPECT_NE(err.find("monitor_violations"), std::string::npos) << err;
+}
+
+json parse_line(const char* text) {
+    auto v = json::parse(text);
+    EXPECT_TRUE(v.has_value()) << text;
+    return v.value_or(json());
+}
+
+TEST(BenchJson, TimelineLineValidation) {
+    std::string err;
+    // Header: version in range, snapshot cadence, clock, ring capacity.
+    EXPECT_TRUE(harness::validate_timeline_line(
+        parse_line("{\"type\":\"timeline_header\",\"smr_bench_version\":4,"
+                   "\"snapshot_ms\":25,\"clock\":\"tsc\","
+                   "\"ring_capacity\":4096}"),
+        &err))
+        << err;
+    // Header with an unsupported version fails.
+    EXPECT_FALSE(harness::validate_timeline_line(
+        parse_line("{\"type\":\"timeline_header\",\"smr_bench_version\":99,"
+                   "\"snapshot_ms\":25,\"clock\":\"tsc\","
+                   "\"ring_capacity\":4096}"),
+        &err));
+
+    // Snapshot: must carry the axes, drain accounting, the full counter
+    // matrix, and the monitor block. Build one with every stat name.
+    harness::json snap = harness::json::object();
+    snap.set("type", "snapshot");
+    snap.set("seq", 0);
+    snap.set("t_ms", 25);
+    snap.set("limbo_estimate", 10);
+    snap.set("footprint_records", 500);
+    snap.set("events_drained", 7);
+    snap.set("events_dropped", 0);
+    harness::json counters = harness::json::object();
+    for (std::size_t s = 0; s < static_cast<std::size_t>(stat::COUNT); ++s) {
+        counters.set(std::string(stat_names[s]), 1);
+    }
+    snap.set("counters", std::move(counters));
+    harness::json mon = harness::json::object();
+    mon.set("violations", 0);
+    mon.set("limbo_streak", 0);
+    mon.set("footprint_streak", 0);
+    snap.set("monitor", std::move(mon));
+    EXPECT_TRUE(harness::validate_timeline_line(snap, &err)) << err;
+
+    // Dropping one counter from the matrix fails.
+    harness::json sparse = harness::json::object();
+    for (const auto& [k, v] : snap.members()) {
+        if (k != std::string("counters")) sparse.set(k, v);
+    }
+    harness::json partial = harness::json::object();
+    partial.set(std::string(stat_names[0]), 1);
+    sparse.set("counters", std::move(partial));
+    EXPECT_FALSE(harness::validate_timeline_line(sparse, &err));
+    EXPECT_NE(err.find("counters"), std::string::npos) << err;
+
+    // Events: 6-element rows [t_ns, tid, name, a0, a1, seq].
+    EXPECT_TRUE(harness::validate_timeline_line(
+        parse_line("{\"type\":\"events\",\"batch\":"
+                   "[[100,0,\"limbo_rotation\",2,0,7]]}"),
+        &err))
+        << err;
+    EXPECT_FALSE(harness::validate_timeline_line(
+        parse_line("{\"type\":\"events\",\"batch\":[[100,0,\"x\",2,0]]}"),
+        &err));
+    EXPECT_FALSE(harness::validate_timeline_line(
+        parse_line("{\"type\":\"events\",\"batch\":"
+                   "[[-5,0,\"x\",2,0,7]]}"),
+        &err));
+
+    // Unknown line types fail loudly.
+    EXPECT_FALSE(harness::validate_timeline_line(
+        parse_line("{\"type\":\"mystery\"}"), &err));
+}
+
 }  // namespace
 }  // namespace smr

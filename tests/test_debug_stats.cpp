@@ -1,6 +1,7 @@
 // Tests for the per-thread event counters (src/util/debug_stats.h).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -141,6 +142,72 @@ TEST(DebugStats, StallMatrixConcurrentRecordAndMerge) {
     reader.join();
     EXPECT_EQ(s.stall_summary(stall_site::rotation).count,
               static_cast<std::uint64_t>(N) * EVENTS);
+}
+
+// Harvest under registration churn (the serve soak's shape): workers run
+// in waves, each wave ending with the thread "deregistering" (exiting) and
+// a successor inheriting its tid slot. The snapshot streamer computes
+// per-snapshot deltas of total() while waves come and go; its correctness
+// contract is that cells persist across deregistration, so (a) a live
+// harvester never observes total() move backwards -- a decrease would mean
+// a departing thread's contribution was lost -- and (b) the final harvest
+// equals ground truth exactly: nothing lost, nothing double-counted.
+TEST(DebugStats, HarvestStableAcrossRegistrationChurn) {
+#ifdef SMR_TSAN
+    constexpr int WAVES = 6;
+    constexpr int ITERS = 5000;
+#else
+    constexpr int WAVES = 12;
+    constexpr int ITERS = 50000;
+#endif
+    constexpr int TIDS = 3;
+    debug_stats s;
+    std::atomic<bool> done{false};
+
+    // The streamer stand-in: snapshot deltas over the live matrix.
+    std::vector<std::uint64_t> deltas;
+    std::thread harvester([&] {
+        std::uint64_t last = 0;
+        while (!done.load(std::memory_order_acquire)) {
+            const std::uint64_t now = s.total(stat::records_retired);
+            EXPECT_GE(now, last)
+                << "a deregistered thread's counters vanished mid-soak";
+            deltas.push_back(now - last);
+            last = now;
+            std::this_thread::yield();
+        }
+    });
+
+    // Waves: every tid slot is owned by WAVES successive short-lived
+    // threads, mimicking serve-mode churn (deregister, then a re-register
+    // inheriting the slot).
+    for (int wave = 0; wave < WAVES; ++wave) {
+        std::vector<std::thread> workers;
+        for (int t = 0; t < TIDS; ++t) {
+            workers.emplace_back([&s, t] {
+                for (int i = 0; i < ITERS; ++i) {
+                    s.add(t, stat::records_retired);
+                }
+            });
+        }
+        for (auto& w : workers) w.join();
+    }
+    done.store(true, std::memory_order_release);
+    harvester.join();
+
+    const auto expected =
+        static_cast<std::uint64_t>(WAVES) * TIDS * ITERS;
+    EXPECT_EQ(s.total(stat::records_retired), expected);
+    // The deltas the streamer would have written tile the observed range
+    // with no overlap: their sum reconstructs the last harvested total (a
+    // double-counted cell would overshoot), and one final stop()-style
+    // snapshot extends the tiling to exactly the ground truth.
+    std::uint64_t recovered = 0;
+    for (const std::uint64_t d : deltas) recovered += d;
+    EXPECT_LE(recovered, expected);
+    const std::uint64_t final_delta =
+        s.total(stat::records_retired) - recovered;
+    EXPECT_EQ(recovered + final_delta, expected);
 }
 
 TEST(DebugStats, MaxThreadsBound) {

@@ -7,10 +7,12 @@
 //
 // Matching: every workload point is keyed by its configuration hash --
 // (scenario, ds, scheme, policy, pin, threads, key_range, rq_pct, rq_len,
-// mix) -- and trials of the same key are averaged on each side. Keys
-// present on only one side are reported but are not failures (scenario
-// sets evolve); a matched key whose candidate mean throughput_mops falls
-// more than the threshold below the baseline mean is a REGRESSION.
+// mix) -- and trials of the same key are averaged on each side. A matched
+// key whose candidate mean throughput_mops falls more than the threshold
+// below the baseline mean is a REGRESSION. Candidate-only keys are new
+// coverage (advisory); baseline-only keys are COVERAGE LOSS -- the
+// candidate stopped measuring something -- reported always and a failure
+// under --strict (deleting a cell must not be a way to hide a regression).
 //
 // Tail gating (schema v3): each point's latency.total carries p99_ns and
 // p999_ns; trial means of those are compared with a *separate* threshold
@@ -113,10 +115,12 @@ load_status load_document(const char* path, json* out,
     }
     if (const json* v = parsed->find("smr_bench_version");
         v != nullptr && v->is_integer() &&
-        v->as_int() != smr::harness::SMR_BENCH_SCHEMA_VERSION) {
+        (v->as_int() < smr::harness::SMR_BENCH_SCHEMA_MIN_VERSION ||
+         v->as_int() > smr::harness::SMR_BENCH_SCHEMA_VERSION)) {
         std::printf("bench_diff: '%s' is schema version %lld (this tool "
-                    "speaks %d); nothing to compare\n",
+                    "speaks %d..%d); nothing to compare\n",
                     path, v->as_int(),
+                    smr::harness::SMR_BENCH_SCHEMA_MIN_VERSION,
                     smr::harness::SMR_BENCH_SCHEMA_VERSION);
         return load_status::incomparable;
     }
@@ -305,6 +309,24 @@ int diff_main(int argc, char** argv) {
         (void)cc;
     }
 
+    // Coverage loss: a baseline point with no candidate counterpart means
+    // the candidate stopped measuring something the baseline measured -- a
+    // silently shrunk matrix would let a regression hide by deleting its
+    // cell. Listed here, and a failure under --strict (only-candidate
+    // points are new coverage and stay advisory).
+    if (only_base > 0) {
+        std::printf("\nCOVERAGE LOSS: %d baseline point%s missing from the "
+                    "candidate:\n",
+                    only_base, only_base == 1 ? "" : "s");
+        for (const auto& [key, bc] : base_cells) {
+            if (cand_cells.find(key) == cand_cells.end()) {
+                std::printf("  only-baseline: %s  [%016" PRIx64 "]\n",
+                            key.c_str(), key_hash(key));
+            }
+            (void)bc;
+        }
+    }
+
     // Per-scenario regression table: the at-a-glance verdict nightly logs
     // grep for.
     std::printf("\n%-24s %8s %12s %10s %10s %6s %10s\n", "scenario",
@@ -320,16 +342,20 @@ int diff_main(int argc, char** argv) {
                     ss.tail_regressions, ss.worst_tail_pct);
     }
 
-    std::printf("\nbench_diff: %d matched, %d only-baseline, "
+    std::printf("\nbench_diff: %d matched, %d only-baseline%s, "
                 "%d only-candidate, threshold %.1f%%, tail threshold "
                 "%.1f%%, %d regression%s, %d tail regression%s%s\n",
-                matched, only_base, only_cand, threshold_pct,
-                tail_threshold_pct, regressions,
+                matched, only_base,
+                only_base > 0 ? " (COVERAGE LOSS)" : "", only_cand,
+                threshold_pct, tail_threshold_pct, regressions,
                 regressions == 1 ? "" : "s", tail_regressions,
                 tail_regressions == 1 ? "" : "s",
-                strict ? " (strict: regressions fail)"
+                strict ? " (strict: regressions and coverage loss fail)"
                        : " (advisory: pass --strict to gate)");
-    return strict && (regressions > 0 || tail_regressions > 0) ? 1 : 0;
+    return strict &&
+                   (regressions > 0 || tail_regressions > 0 || only_base > 0)
+               ? 1
+               : 0;
 }
 
 }  // namespace

@@ -1,0 +1,269 @@
+// trace_export -- converts an smr_bench serve-mode timeline (the JSONL
+// file the snapshot streamer appends; see src/obs/snapshot.h) into a
+// Chrome-trace JSON document loadable by Perfetto / chrome://tracing.
+//
+//   trace_export timeline.jsonl trace.json     convert
+//   trace_export --check timeline.jsonl        validate only (no output)
+//
+// Mapping:
+//   - every reclamation event row becomes an instant event ("ph":"i") on
+//     its thread's track (pid 1, tid = smr thread id), with arg0/arg1/seq
+//     in args -- one track per thread, so Perfetto shows each worker's
+//     rotations, scans, and neutralizations on its own line;
+//   - every snapshot becomes three counter tracks ("ph":"C"):
+//     limbo_estimate, footprint_records, and ring_drops (cumulative
+//     drop-oldest evictions across all rings -- drops are *surfaced*, so a
+//     saturated ring is visible in the trace rather than silently thinner);
+//   - thread_name / process_name metadata events label the tracks.
+//
+// --check replays the structural invariants downstream viewers rely on
+// and exits 1 on the first breach: every line passes report.h's
+// validate_timeline_line, the first line is the (only) header, per-track
+// (per-tid) event timestamps are monotone non-decreasing and seq numbers
+// strictly increase, snapshot seq is contiguous from 0, and snapshot
+// events_dropped never decreases. The ctest entry runs a short soak, then
+// --check, then a real conversion.
+//
+// Exit codes: 0 = ok, 1 = validation failed, 2 = usage / I/O error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/json.h"
+#include "harness/report.h"
+
+namespace {
+
+using smr::harness::json;
+
+struct track_state {
+    long long last_ts_ns = -1;
+    long long last_seq = -1;
+};
+
+int export_main(int argc, char** argv) {
+    bool check_only = false;
+    std::vector<const char*> paths;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0) {
+            check_only = true;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: trace_export timeline.jsonl trace.json\n"
+                        "       trace_export --check timeline.jsonl\n");
+            return 0;
+        } else {
+            paths.push_back(argv[i]);
+        }
+    }
+    if (paths.size() != (check_only ? 1u : 2u)) {
+        std::fprintf(stderr,
+                     "usage: trace_export timeline.jsonl trace.json\n"
+                     "       trace_export --check timeline.jsonl\n");
+        return 2;
+    }
+
+    std::ifstream in(paths[0]);
+    if (!in) {
+        std::fprintf(stderr, "trace_export: cannot open '%s'\n", paths[0]);
+        return 2;
+    }
+
+    json events = json::array();
+    {
+        json process = json::object();
+        process.set("name", "process_name");
+        process.set("ph", "M");
+        process.set("pid", 1);
+        json pargs = json::object();
+        pargs.set("name", "smr_bench serve");
+        process.set("args", std::move(pargs));
+        events.push_back(std::move(process));
+    }
+    std::set<long long> tids_seen;
+    std::map<long long, track_state> tracks;
+    long long line_no = 0;
+    long long headers = 0;
+    long long snapshot_count = 0;
+    long long next_snapshot_seq = 0;
+    long long last_dropped = -1;
+    long long total_events = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        auto parsed = json::parse(line);
+        if (!parsed.has_value()) {
+            std::fprintf(stderr, "trace_export: %s:%lld: not valid JSON\n",
+                         paths[0], line_no);
+            return 1;
+        }
+        std::string err;
+        if (!smr::harness::validate_timeline_line(*parsed, &err)) {
+            std::fprintf(stderr, "trace_export: %s:%lld: %s\n", paths[0],
+                         line_no, err.c_str());
+            return 1;
+        }
+        const std::string& type = parsed->find("type")->as_string();
+        if (type == "timeline_header") {
+            ++headers;
+            if (line_no != 1 || headers > 1) {
+                std::fprintf(stderr,
+                             "trace_export: %s:%lld: timeline_header must "
+                             "be exactly the first line\n",
+                             paths[0], line_no);
+                return 1;
+            }
+            continue;
+        }
+        if (headers == 0) {
+            std::fprintf(stderr,
+                         "trace_export: %s:%lld: line precedes the "
+                         "timeline_header\n",
+                         paths[0], line_no);
+            return 1;
+        }
+        if (type == "events") {
+            const json& batch = *parsed->find("batch");
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                const json& row = batch[i];
+                const long long t_ns = row[0].as_int();
+                const long long tid = row[1].as_int();
+                const std::string& name = row[2].as_string();
+                track_state& tr = tracks[tid];
+                // Per-track invariants: the ring is SPSC and drained
+                // oldest-first, so a thread's events arrive in time and
+                // seq order; a breach means the exporter (or ring) lied.
+                if (t_ns < tr.last_ts_ns) {
+                    std::fprintf(stderr,
+                                 "trace_export: %s:%lld: tid %lld "
+                                 "timestamp went backwards (%lld < %lld)\n",
+                                 paths[0], line_no, tid, t_ns,
+                                 tr.last_ts_ns);
+                    return 1;
+                }
+                if (row[5].as_int() <= tr.last_seq) {
+                    std::fprintf(stderr,
+                                 "trace_export: %s:%lld: tid %lld seq not "
+                                 "strictly increasing (%lld <= %lld)\n",
+                                 paths[0], line_no, tid, row[5].as_int(),
+                                 tr.last_seq);
+                    return 1;
+                }
+                tr.last_ts_ns = t_ns;
+                tr.last_seq = row[5].as_int();
+                ++total_events;
+                if (check_only) continue;
+                if (tids_seen.insert(tid).second) {
+                    json meta = json::object();
+                    meta.set("name", "thread_name");
+                    meta.set("ph", "M");
+                    meta.set("pid", 1);
+                    meta.set("tid", tid);
+                    json margs = json::object();
+                    margs.set("name",
+                              "smr worker " + std::to_string(tid));
+                    meta.set("args", std::move(margs));
+                    events.push_back(std::move(meta));
+                }
+                json ev = json::object();
+                ev.set("name", name);
+                ev.set("ph", "i");
+                ev.set("ts", static_cast<double>(t_ns) / 1000.0);  // us
+                ev.set("pid", 1);
+                ev.set("tid", tid);
+                ev.set("s", "t");  // thread-scoped instant
+                json args = json::object();
+                args.set("arg0", row[3].as_int());
+                args.set("arg1", row[4].as_int());
+                args.set("seq", row[5].as_int());
+                ev.set("args", std::move(args));
+                events.push_back(std::move(ev));
+            }
+            continue;
+        }
+        // type == "snapshot"
+        const long long seq = parsed->find("seq")->as_int();
+        if (seq != next_snapshot_seq) {
+            std::fprintf(stderr,
+                         "trace_export: %s:%lld: snapshot seq %lld, "
+                         "expected %lld (gap or reorder)\n",
+                         paths[0], line_no, seq, next_snapshot_seq);
+            return 1;
+        }
+        ++next_snapshot_seq;
+        ++snapshot_count;
+        const long long dropped = parsed->find("events_dropped")->as_int();
+        if (dropped < last_dropped) {
+            std::fprintf(stderr,
+                         "trace_export: %s:%lld: events_dropped decreased "
+                         "(%lld < %lld)\n",
+                         paths[0], line_no, dropped, last_dropped);
+            return 1;
+        }
+        last_dropped = dropped;
+        if (check_only) continue;
+        const double ts_us =
+            static_cast<double>(parsed->find("t_ms")->as_int()) * 1000.0;
+        const auto counter = [&](const char* name, long long value) {
+            json c = json::object();
+            c.set("name", name);
+            c.set("ph", "C");
+            c.set("ts", ts_us);
+            c.set("pid", 1);
+            json args = json::object();
+            args.set("value", value);
+            c.set("args", std::move(args));
+            events.push_back(std::move(c));
+        };
+        counter("limbo_estimate",
+                parsed->find("limbo_estimate")->as_int());
+        counter("footprint_records",
+                parsed->find("footprint_records")->as_int());
+        counter("ring_drops", dropped);
+    }
+    if (headers == 0) {
+        std::fprintf(stderr, "trace_export: %s: empty timeline (no "
+                             "timeline_header)\n",
+                     paths[0]);
+        return 1;
+    }
+
+    if (check_only) {
+        std::printf("trace_export: %s ok (%lld lines, %lld snapshots, "
+                    "%lld events on %zu tracks, %lld dropped)\n",
+                    paths[0], line_no, snapshot_count, total_events,
+                    tracks.size(), last_dropped < 0 ? 0 : last_dropped);
+        return 0;
+    }
+
+    json doc = json::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", "ms");
+
+    std::ofstream out(paths[1], std::ios::out | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "trace_export: cannot open '%s' for writing\n",
+                     paths[1]);
+        return 2;
+    }
+    out << doc.dump(0) << '\n';
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "trace_export: writing '%s' failed\n",
+                     paths[1]);
+        return 2;
+    }
+    std::printf("trace_export: wrote %s (%lld snapshots, %lld events on "
+                "%zu tracks, %lld dropped)\n",
+                paths[1], snapshot_count, total_events, tracks.size(),
+                last_dropped < 0 ? 0 : last_dropped);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return export_main(argc, argv); }
