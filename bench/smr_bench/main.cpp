@@ -71,7 +71,8 @@ void print_usage() {
         "  --serve-canary=N     leak one retired record every N ops on\n"
         "                       worker 0 (0 = off; the run must FAIL)\n"
         "  --timeline=PREFIX    write one JSONL timeline per cell to\n"
-        "                       PREFIX.<ds>.<scheme>.jsonl\n"
+        "                       PREFIX.<ds>.<scheme>.jsonl (plus a\n"
+        "                       .trial<N> suffix when --trials > 1)\n"
         "  --trace-ring=N       per-thread event ring capacity (default\n"
         "                       4096, rounded up to a power of two)\n\n"
         "environment defaults (flags win): SMR_TRIAL_MS, SMR_TRIALS,\n"

@@ -97,13 +97,22 @@ int run_smr_serve(const scenario& sc, const harness::bench_config& cfg,
                     std::numeric_limits<long long>::max() / 2;
             }
             resolve_churn(cfg, threads, &wl.serve);
-            if (!cfg.timeline_path.empty()) {
-                wl.serve.timeline_path =
-                    cfg.timeline_path + "." + ds + "." + scheme + ".jsonl";
-            }
 
             for (int trial = 0; trial < cfg.trials; ++trial) {
                 wl.seed = cfg.seed + static_cast<std::uint64_t>(trial);
+                if (!cfg.timeline_path.empty()) {
+                    // One timeline file per trial: the streamer opens with
+                    // trunc, so a shared per-cell path would leave only
+                    // the last trial's data behind every point's
+                    // "timeline" reference. Single-trial runs keep the
+                    // plain per-cell name (CI and the ctest fixtures
+                    // reference it literally).
+                    wl.serve.timeline_path =
+                        cfg.timeline_path + "." + ds + "." + scheme +
+                        (cfg.trials > 1 ? ".trial" + std::to_string(trial)
+                                        : "") +
+                        ".jsonl";
+                }
                 harness::trial_result r;
                 std::string note;
                 const point_status st = run_point(ds, scheme,

@@ -22,25 +22,34 @@
 //      ring is visible instead of silently lossy.
 //   4. TSan-clean overwrite path. Record words are relaxed atomics, so the
 //      producer overwriting a slot the consumer is concurrently copying is
-//      defined behavior; the consumer detects the overwrite via the tail
-//      cursor and discards the possibly-torn copies (they were already
-//      counted as producer drops).
+//      defined behavior; the consumer detects the overwrite via the slot's
+//      claim word and the tail cursor and discards the possibly-torn
+//      copies (they were already counted as producer drops).
 //
-// Record layout (4 x u64):
+// Record layout (4 x u64, plus one per-slot claim word):
 //   w0  timestamp: raw lat_clock::now() ticks (convert deltas at drain)
-//   w1  (event id << 48) | (tid << 32) | (producer sequence, low 32 bits)
+//   w1  (event id << 48) | (tid << 32) | (reservation index, low 32 bits)
 //   w2  arg0 (event-specific payload)
 //   w3  arg1
 //
 // Cursor protocol. head_ is the next write index, tail_ the next read
 // index; slot i lives at i & mask. The producer is the owning thread
-// *plus* its own signal handler (nested emit): publication is therefore a
-// compare_exchange on head_, so an emit interrupted by a handler-side emit
-// re-reads the cursor and rewrites its record instead of clobbering the
-// handler's. The consumer (snapshot streamer) copies [tail, head) and then
-// compare_exchanges tail_ forward; if the CAS fails the producer advanced
-// tail over some copied slots (drop-oldest under concurrent overwrite) and
-// exactly those prefix copies are discarded.
+// *plus* its own signal handler (nested emit), so an emit RESERVES its
+// index first -- a compare_exchange on head_ before any slot word is
+// touched -- and a nested emit therefore always writes a different slot
+// than the frame it interrupted (writing the slot first and publishing
+// with a head_ CAS afterwards loses the nested record: the resumed outer
+// frame rewrites the slot the handler already published). The reserved
+// index doubles as the record's sequence number, so per-ring seq is
+// strictly increasing in ring order by construction. Each slot carries a
+// claim word (2i+1 while index i's record is being written, 2i+2 once
+// published) so the consumer never delivers a slot whose writer was
+// interrupted mid-fill and detects overwrites that race its copy. The
+// consumer (snapshot streamer) copies published records from tail up to
+// the first unpublished slot and then compare_exchanges tail_ forward; if
+// the CAS fails the producer advanced tail over some copied slots
+// (drop-oldest under concurrent overwrite) and exactly those prefix
+// copies are discarded.
 #pragma once
 
 #include <array>
@@ -117,47 +126,55 @@ class event_ring {
 
     /// Producer path: owning thread or its signal handler. Lock-free,
     /// allocation-free, reentrancy-safe (see the cursor protocol above).
-    // smr-lint: signal-safe (relaxed atomic slot writes + CAS publication
+    // smr-lint: signal-safe (relaxed atomic slot writes + CAS reservation
     // on preallocated storage; no allocation, locking, or stdio)
     void emit(trace_event ev, int tid, std::uint64_t a0,
               std::uint64_t a1) noexcept {
         const std::uint64_t ts = lat_clock::now();
-        const std::uint32_t seq =
-            seq_.fetch_add(1, std::memory_order_relaxed);
+        // Reserve the index before touching any slot word: a nested
+        // signal-handler emit landing anywhere past this CAS reserves a
+        // different index, so a resumed outer frame can never rewrite a
+        // slot the handler already published. The index is also the
+        // record's sequence number (strictly increasing in ring order).
+        std::uint64_t h = head_.load(std::memory_order_relaxed);
+        while (!head_.compare_exchange_weak(h, h + 1,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+        }
         const std::uint64_t w1 =
             (static_cast<std::uint64_t>(ev) << 48) |
             (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tid) &
                                         0xffffU)
              << 32) |
-            seq;
-        std::uint64_t h = head_.load(std::memory_order_relaxed);
-        for (;;) {
-            // Drop-oldest: push tail forward when full. Count the drop only
-            // when our CAS retired the record; a failed CAS means the
-            // consumer (or a nested emit) moved tail and nothing was lost
-            // on our account.
-            std::uint64_t t = tail_.load(std::memory_order_acquire);
-            while (h - t >= cap_) {
-                if (tail_.compare_exchange_strong(
-                        t, t + 1, std::memory_order_acq_rel,
-                        std::memory_order_acquire)) {
-                    dropped_.fetch_add(1, std::memory_order_relaxed);
-                    t = t + 1;
-                }
-            }
-            slot& s = slots_[h & mask_];
-            s.w[0].store(ts, std::memory_order_relaxed);
-            s.w[1].store(w1, std::memory_order_relaxed);
-            s.w[2].store(a0, std::memory_order_relaxed);
-            s.w[3].store(a1, std::memory_order_relaxed);
-            // Publish. Failure = a nested signal-handler emit won this
-            // index; re-read and rewrite at the next one.
-            if (head_.compare_exchange_strong(h, h + 1,
-                                              std::memory_order_release,
-                                              std::memory_order_relaxed)) {
-                return;
+            static_cast<std::uint32_t>(h);
+        // Drop-oldest: push tail past any record our write would lap.
+        // Count the drop only when our CAS retired the record; a failed
+        // CAS means the consumer (or a nested emit) moved tail and
+        // nothing was lost on our account.
+        std::uint64_t t = tail_.load(std::memory_order_acquire);
+        while (h - t >= cap_) {
+            if (tail_.compare_exchange_strong(t, t + 1,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+                dropped_.fetch_add(1, std::memory_order_relaxed);
+                t = t + 1;
             }
         }
+        // Claim (odd) -> fill -> publish (even). Word stores are release
+        // so a consumer whose acquire copy loads read any of these values
+        // also observes the claim store above and its post-check catches
+        // the torn copy (release stores also keep the claim store from
+        // sinking below them; no fences -- TSan does not model
+        // atomic_thread_fence). The release publish pairs with the
+        // consumer's acquire pre-check so a published record's words are
+        // fully visible.
+        slot& s = slots_[h & mask_];
+        s.tag.store(2 * h + 1, std::memory_order_relaxed);
+        s.w[0].store(ts, std::memory_order_release);
+        s.w[1].store(w1, std::memory_order_release);
+        s.w[2].store(a0, std::memory_order_release);
+        s.w[3].store(a1, std::memory_order_release);
+        s.tag.store(2 * h + 2, std::memory_order_release);
     }
 
     /// Consumer path (snapshot streamer): append every available record to
@@ -169,29 +186,61 @@ class event_ring {
         const std::uint64_t h = head_.load(std::memory_order_acquire);
         if (t >= h) return 0;
         scratch_.clear();
+        std::uint64_t end = h;
         for (std::uint64_t i = t; i < h; ++i) {
             const slot& s = slots_[i & mask_];
+            // Pre-check: only copy a published record-i slot (the acquire
+            // pairs with the producer's release publish, making the word
+            // stores visible). An unpublished slot is a reserved index
+            // whose writer was interrupted mid-fill -- stop here and leave
+            // [i, h) for the next drain so accounting stays exact.
+            if (s.tag.load(std::memory_order_acquire) != 2 * i + 2) {
+                end = i;
+                break;
+            }
             raw r;
             r.idx = i;
-            r.w0 = s.w[0].load(std::memory_order_relaxed);
-            r.w1 = s.w[1].load(std::memory_order_relaxed);
-            r.w2 = s.w[2].load(std::memory_order_relaxed);
-            r.w3 = s.w[3].load(std::memory_order_relaxed);
+            r.w0 = s.w[0].load(std::memory_order_acquire);
+            r.w1 = s.w[1].load(std::memory_order_acquire);
+            r.w2 = s.w[2].load(std::memory_order_acquire);
+            r.w3 = s.w[3].load(std::memory_order_acquire);
+            // Post-check: a producer lapping us re-claims the slot (odd
+            // tag) before its release word stores, so if any load above
+            // caught a torn word it also made that claim store visible
+            // here -- a torn copy cannot slip through with the old tag
+            // intact. The lapped record is already in the producer's
+            // drop count.
+            if (s.tag.load(std::memory_order_relaxed) != 2 * i + 2) {
+                end = i;
+                break;
+            }
             scratch_.push_back(r);
         }
-        // Claim [t, h). On CAS failure the producer advanced tail over our
-        // prefix: entries below the new tail are possibly torn (and already
-        // in the producer's drop count), so discard them and retry.
-        while (!tail_.compare_exchange_strong(t, h,
+        if (end <= t) return 0;  // oldest record not yet published
+        // Claim [t, end). On CAS failure the producer advanced tail over
+        // our prefix: entries below the new tail are possibly torn (and
+        // already in the producer's drop count), so discard them and
+        // retry.
+        while (!tail_.compare_exchange_strong(t, end,
                                               std::memory_order_acq_rel,
                                               std::memory_order_acquire)) {
-            if (t >= h) return 0;  // everything we copied was overwritten
+            if (t >= end) return 0;  // everything we copied was overwritten
         }
         std::size_t n = 0;
         for (const raw& r : scratch_) {
             if (r.idx < t) continue;  // dropped under our feet
             event_record rec;
-            rec.tsc = r.w0;
+            // Ring order is the authoritative event order; a nested emit
+            // can read the clock out of reservation order (by the width of
+            // a signal handler), so delivered timestamps clamp monotone
+            // non-decreasing per ring -- trace_export --check enforces
+            // monotone per-track time.
+            if (r.w0 < last_tsc_) {
+                rec.tsc = last_tsc_;
+            } else {
+                rec.tsc = r.w0;
+                last_tsc_ = r.w0;
+            }
             rec.ev = static_cast<trace_event>(r.w1 >> 48);
             rec.tid = static_cast<int>((r.w1 >> 32) & 0xffffU);
             rec.seq = static_cast<std::uint32_t>(r.w1);
@@ -208,13 +257,17 @@ class event_ring {
         return dropped_.load(std::memory_order_relaxed);
     }
 
-    /// Records emitted so far (monotone producer sequence).
+    /// Records emitted so far (indices reserved; monotone).
     std::uint64_t emitted() const noexcept {
-        return seq_.load(std::memory_order_relaxed);
+        return head_.load(std::memory_order_relaxed);
     }
 
   private:
     struct slot {
+        // Claim/publish word: 2i+1 while index i's record is being
+        // written, 2i+2 once published (monotone across laps, so a stale
+        // or in-progress slot never matches the consumer's expectation).
+        std::atomic<std::uint64_t> tag{0};
         std::array<std::atomic<std::uint64_t>, 4> w{};
     };
     struct raw {
@@ -227,10 +280,8 @@ class event_ring {
     alignas(PREFETCH_LINE) std::atomic<std::uint64_t> head_{0};
     alignas(PREFETCH_LINE) std::atomic<std::uint64_t> tail_{0};
     std::atomic<std::uint64_t> dropped_{0};
-    // Producer sequence. fetch_add (not a plain counter) so a nested
-    // signal-handler emit still gets a unique sequence number.
-    std::atomic<std::uint32_t> seq_{0};
-    std::vector<raw> scratch_;  // consumer-only staging
+    std::vector<raw> scratch_;       // consumer-only staging
+    std::uint64_t last_tsc_ = 0;     // consumer-only monotone clamp
 };
 
 /// The process-wide trace: one ring per tid, swapped in by enable() on a

@@ -179,7 +179,15 @@ class snapshot_streamer {
 
     /// Joins the sampler after one final tick. Idempotent.
     void stop() {
-        if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+        {
+            // Flip running_ under mu_: an unlocked store could land
+            // between the sampler's predicate check and its wait, and the
+            // notify below would be missed (stalling shutdown by up to one
+            // snapshot period).
+            std::lock_guard<std::mutex> lk(mu_);
+            if (!running_.exchange(false, std::memory_order_acq_rel))
+                return;
+        }
         cv_.notify_all();
         if (sampler_.joinable()) sampler_.join();
         tick();  // final drain + snapshot after workers quiesced

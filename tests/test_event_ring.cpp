@@ -3,6 +3,7 @@
 // and the SPSC producer/consumer protocol under concurrency.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -107,6 +108,61 @@ TEST(EventRing, ConcurrentProducerConsumerAccountsForEveryRecord) {
         EXPECT_LT(out[i - 1].arg0, out[i].arg0);
         EXPECT_LT(out[i - 1].seq, out[i].seq);
     }
+}
+
+// The reserve-first publication protocol: a nested signal-handler emit is
+// modeled by a second producer thread. Because emit() reserves its index
+// with a head CAS *before* touching the slot, an interrupted/concurrent
+// emit can never rewrite a slot the other frame already published. (The
+// pre-fix protocol wrote the slot words first and published afterwards:
+// under this test it delivers the same record at two indices -- duplicate
+// seq -- and silently loses the clobbered one.) The ring is sized to hold
+// every record so no index is ever lapped: every emission must come back
+// exactly once, in reservation order.
+TEST(EventRing, ConcurrentEmitNeverClobbersAPublishedRecord) {
+#ifdef SMR_TSAN
+    constexpr std::uint64_t N = 8192;
+#else
+    constexpr std::uint64_t N = 65536;
+#endif
+    event_ring r(2 * N);  // no drops: every reservation stays live
+    std::vector<event_record> out;
+    std::atomic<bool> done{false};
+    std::thread consumer([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            r.drain(&out);
+            std::this_thread::yield();
+        }
+    });
+    auto produce = [&r](int tid) {
+        for (std::uint64_t i = 0; i < N; ++i) {
+            r.emit(trace_event::scan_free, tid, i, 0);
+        }
+    };
+    std::thread second([&] { produce(3); });
+    produce(2);
+    second.join();
+    done.store(true, std::memory_order_release);
+    consumer.join();
+    r.drain(&out);  // final sweep after both producers stopped
+    EXPECT_EQ(r.emitted(), 2 * N);
+    EXPECT_EQ(r.dropped(), 0u);
+    ASSERT_EQ(out.size(), 2 * N);
+    std::uint64_t last_arg[2] = {0, 0};
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        // seq is the reservation index: contiguous, no duplicates.
+        EXPECT_EQ(out[i].seq, i);
+        if (i > 0) {
+            EXPECT_LE(out[i - 1].tsc, out[i].tsc);
+        }
+        // Each producer's records arrive in its emission order.
+        ASSERT_TRUE(out[i].tid == 2 || out[i].tid == 3);
+        std::uint64_t& last = last_arg[out[i].tid - 2];
+        EXPECT_EQ(out[i].arg0, last);
+        ++last;
+    }
+    EXPECT_EQ(last_arg[0], N);
+    EXPECT_EQ(last_arg[1], N);
 }
 
 TEST(EventTrace, DisabledTraceIsANoOpAndNullRing) {
